@@ -1,0 +1,56 @@
+//! Estimation benches: centralized WLS per case, one DSE subsystem solve
+//! (the paper's per-cluster unit of work), and a full DSE cycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pgse_dse::decomposition::{decompose, DecompositionOptions};
+use pgse_dse::estimator::AreaEstimator;
+use pgse_dse::runner::{run_dse, DseOptions};
+use pgse_estimation::jacobian::StateSpace;
+use pgse_estimation::telemetry::TelemetryPlan;
+use pgse_estimation::wls::{WlsEstimator, WlsOptions};
+use pgse_grid::cases::{ieee118_like, ieee14};
+use pgse_powerflow::{solve, PfOptions};
+
+fn bench_centralized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("centralized_wls");
+    group.sample_size(20);
+    for net in [ieee14(), ieee118_like()] {
+        let pf = solve(&net, &PfOptions::default()).unwrap();
+        let plan = TelemetryPlan::full(&net, vec![net.slack()]);
+        let set = plan.generate(&net, &pf, 1.0, 1);
+        let est = WlsEstimator::new(
+            net.clone(),
+            StateSpace::with_reference(net.n_buses(), net.slack()),
+            WlsOptions::default(),
+        );
+        group.bench_function(net.name.clone(), |b| b.iter(|| est.estimate(&set).unwrap()));
+    }
+    group.finish();
+}
+
+fn bench_area_step1(c: &mut Criterion) {
+    let net = ieee118_like();
+    let pf = solve(&net, &PfOptions::default()).unwrap();
+    let d = decompose(&net, &DecompositionOptions::default());
+    let est = AreaEstimator::new(d.areas[0].clone(), &net, &pf, WlsOptions::default());
+    let set = est.generate_telemetry(1.0, 1);
+    let mut group = c.benchmark_group("dse_subsystem");
+    group.sample_size(30);
+    group.bench_function("step1_14bus_area", |b| b.iter(|| est.step1(&set).unwrap()));
+    group.finish();
+}
+
+fn bench_full_dse(c: &mut Criterion) {
+    let net = ieee118_like();
+    let pf = solve(&net, &PfOptions::default()).unwrap();
+    let mut group = c.benchmark_group("dse_cycle");
+    group.sample_size(10);
+    group.bench_function("ieee118_full_cycle", |b| {
+        b.iter(|| run_dse(&net, &pf, &DseOptions::default()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_centralized, bench_area_step1, bench_full_dse);
+criterion_main!(benches);

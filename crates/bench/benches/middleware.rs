@@ -1,0 +1,43 @@
+//! Middleware benches: direct TCP vs via-MeDICi at micro scale (the tables
+//! binary runs the paper's full 100 MB – 2 GB sweep; criterion uses small
+//! payloads so the suite stays fast).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pgse_medici::measure::{measure_direct, measure_via_middleware};
+use pgse_medici::throttle::PAPER_RELAY_RATE;
+
+fn bench_transfers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transfer");
+    group.sample_size(10);
+    for mb in [1u64, 4, 16] {
+        let size = mb * 1_000_000;
+        group.throughput(Throughput::Bytes(size));
+        group.bench_with_input(BenchmarkId::new("direct_tcp", mb), &size, |b, &s| {
+            b.iter(|| measure_direct(s, None))
+        });
+        group.bench_with_input(BenchmarkId::new("via_medici", mb), &size, |b, &s| {
+            b.iter(|| measure_via_middleware(s, PAPER_RELAY_RATE, None))
+        });
+    }
+    group.finish();
+}
+
+fn bench_framing(c: &mut Criterion) {
+    use pgse_medici::framing::{read_frame, write_frame};
+    let mut group = c.benchmark_group("framing");
+    group.sample_size(50);
+    let body = vec![0x5au8; 1_000_000];
+    group.throughput(Throughput::Bytes(body.len() as u64));
+    group.bench_function("roundtrip_1mb", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(body.len() + 8);
+            write_frame(&mut buf, &body).unwrap();
+            read_frame(&mut std::io::Cursor::new(&buf)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transfers, bench_framing);
+criterion_main!(benches);

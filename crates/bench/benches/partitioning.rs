@@ -1,0 +1,79 @@
+//! Mapping-method benches: the paper notes "partitioning is typically much
+//! faster than running state estimation computations" — these quantify it,
+//! from the 9-vertex testbed graph to WECC-scale decompositions, plus the
+//! refinement ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pgse_grid::cases::ieee118::{SUBSYSTEM_BUS_COUNTS, SUBSYSTEM_EDGES};
+use pgse_partition::kway::KwayOptions;
+use pgse_partition::repartition::{repartition, RepartitionOptions};
+use pgse_partition::weights::{initial_graph, SubsystemProfile};
+use pgse_partition::{brute_force_optimal, partition_kway, WeightedGraph};
+
+fn table1() -> WeightedGraph {
+    initial_graph(&SUBSYSTEM_BUS_COUNTS, &SUBSYSTEM_EDGES)
+}
+
+fn synthetic_decomposition(n_areas: usize) -> WeightedGraph {
+    // Deterministic pseudo-random decomposition graph at a given scale.
+    let profiles: Vec<SubsystemProfile> = (0..n_areas)
+        .map(|i| SubsystemProfile {
+            n_buses: 10 + (i * 7) % 20,
+            gs: 3 + i % 5,
+            g1: 3.7579,
+            g2: 5.2464,
+        })
+        .collect();
+    let mut edges = Vec::new();
+    for i in 1..n_areas {
+        edges.push((i - 1, i));
+        if i % 3 == 0 && i >= 3 {
+            edges.push((i - 3, i));
+        }
+        if i % 7 == 0 && i >= 7 {
+            edges.push((i - 7, i));
+        }
+    }
+    pgse_partition::weights::step2_graph(&profiles, &edges, 1.0)
+}
+
+fn bench_kway(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_kway");
+    group.sample_size(30);
+    group.bench_function("table1_k3", |b| {
+        let g = table1();
+        b.iter(|| partition_kway(&g, 3, &KwayOptions::default()))
+    });
+    for n in [37usize, 100, 300] {
+        let g = synthetic_decomposition(n);
+        group.bench_with_input(BenchmarkId::new("synthetic", n), &g, |b, g| {
+            b.iter(|| partition_kway(g, 8, &KwayOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_repartition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repartition");
+    group.sample_size(30);
+    let g = table1();
+    let p = partition_kway(&g, 3, &KwayOptions::default());
+    group.bench_function("table1_adapt", |b| {
+        b.iter(|| repartition(&g, &p, &RepartitionOptions::default()))
+    });
+    group.finish();
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("brute_force_oracle");
+    group.sample_size(10);
+    let g = table1();
+    group.bench_function("table1_3_pow_9", |b| {
+        b.iter(|| brute_force_optimal(&g, 3, 1.05))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kway, bench_repartition, bench_oracle);
+criterion_main!(benches);

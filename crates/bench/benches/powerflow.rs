@@ -1,0 +1,62 @@
+//! Power-flow and sparse-kernel benches: the substrate costs underneath
+//! every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pgse_grid::cases::{ieee118_like, ieee14, synthetic_grid, SyntheticSpec};
+use pgse_grid::Ybus;
+use pgse_powerflow::{solve, PfOptions};
+use pgse_sparsela::{Csr, SparseLu};
+
+fn bench_newton(c: &mut Criterion) {
+    let mut group = c.benchmark_group("newton_power_flow");
+    group.sample_size(20);
+    let cases = vec![
+        ieee14(),
+        ieee118_like(),
+        synthetic_grid(&SyntheticSpec {
+            n_areas: 20,
+            buses_per_area: (10, 20),
+            extra_edges: 10,
+            ties_per_edge: 2,
+            seed: 4,
+        }),
+    ];
+    for net in cases {
+        group.bench_with_input(
+            BenchmarkId::new("solve", format!("{}_{}buses", net.name, net.n_buses())),
+            &net,
+            |b, net| b.iter(|| solve(net, &PfOptions::default()).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ybus_and_lu(c: &mut Criterion) {
+    let net = ieee118_like();
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(30);
+    group.bench_function("ybus_assembly_118", |b| b.iter(|| Ybus::new(&net)));
+
+    // A power-flow-Jacobian-sized unsymmetric system.
+    let n = 235;
+    let mut coo = pgse_sparsela::Coo::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 6.0 + (i % 5) as f64);
+        if i + 1 < n {
+            coo.push(i, i + 1, -1.2);
+            coo.push(i + 1, i, -0.8);
+        }
+        if i + 17 < n {
+            coo.push(i, i + 17, 0.3);
+        }
+    }
+    let a: Csr = coo.to_csr();
+    group.bench_function("sparse_lu_235", |b| {
+        b.iter(|| SparseLu::factor_csr(&a, 1.0).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_newton, bench_ybus_and_lu);
+criterion_main!(benches);

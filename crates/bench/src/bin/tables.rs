@@ -1,0 +1,86 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p pgse-bench --bin tables            # everything, paper-scale payloads
+//! cargo run --release -p pgse-bench --bin tables -- --exp table3
+//! cargo run --release -p pgse-bench --bin tables -- --scale 0.1
+//! ```
+//!
+//! Experiments: `table1`, `fig4`/`fig5`, `table2`, `table3`, `table4`,
+//! `fig8`, `iters`, `dse-vs-central`, `modes`, `scaling`, or `all` (default).
+//! `--scale f` multiplies the Table III/IV payload sizes (1.0 = the
+//! paper's 100 MB – 2 GB sweep).
+
+use pgse_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exp = "all".to_string();
+    let mut scale = 1.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                exp = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--scale" => {
+                scale = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    println!("# Reproduction harness — Distributing Power Grid State Estimation on HPC Clusters\n");
+    let want = |name: &str| exp == "all" || exp == name;
+
+    if want("table1") {
+        println!("{}", exp_table1());
+    }
+    if want("fig4") || want("fig5") {
+        println!("{}", exp_fig4_fig5());
+    }
+    if want("table2") {
+        println!("{}", exp_table2());
+    }
+    let mut local_rows = None;
+    if want("table3") || want("fig8") {
+        let (text, rows) = exp_table3(scale);
+        println!("{text}");
+        local_rows = Some(rows);
+    }
+    let mut lan_rows = None;
+    if want("table4") || want("fig8") {
+        let (text, rows) = exp_table4(scale);
+        println!("{text}");
+        lan_rows = Some(rows);
+    }
+    if want("fig8") {
+        if let (Some(local), Some(lan)) = (&local_rows, &lan_rows) {
+            println!("{}", exp_fig8(local, lan));
+        }
+    }
+    if want("iters") {
+        println!("{}", exp_iteration_model());
+    }
+    if want("dse-vs-central") {
+        println!("{}", exp_dse_vs_centralized());
+    }
+    if want("modes") {
+        println!("{}", exp_coordination_modes());
+    }
+    if want("scaling") {
+        println!("{}", exp_scaling());
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tables [--exp table1|fig4|fig5|table2|table3|table4|fig8|iters|dse-vs-central|modes|scaling|all] [--scale f]"
+    );
+    std::process::exit(2);
+}

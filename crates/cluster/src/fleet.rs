@@ -1,0 +1,176 @@
+//! Clusters and the testbed fleet.
+
+use std::sync::Arc;
+
+/// One HPC cluster: a named compute resource with its own thread pool
+/// standing in for the cluster's nodes.
+#[derive(Clone)]
+pub struct HpcCluster {
+    name: String,
+    cores: usize,
+    pool: Arc<rayon::ThreadPool>,
+}
+
+impl std::fmt::Debug for HpcCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HpcCluster")
+            .field("name", &self.name)
+            .field("cores", &self.cores)
+            .finish()
+    }
+}
+
+impl HpcCluster {
+    /// A cluster with `cores` worker threads.
+    ///
+    /// # Panics
+    /// Panics if `cores == 0` or the pool cannot be built.
+    pub fn new(name: impl Into<String>, cores: usize) -> Self {
+        assert!(cores > 0, "cluster needs at least one core");
+        let name = name.into();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(cores)
+            .thread_name({
+                let name = name.clone();
+                move |i| format!("{name}-worker-{i}")
+            })
+            .build()
+            .expect("cluster thread pool");
+        HpcCluster { name, cores, pool: Arc::new(pool) }
+    }
+
+    /// Cluster name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Worker-thread count.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Runs `job` on this cluster's pool (rayon parallelism inside `job`
+    /// uses the cluster's threads, not the global pool).
+    pub fn run<T: Send>(&self, job: impl FnOnce() -> T + Send) -> T {
+        self.pool.install(job)
+    }
+
+    /// The master node's endpoint URL for `service` — the paper's
+    /// URL-identified estimators (e.g. `tcp://nwiceb.pnl.gov:6789`).
+    pub fn endpoint_url(&self, port: u16) -> String {
+        format!("tcp://{}.pnl.gov:{}", self.name.to_lowercase(), port)
+    }
+}
+
+/// The deployed set of clusters.
+#[derive(Debug, Clone)]
+pub struct ClusterFleet {
+    clusters: Vec<HpcCluster>,
+}
+
+impl ClusterFleet {
+    /// A fleet from explicit clusters.
+    pub fn new(clusters: Vec<HpcCluster>) -> Self {
+        assert!(!clusters.is_empty(), "fleet needs at least one cluster");
+        ClusterFleet { clusters }
+    }
+
+    /// The paper's three-cluster laboratory testbed.
+    pub fn paper_testbed() -> Self {
+        ClusterFleet::new(vec![
+            HpcCluster::new("Nwiceb", 2),
+            HpcCluster::new("Catamount", 2),
+            HpcCluster::new("Chinook", 2),
+        ])
+    }
+
+    /// Number of clusters (`p`, the partition count).
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// True when the fleet is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The clusters.
+    pub fn clusters(&self) -> &[HpcCluster] {
+        &self.clusters
+    }
+
+    /// Cluster by index.
+    pub fn cluster(&self, i: usize) -> &HpcCluster {
+        &self.clusters[i]
+    }
+
+    /// Runs one job per cluster concurrently, each on its own pool, and
+    /// returns the results in cluster order. This is the fleet-level
+    /// "every cluster computes its assigned subsystems at once".
+    pub fn run_all<T: Send>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> T + Send + '_>>,
+    ) -> Vec<T> {
+        assert_eq!(jobs.len(), self.len(), "one job per cluster");
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .clusters
+                .iter()
+                .zip(jobs)
+                .map(|(cluster, job)| scope.spawn(move || cluster.run(job)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("cluster job panicked")).collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_has_three_named_clusters() {
+        let fleet = ClusterFleet::paper_testbed();
+        assert_eq!(fleet.len(), 3);
+        let names: Vec<&str> = fleet.clusters().iter().map(HpcCluster::name).collect();
+        assert_eq!(names, vec!["Nwiceb", "Catamount", "Chinook"]);
+    }
+
+    #[test]
+    fn endpoint_urls_follow_paper_scheme() {
+        let fleet = ClusterFleet::paper_testbed();
+        assert_eq!(fleet.cluster(0).endpoint_url(6789), "tcp://nwiceb.pnl.gov:6789");
+        assert_eq!(fleet.cluster(2).endpoint_url(7890), "tcp://chinook.pnl.gov:7890");
+    }
+
+    #[test]
+    fn cluster_pool_runs_jobs() {
+        let c = HpcCluster::new("test", 2);
+        let out = c.run(|| (0..100).sum::<i32>());
+        assert_eq!(out, 4950);
+        assert_eq!(c.cores(), 2);
+    }
+
+    #[test]
+    fn cluster_pool_hosts_rayon_parallelism() {
+        use rayon::prelude::*;
+        let c = HpcCluster::new("par", 2);
+        let out = c.run(|| (0..1000).into_par_iter().map(|i| i * 2).sum::<i64>());
+        assert_eq!(out, 999_000);
+    }
+
+    #[test]
+    fn run_all_executes_one_job_per_cluster() {
+        let fleet = ClusterFleet::paper_testbed();
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..3usize)
+            .map(|i| Box::new(move || i * 10) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        assert_eq!(fleet.run_all(jobs), vec![0, 10, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_core_cluster_rejected() {
+        HpcCluster::new("broken", 0);
+    }
+}

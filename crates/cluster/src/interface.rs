@@ -1,0 +1,140 @@
+//! The master-node interface layer.
+//!
+//! Paper §IV-A: "an interface layer is deployed on the master node of each
+//! HPC cluster … It includes a middleware client that wraps the
+//! communication code for disseminating and retrieving data [and] a data
+//! processor [that] acquires the data from a local data buffer, extracts
+//! the required fields … and assembles them as inputs to the parallel
+//! power models."
+//!
+//! Here the layer owns the cluster's inbox endpoint, buffers inbound
+//! frames, and hands the extracted payloads to the compute side.
+
+use std::net::TcpListener;
+
+use pgse_medici::{EndpointRegistry, MwClient, MwError};
+
+/// The interface layer of one cluster's master node.
+pub struct InterfaceLayer {
+    /// Logical URL of this cluster's inbox.
+    inbox_url: String,
+    /// The middleware client used to disseminate data.
+    client: MwClient,
+    /// The inbox listener (the "local data buffer" feed).
+    listener: TcpListener,
+    /// Buffered frames not yet consumed by the data processor.
+    buffer: Vec<Vec<u8>>,
+}
+
+impl InterfaceLayer {
+    /// Deploys the layer: binds the cluster's inbox endpoint in the shared
+    /// registry.
+    ///
+    /// # Errors
+    /// [`MwError`] when the endpoint cannot be bound.
+    pub fn deploy(registry: &EndpointRegistry, inbox_url: &str) -> Result<Self, MwError> {
+        let listener = registry.bind(inbox_url)?;
+        Ok(InterfaceLayer {
+            inbox_url: inbox_url.to_string(),
+            client: MwClient::new(registry.clone()),
+            listener,
+            buffer: Vec::new(),
+        })
+    }
+
+    /// This layer's inbox URL.
+    pub fn inbox_url(&self) -> &str {
+        &self.inbox_url
+    }
+
+    /// Sends `payload` toward `url` through the middleware (the
+    /// `MW_Client_Send` of Fig. 6).
+    ///
+    /// # Errors
+    /// [`MwError`] on resolution or socket failure.
+    pub fn send(&self, url: &str, payload: &[u8]) -> Result<(), MwError> {
+        self.client.send(url, payload)
+    }
+
+    /// Blocks until `n` frames have arrived in the local data buffer.
+    ///
+    /// # Errors
+    /// [`MwError::Io`] on socket failure.
+    pub fn collect(&mut self, n: usize) -> Result<(), MwError> {
+        while self.buffer.len() < n {
+            let frame = MwClient::recv_on(&self.listener)?;
+            self.buffer.push(frame);
+        }
+        Ok(())
+    }
+
+    /// The data processor: drains the buffer, extracting each frame through
+    /// `extract` and collecting the assembled inputs.
+    pub fn process<T>(&mut self, mut extract: impl FnMut(&[u8]) -> T) -> Vec<T> {
+        self.buffer.drain(..).map(|frame| extract(&frame)).collect()
+    }
+
+    /// Frames currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layers_exchange_frames_directly() {
+        let registry = EndpointRegistry::new();
+        let mut a = InterfaceLayer::deploy(&registry, "tcp://nwiceb.pnl.gov:6789").unwrap();
+        let b = InterfaceLayer::deploy(&registry, "tcp://chinook.pnl.gov:7890").unwrap();
+        b.send(a.inbox_url(), b"boundary states").unwrap();
+        a.collect(1).unwrap();
+        let got = a.process(|f| f.to_vec());
+        assert_eq!(got, vec![b"boundary states".to_vec()]);
+        assert_eq!(a.buffered(), 0);
+    }
+
+    #[test]
+    fn collect_waits_for_all_expected_frames() {
+        let registry = EndpointRegistry::new();
+        let mut hub = InterfaceLayer::deploy(&registry, "tcp://hub:1").unwrap();
+        let senders: Vec<InterfaceLayer> = (0..3)
+            .map(|i| InterfaceLayer::deploy(&registry, &format!("tcp://s{i}:1")).unwrap())
+            .collect();
+        let reg = registry.clone();
+        let t = std::thread::spawn(move || {
+            for (i, s) in senders.iter().enumerate() {
+                s.send("tcp://hub:1", format!("frame{i}").as_bytes()).unwrap();
+            }
+            drop(reg);
+        });
+        hub.collect(3).unwrap();
+        t.join().unwrap();
+        let mut frames = hub.process(|f| String::from_utf8(f.to_vec()).unwrap());
+        frames.sort();
+        assert_eq!(frames, vec!["frame0", "frame1", "frame2"]);
+    }
+
+    #[test]
+    fn process_extracts_fields() {
+        let registry = EndpointRegistry::new();
+        let mut layer = InterfaceLayer::deploy(&registry, "tcp://x:1").unwrap();
+        let peer = InterfaceLayer::deploy(&registry, "tcp://y:1").unwrap();
+        peer.send("tcp://x:1", b"12,34").unwrap();
+        layer.collect(1).unwrap();
+        let parsed = layer.process(|f| {
+            let s = std::str::from_utf8(f).unwrap();
+            s.split(',').map(|v| v.parse::<i32>().unwrap()).collect::<Vec<_>>()
+        });
+        assert_eq!(parsed, vec![vec![12, 34]]);
+    }
+
+    #[test]
+    fn send_to_unknown_inbox_fails() {
+        let registry = EndpointRegistry::new();
+        let layer = InterfaceLayer::deploy(&registry, "tcp://only:1").unwrap();
+        assert!(layer.send("tcp://missing:1", b"x").is_err());
+    }
+}

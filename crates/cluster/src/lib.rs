@@ -1,0 +1,22 @@
+//! # pgse-cluster
+//!
+//! The HPC deployment model of the prototype (paper Fig. 1): a fleet of
+//! named clusters — the paper's laboratory testbed is *Nwiceb*, *Catamount*
+//! and *Chinook* — each hosting the subsystems the mapping method assigns
+//! to it. Every cluster's master node carries an **interface layer**: a
+//! middleware client plus a data processor that unpacks arriving pseudo
+//! measurements and dispatches inputs to the worker processes.
+//!
+//! * [`fleet`] — clusters with their own compute pools;
+//! * [`interface`] — the master-node interface layer over `pgse-medici`;
+//! * [`redistribution`] — the raw-data moves a mapping change forces
+//!   between Step 1 and Step 2 (§IV-C) and their cost on the simulated
+//!   inter-cluster links.
+
+pub mod fleet;
+pub mod interface;
+pub mod redistribution;
+
+pub use fleet::{ClusterFleet, HpcCluster};
+pub use interface::InterfaceLayer;
+pub use redistribution::{plan_redistribution, DataMove, RedistributionPlan};

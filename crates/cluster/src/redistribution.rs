@@ -1,0 +1,133 @@
+//! Data redistribution between Step-1 and Step-2 mappings.
+//!
+//! Paper §IV-C: "Due to the re-mapping, some of the raw measurements data
+//! for a subsystem may need to be redistributed to another HPC cluster if
+//! the subsystem was residing on a different HPC cluster in DSE Step 1."
+//! This module plans those moves from two assignments and prices them on
+//! the inter-cluster links.
+
+use std::time::Duration;
+
+/// One subsystem's raw data moving between clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataMove {
+    /// The subsystem (area) whose data moves.
+    pub area: usize,
+    /// Source cluster (Step-1 host).
+    pub from_cluster: usize,
+    /// Destination cluster (Step-2 host).
+    pub to_cluster: usize,
+    /// Raw measurement bytes to ship.
+    pub bytes: u64,
+}
+
+/// The planned redistribution for one Step-1 → Step-2 re-mapping.
+#[derive(Debug, Clone, Default)]
+pub struct RedistributionPlan {
+    /// Individual moves.
+    pub moves: Vec<DataMove>,
+}
+
+impl RedistributionPlan {
+    /// Total bytes shipped.
+    pub fn total_bytes(&self) -> u64 {
+        self.moves.iter().map(|m| m.bytes).sum()
+    }
+
+    /// Number of subsystems that move.
+    pub fn migrations(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Estimated transfer time when every cluster pair's link runs at
+    /// `link_rate` bytes/second and distinct links transfer in parallel
+    /// (transfers sharing a directed link serialize).
+    pub fn estimated_time(&self, link_rate: f64) -> Duration {
+        assert!(link_rate > 0.0, "link rate must be positive");
+        let mut per_link: std::collections::HashMap<(usize, usize), u64> =
+            std::collections::HashMap::new();
+        for m in &self.moves {
+            *per_link.entry((m.from_cluster, m.to_cluster)).or_default() += m.bytes;
+        }
+        let worst = per_link.values().copied().max().unwrap_or(0);
+        Duration::from_secs_f64(worst as f64 / link_rate)
+    }
+}
+
+/// Plans the redistribution implied by moving from `step1_assignment` to
+/// `step2_assignment` (one entry per area: host cluster), where area `a`
+/// holds `area_bytes[a]` of raw measurement data.
+///
+/// # Panics
+/// Panics when the inputs disagree in length.
+pub fn plan_redistribution(
+    step1_assignment: &[usize],
+    step2_assignment: &[usize],
+    area_bytes: &[u64],
+) -> RedistributionPlan {
+    assert_eq!(step1_assignment.len(), step2_assignment.len(), "assignment length");
+    assert_eq!(step1_assignment.len(), area_bytes.len(), "area bytes length");
+    let moves = step1_assignment
+        .iter()
+        .zip(step2_assignment)
+        .enumerate()
+        .filter(|(_, (f, t))| f != t)
+        .map(|(area, (&from_cluster, &to_cluster))| DataMove {
+            area,
+            from_cluster,
+            to_cluster,
+            bytes: area_bytes[area],
+        })
+        .collect();
+    RedistributionPlan { moves }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_assignments_need_no_moves() {
+        let plan = plan_redistribution(&[0, 1, 2], &[0, 1, 2], &[100, 200, 300]);
+        assert_eq!(plan.migrations(), 0);
+        assert_eq!(plan.total_bytes(), 0);
+        assert_eq!(plan.estimated_time(1e6), Duration::ZERO);
+    }
+
+    #[test]
+    fn paper_example_two_subsystems_swap() {
+        // Figs. 4→5: subsystem 4 moves Chinook→Catamount, subsystem 5
+        // moves Catamount→Chinook (1-indexed in the paper).
+        let step1 = [2, 1, 1, 2, 0, 1, 0, 2, 0]; // areas → clusters
+        let mut step2 = step1;
+        step2[3] = 0; // subsystem 4 re-mapped
+        step2[4] = 2; // subsystem 5 re-mapped
+        let bytes = [10_000u64; 9];
+        let plan = plan_redistribution(&step1, &step2, &bytes);
+        assert_eq!(plan.migrations(), 2);
+        assert_eq!(plan.total_bytes(), 20_000);
+        let areas: Vec<usize> = plan.moves.iter().map(|m| m.area).collect();
+        assert_eq!(areas, vec![3, 4]);
+    }
+
+    #[test]
+    fn estimated_time_serializes_shared_links() {
+        // Two moves over the same directed link serialize; a third over a
+        // different link overlaps.
+        let plan = RedistributionPlan {
+            moves: vec![
+                DataMove { area: 0, from_cluster: 0, to_cluster: 1, bytes: 1_000_000 },
+                DataMove { area: 1, from_cluster: 0, to_cluster: 1, bytes: 1_000_000 },
+                DataMove { area: 2, from_cluster: 2, to_cluster: 1, bytes: 500_000 },
+            ],
+        };
+        let t = plan.estimated_time(1.0e6);
+        assert!((t.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_follow_the_moving_area() {
+        let plan = plan_redistribution(&[0, 0], &[0, 1], &[111, 222]);
+        assert_eq!(plan.moves, vec![DataMove { area: 1, from_cluster: 0, to_cluster: 1, bytes: 222 }]);
+    }
+}

@@ -1,0 +1,375 @@
+//! # pgse-contingency
+//!
+//! Massive N-1 contingency analysis — the companion HPC application the
+//! paper's state-estimation kernel descends from (Chen, Huang &
+//! Chavarría-Miranda [2]: *"Performance evaluation of counter-based dynamic
+//! load balancing schemes for massive contingency analysis"*), and one of
+//! the downstream consumers of the estimated state the paper lists
+//! (§I: "contingency analysis, optimal power flow, economic dispatch…").
+//!
+//! The module provides:
+//! * [`screen`] — enumerate non-islanding branch outages;
+//! * [`analyze_one`] — re-solve the AC power flow with one branch out and
+//!   check voltage/loading limits against the base case;
+//! * [`run_static`] / [`run_dynamic`] — distribute the contingency list
+//!   over worker threads with either static pre-partitioning or the
+//!   **counter-based dynamic scheme** of [2] (a shared atomic task counter
+//!   each worker increments to claim its next case), plus the balance
+//!   metrics that paper compares.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use pgse_grid::Network;
+use pgse_powerflow::{solve, PfOptions, PfSolution};
+
+/// One contingency case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Contingency {
+    /// Outage of one branch (by index into `net.branches`).
+    BranchOutage(usize),
+}
+
+/// A post-contingency limit violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// Bus voltage outside `[v_min, v_max]`.
+    Voltage { bus: usize, vm: f64 },
+    /// Branch apparent-power loading above its emergency rating.
+    Overload { branch: usize, loading: f64, rating: f64 },
+}
+
+/// Operating limits used by the checker.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Minimum bus voltage (p.u.).
+    pub v_min: f64,
+    /// Maximum bus voltage (p.u.).
+    pub v_max: f64,
+    /// Emergency rating as a multiple of the base-case branch flow.
+    pub rating_factor: f64,
+    /// Floor on the emergency rating (p.u.), so lightly-loaded branches
+    /// are not flagged by tiny base flows.
+    pub rating_floor: f64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { v_min: 0.92, v_max: 1.10, rating_factor: 1.5, rating_floor: 0.5 }
+    }
+}
+
+/// The outcome of one contingency solve.
+#[derive(Debug, Clone)]
+pub struct CtgResult {
+    /// The analyzed case.
+    pub contingency: Contingency,
+    /// Whether the post-contingency power flow converged (non-convergence
+    /// is itself a severe flag).
+    pub converged: bool,
+    /// Limit violations found.
+    pub violations: Vec<Violation>,
+    /// Newton iterations the solve took (per-case cost varies — the reason
+    /// dynamic balancing wins in [2]).
+    pub iterations: usize,
+}
+
+impl CtgResult {
+    /// Severe cases: diverged or violating.
+    pub fn is_insecure(&self) -> bool {
+        !self.converged || !self.violations.is_empty()
+    }
+}
+
+/// Enumerates all single-branch outages that leave the network connected
+/// (islanding outages need remedial-action modelling, out of scope here —
+/// and in [2]).
+pub fn screen(net: &Network) -> Vec<Contingency> {
+    (0..net.n_branches())
+        .filter(|&k| {
+            let mut reduced = net.clone();
+            reduced.branches.remove(k);
+            reduced.is_connected()
+        })
+        .map(Contingency::BranchOutage)
+        .collect()
+}
+
+/// Emergency ratings derived from the base case.
+pub fn ratings(net: &Network, base: &PfSolution, limits: &Limits) -> Vec<f64> {
+    net.branches
+        .iter()
+        .enumerate()
+        .map(|(k, _)| {
+            let f = &base.flows[k];
+            let s = (f.p_from * f.p_from + f.q_from * f.q_from).sqrt();
+            (limits.rating_factor * s).max(limits.rating_floor)
+        })
+        .collect()
+}
+
+/// Analyzes one contingency: removes the branch, re-solves, checks limits.
+pub fn analyze_one(
+    net: &Network,
+    contingency: Contingency,
+    ratings: &[f64],
+    limits: &Limits,
+) -> CtgResult {
+    let Contingency::BranchOutage(k) = contingency;
+    let mut post = net.clone();
+    post.branches.remove(k);
+    match solve(&post, &PfOptions::default()) {
+        Err(_) => CtgResult { contingency, converged: false, violations: Vec::new(), iterations: 0 },
+        Ok(sol) => {
+            let mut violations = Vec::new();
+            for (bus, &vm) in sol.vm.iter().enumerate() {
+                if vm < limits.v_min || vm > limits.v_max {
+                    violations.push(Violation::Voltage { bus, vm });
+                }
+            }
+            for (kk, f) in sol.flows.iter().enumerate() {
+                // Map the post-contingency branch index back to the base
+                // network's numbering (indices ≥ k shift by one).
+                let orig = if kk >= k { kk + 1 } else { kk };
+                let s = (f.p_from * f.p_from + f.q_from * f.q_from).sqrt();
+                if s > ratings[orig] {
+                    violations.push(Violation::Overload {
+                        branch: orig,
+                        loading: s,
+                        rating: ratings[orig],
+                    });
+                }
+            }
+            CtgResult { contingency, converged: true, violations, iterations: sol.iterations }
+        }
+    }
+}
+
+/// A completed sweep with the balance metrics [2] reports.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Per-case results, in contingency-list order.
+    pub results: Vec<CtgResult>,
+    /// Cases processed by each worker.
+    pub tasks_per_worker: Vec<usize>,
+    /// Busy time of each worker.
+    pub busy_per_worker: Vec<Duration>,
+    /// Wall time of the sweep.
+    pub wall: Duration,
+}
+
+impl SweepReport {
+    /// Load-imbalance ratio across workers: max busy time over mean busy
+    /// time (1.0 is perfect).
+    pub fn imbalance(&self) -> f64 {
+        let total: f64 = self.busy_per_worker.iter().map(Duration::as_secs_f64).sum();
+        let mean = total / self.busy_per_worker.len() as f64;
+        let max = self
+            .busy_per_worker
+            .iter()
+            .map(Duration::as_secs_f64)
+            .fold(0.0f64, f64::max);
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+
+    /// Insecure cases found.
+    pub fn insecure(&self) -> Vec<&CtgResult> {
+        self.results.iter().filter(|r| r.is_insecure()).collect()
+    }
+}
+
+/// Static scheme: the list is pre-split into contiguous chunks, one per
+/// worker.
+pub fn run_static(
+    net: &Network,
+    base: &PfSolution,
+    ctgs: &[Contingency],
+    n_workers: usize,
+    limits: &Limits,
+) -> SweepReport {
+    assert!(n_workers > 0, "need at least one worker");
+    let rat = ratings(net, base, limits);
+    let chunk = ctgs.len().div_ceil(n_workers);
+    let wall0 = Instant::now();
+    let per_worker: Vec<(Vec<(usize, CtgResult)>, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|w| {
+                let rat = &rat;
+                scope.spawn(move || {
+                    let t0 = Instant::now();
+                    let lo = (w * chunk).min(ctgs.len());
+                    let hi = ((w + 1) * chunk).min(ctgs.len());
+                    let out: Vec<(usize, CtgResult)> = (lo..hi)
+                        .map(|i| (i, analyze_one(net, ctgs[i], rat, limits)))
+                        .collect();
+                    (out, t0.elapsed())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    assemble_report(per_worker, ctgs.len(), wall0.elapsed())
+}
+
+/// Counter-based dynamic scheme of [2]: workers claim the next case by a
+/// fetch-add on a shared counter, so fast workers absorb the expensive
+/// cases automatically.
+pub fn run_dynamic(
+    net: &Network,
+    base: &PfSolution,
+    ctgs: &[Contingency],
+    n_workers: usize,
+    limits: &Limits,
+) -> SweepReport {
+    assert!(n_workers > 0, "need at least one worker");
+    let rat = ratings(net, base, limits);
+    let counter = AtomicUsize::new(0);
+    let wall0 = Instant::now();
+    let per_worker: Vec<(Vec<(usize, CtgResult)>, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                let counter = &counter;
+                let rat = &rat;
+                scope.spawn(move || {
+                    let t0 = Instant::now();
+                    let mut out = Vec::new();
+                    loop {
+                        let i = counter.fetch_add(1, Ordering::Relaxed);
+                        if i >= ctgs.len() {
+                            break;
+                        }
+                        out.push((i, analyze_one(net, ctgs[i], rat, limits)));
+                    }
+                    (out, t0.elapsed())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    assemble_report(per_worker, ctgs.len(), wall0.elapsed())
+}
+
+fn assemble_report(
+    per_worker: Vec<(Vec<(usize, CtgResult)>, Duration)>,
+    n_cases: usize,
+    wall: Duration,
+) -> SweepReport {
+    let mut slots: Vec<Option<CtgResult>> = vec![None; n_cases];
+    let mut tasks_per_worker = Vec::with_capacity(per_worker.len());
+    let mut busy_per_worker = Vec::with_capacity(per_worker.len());
+    for (cases, busy) in per_worker {
+        tasks_per_worker.push(cases.len());
+        busy_per_worker.push(busy);
+        for (i, r) in cases {
+            slots[i] = Some(r);
+        }
+    }
+    SweepReport {
+        results: slots.into_iter().map(|s| s.expect("every case analyzed")).collect(),
+        tasks_per_worker,
+        busy_per_worker,
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgse_grid::cases::{ieee118_like, ieee14};
+
+    fn base(net: &Network) -> PfSolution {
+        solve(net, &PfOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn screening_excludes_islanding_outages() {
+        let net = ieee14();
+        let ctgs = screen(&net);
+        // Branch 13 (7-8) is bus 8's only connection: its outage islands.
+        assert!(!ctgs.contains(&Contingency::BranchOutage(13)));
+        assert!(ctgs.len() < net.n_branches());
+        assert!(ctgs.len() >= net.n_branches() - 3);
+    }
+
+    #[test]
+    fn base_case_within_its_own_ratings() {
+        let net = ieee14();
+        let b = base(&net);
+        let limits = Limits::default();
+        let rat = ratings(&net, &b, &limits);
+        for (k, f) in b.flows.iter().enumerate() {
+            let s = (f.p_from * f.p_from + f.q_from * f.q_from).sqrt();
+            assert!(s <= rat[k] + 1e-12, "branch {k}");
+        }
+    }
+
+    #[test]
+    fn single_outage_analysis_runs() {
+        let net = ieee14();
+        let b = base(&net);
+        let limits = Limits::default();
+        let rat = ratings(&net, &b, &limits);
+        let r = analyze_one(&net, Contingency::BranchOutage(0), &rat, &limits);
+        assert!(r.converged);
+        assert!(r.iterations > 0);
+    }
+
+    #[test]
+    fn tight_ratings_flag_overloads() {
+        // With ratings barely above base flows, losing a heavy line must
+        // overload its parallel paths.
+        let net = ieee14();
+        let b = base(&net);
+        let limits = Limits { rating_factor: 1.05, rating_floor: 0.01, ..Limits::default() };
+        let rat = ratings(&net, &b, &limits);
+        // Outage of branch 0 (the 1-2 line carrying most slack output).
+        let r = analyze_one(&net, Contingency::BranchOutage(0), &rat, &limits);
+        assert!(r.is_insecure(), "heavy-line outage must violate tight ratings");
+        assert!(r.violations.iter().any(|v| matches!(v, Violation::Overload { .. })));
+    }
+
+    #[test]
+    fn static_and_dynamic_schemes_agree_on_results() {
+        let net = ieee14();
+        let b = base(&net);
+        let limits = Limits::default();
+        let ctgs = screen(&net);
+        let s = run_static(&net, &b, &ctgs, 3, &limits);
+        let d = run_dynamic(&net, &b, &ctgs, 3, &limits);
+        assert_eq!(s.results.len(), d.results.len());
+        for (a, b) in s.results.iter().zip(&d.results) {
+            assert_eq!(a.contingency, b.contingency);
+            assert_eq!(a.converged, b.converged);
+            assert_eq!(a.violations, b.violations);
+        }
+        assert_eq!(s.tasks_per_worker.iter().sum::<usize>(), ctgs.len());
+        assert_eq!(d.tasks_per_worker.iter().sum::<usize>(), ctgs.len());
+    }
+
+    #[test]
+    fn dynamic_scheme_distributes_work() {
+        let net = ieee118_like();
+        let b = base(&net);
+        let limits = Limits::default();
+        let ctgs: Vec<Contingency> = screen(&net).into_iter().take(40).collect();
+        let d = run_dynamic(&net, &b, &ctgs, 4, &limits);
+        // Every worker claimed at least one case, none claimed everything.
+        assert!(d.tasks_per_worker.iter().all(|&t| t > 0), "{:?}", d.tasks_per_worker);
+        assert!(d.tasks_per_worker.iter().all(|&t| t < ctgs.len()));
+        assert!(d.imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn single_worker_processes_everything() {
+        let net = ieee14();
+        let b = base(&net);
+        let ctgs = screen(&net);
+        let r = run_static(&net, &b, &ctgs, 1, &Limits::default());
+        assert_eq!(r.tasks_per_worker, vec![ctgs.len()]);
+        assert!(r.imbalance() - 1.0 < 1e-9);
+    }
+}

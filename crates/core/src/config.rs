@@ -1,0 +1,74 @@
+//! Prototype configuration.
+
+use pgse_dse::DecompositionOptions;
+use pgse_estimation::telemetry::NoiseProcess;
+use pgse_estimation::wls::WlsOptions;
+use pgse_partition::kway::KwayOptions;
+use pgse_partition::repartition::RepartitionOptions;
+
+/// How state estimators coordinate (paper Fig. 1 supports both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordinationMode {
+    /// Peer-to-peer exchange between neighbouring estimators
+    /// (decentralized DSE — the paper's focus, after [5]).
+    Decentralized,
+    /// All exchange goes through a central coordinator (hierarchical state
+    /// estimation — today's industry structure).
+    Hierarchical,
+}
+
+/// Configuration of a [`crate::SystemPrototype`].
+#[derive(Debug, Clone)]
+pub struct PrototypeConfig {
+    /// Number of HPC clusters; `3` reproduces the paper's testbed.
+    pub n_clusters: usize,
+    /// Coordination structure.
+    pub mode: CoordinationMode,
+    /// The time-frame noise process `x = f(δt)`.
+    pub noise: NoiseProcess,
+    /// WLS solver settings for every estimator.
+    pub wls: WlsOptions,
+    /// Preliminary-step settings.
+    pub decomposition: DecompositionOptions,
+    /// Multilevel partitioner settings (before Step 1).
+    pub kway: KwayOptions,
+    /// Adaptive repartitioner settings (before Step 2).
+    pub repartition: RepartitionOptions,
+    /// Iteration-model slope `g1` (paper §IV-B.2; 14-bus empirical value).
+    pub g1: f64,
+    /// Iteration-model intercept `g2`.
+    pub g2: f64,
+    /// Middleware relay rate in bytes/second (paper measured ≈ 0.4 GB/s).
+    pub relay_rate: f64,
+}
+
+impl Default for PrototypeConfig {
+    fn default() -> Self {
+        PrototypeConfig {
+            n_clusters: 3,
+            mode: CoordinationMode::Decentralized,
+            noise: NoiseProcess::default(),
+            wls: WlsOptions::default(),
+            decomposition: DecompositionOptions::default(),
+            kway: KwayOptions::default(),
+            repartition: RepartitionOptions::default(),
+            g1: 3.7579,
+            g2: 5.2464,
+            relay_rate: pgse_medici::throttle::PAPER_RELAY_RATE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_testbed() {
+        let c = PrototypeConfig::default();
+        assert_eq!(c.n_clusters, 3);
+        assert_eq!(c.mode, CoordinationMode::Decentralized);
+        assert!((c.g1 - 3.7579).abs() < 1e-12);
+        assert!((c.relay_rate - 0.4e9).abs() < 1.0);
+    }
+}

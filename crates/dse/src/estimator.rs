@@ -1,0 +1,423 @@
+//! One subsystem's state estimator: local telemetry, Step 1, Step 2.
+
+use pgse_estimation::jacobian::StateSpace;
+use pgse_estimation::measurement::{FlowSide, Measurement, MeasurementKind, MeasurementSet};
+use pgse_estimation::telemetry::{SigmaSet, TelemetryPlan};
+use pgse_estimation::wls::{WlsError, WlsEstimator, WlsOptions};
+use pgse_grid::{Branch, Network, Ybus};
+use pgse_powerflow::equations::{branch_flows, bus_injections};
+use pgse_powerflow::{PfSolution, BranchFlow};
+
+use crate::decomposition::AreaInfo;
+use crate::pseudo::PseudoMeasurement;
+
+/// A subsystem's estimation result (local bus indexing, global frame).
+#[derive(Debug, Clone)]
+pub struct AreaSolution {
+    /// Estimated voltage magnitudes per local bus.
+    pub vm: Vec<f64>,
+    /// Estimated voltage angles per local bus.
+    pub va: Vec<f64>,
+    /// Gauss–Newton iterations the solve took (the paper's `Ni`).
+    pub iterations: usize,
+    /// WLS objective at the solution.
+    pub objective: f64,
+}
+
+/// One incident tie line as seen from this area.
+#[derive(Debug, Clone)]
+struct IncidentTie {
+    /// Branch index in the *extended* network.
+    ext_branch: usize,
+    /// Which side of that branch is metered (the local end).
+    side: FlowSide,
+    /// True flows at the metered side (from the global operating point).
+    truth_p: f64,
+    truth_q: f64,
+}
+
+/// A state estimator bound to one subsystem.
+///
+/// Holds two models: the local subnet (Step 1) and the one-hop extension
+/// with neighbour boundary buses and tie lines (Step 2).
+pub struct AreaEstimator {
+    /// The preliminary-step description of this area.
+    pub info: AreaInfo,
+    /// Local ground truth sampled from the global power flow.
+    truth: PfSolution,
+    /// Step-1 telemetry plan.
+    plan: TelemetryPlan,
+    /// Step-1 estimator (local subnet, PMU-anchored full state space).
+    step1_est: WlsEstimator,
+    /// Step-2 estimator on the extended network.
+    step2_est: WlsEstimator,
+    /// Extended-network bus count and mapping: global id → extended local
+    /// index for the appended neighbour buses.
+    ext_of_global: std::collections::HashMap<usize, usize>,
+    /// Incident tie lines (metered at the local end).
+    ties: Vec<IncidentTie>,
+}
+
+impl AreaEstimator {
+    /// Builds the estimator for `info` against the global network and its
+    /// solved operating point.
+    pub fn new(
+        info: AreaInfo,
+        global_net: &Network,
+        global_pf: &PfSolution,
+        wls: WlsOptions,
+    ) -> Self {
+        let subnet = info.subnet.clone();
+        let n_local = subnet.n_buses();
+
+        // Local ground truth: voltages are slices of the global solution;
+        // injections/flows are recomputed on the *local* model so internal
+        // measurements are exactly consistent with it.
+        let vm: Vec<f64> = info.global_ids.iter().map(|&g| global_pf.vm[g]).collect();
+        let va: Vec<f64> = info.global_ids.iter().map(|&g| global_pf.va[g]).collect();
+        let local_ybus = Ybus::new(&subnet);
+        let (p_inj, q_inj) = bus_injections(&local_ybus, &vm, &va);
+        let flows: Vec<BranchFlow> = branch_flows(&subnet, &vm, &va);
+        let truth = PfSolution {
+            vm: vm.clone(),
+            va: va.clone(),
+            p_inj,
+            q_inj,
+            flows,
+            iterations: 0,
+            mismatch: 0.0,
+        };
+
+        // Step-1 telemetry: V everywhere, injections at *internal* buses
+        // only (boundary injections involve tie-line flows outside the
+        // local model), flows on every internal branch, PMU at the sites.
+        let internal: Vec<usize> =
+            (0..n_local).filter(|i| !info.boundary.contains(i)).collect();
+        let plan = TelemetryPlan {
+            vmag_all: true,
+            injection_buses: internal,
+            flow_branches_from: (0..subnet.n_branches()).collect(),
+            flow_branches_to: Vec::new(),
+            pmu_buses: info.pmu_sites.clone(),
+            sigmas: SigmaSet::default(),
+        };
+
+        // Extended network: subnet + neighbour endpoints of incident ties.
+        let mut ext_net = subnet.clone();
+        let mut ext_of_global = std::collections::HashMap::new();
+        let mut local_of_global = std::collections::HashMap::new();
+        for (l, &g) in info.global_ids.iter().enumerate() {
+            local_of_global.insert(g, l);
+        }
+        let mut ties = Vec::new();
+        let ext_flows_truth = branch_flows(global_net, &global_pf.vm, &global_pf.va);
+        for (k, br) in global_net.branches.iter().enumerate() {
+            let a_from = global_net.buses[br.from].area;
+            let a_to = global_net.buses[br.to].area;
+            if a_from == a_to || (a_from != info.area && a_to != info.area) {
+                continue;
+            }
+            let (local_g, remote_g) =
+                if a_from == info.area { (br.from, br.to) } else { (br.to, br.from) };
+            let ext_remote = *ext_of_global.entry(remote_g).or_insert_with(|| {
+                let idx = ext_net.buses.len();
+                let mut bus = global_net.buses[remote_g].clone();
+                bus.area = 1; // mark as foreign in the extended model
+                ext_net.buses.push(bus);
+                idx
+            });
+            // Preserve the branch's electrical orientation.
+            let (ext_from, ext_to, side) = if a_from == info.area {
+                (local_of_global[&local_g], ext_remote, FlowSide::From)
+            } else {
+                (ext_remote, local_of_global[&local_g], FlowSide::To)
+            };
+            let ext_branch = ext_net.branches.len();
+            ext_net.branches.push(Branch { from: ext_from, to: ext_to, ..br.clone() });
+            let (truth_p, truth_q) = match side {
+                FlowSide::From => (ext_flows_truth[k].p_from, ext_flows_truth[k].q_from),
+                FlowSide::To => (ext_flows_truth[k].p_to, ext_flows_truth[k].q_to),
+            };
+            ties.push(IncidentTie { ext_branch, side, truth_p, truth_q });
+        }
+
+        let step1_est =
+            WlsEstimator::new(subnet, StateSpace::full(n_local), wls);
+        let ext_n = ext_net.n_buses();
+        let step2_est = WlsEstimator::new(ext_net, StateSpace::full(ext_n), wls);
+        AreaEstimator { info, truth, plan, step1_est, step2_est, ext_of_global, ties }
+    }
+
+    /// The local ground truth (testing and error metrics).
+    pub fn truth(&self) -> &PfSolution {
+        &self.truth
+    }
+
+    /// Generates this area's telemetry scan for one time frame.
+    pub fn generate_telemetry(&self, noise_level: f64, seed: u64) -> MeasurementSet {
+        self.plan.generate(
+            self.step1_est.network(),
+            &self.truth,
+            noise_level,
+            seed ^ (self.info.area as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
+        )
+    }
+
+    /// DSE Step 1: local WLS on the area's own measurements.
+    ///
+    /// # Errors
+    /// Propagates WLS failures (unobservable area, solver breakdown).
+    pub fn step1(&self, set: &MeasurementSet) -> Result<AreaSolution, WlsError> {
+        let est = self.step1_est.estimate(set)?;
+        Ok(AreaSolution {
+            vm: est.vm,
+            va: est.va,
+            iterations: est.iterations,
+            objective: est.objective,
+        })
+    }
+
+    /// Exports the boundary/sensitive solutions as pseudo measurements.
+    pub fn export_pseudo(&self, sol: &AreaSolution) -> Vec<PseudoMeasurement> {
+        self.info
+            .exported_buses()
+            .into_iter()
+            .map(|l| PseudoMeasurement {
+                from_area: self.info.area,
+                global_bus: self.info.global_ids[l],
+                vm: sol.vm[l],
+                va: sol.va[l],
+                sigma_vm: 0.003,
+                sigma_va: 0.002,
+            })
+            .collect()
+    }
+
+    /// DSE Step 2: re-evaluates the boundary and sensitive states using the
+    /// local measurements plus the neighbours' pseudo measurements on the
+    /// one-hop-extended model. Buses outside the re-evaluated set keep
+    /// their Step-1 solution.
+    ///
+    /// # Errors
+    /// Propagates WLS failures.
+    pub fn step2(
+        &self,
+        step1: &AreaSolution,
+        neighbor_pseudo: &[PseudoMeasurement],
+        local_set: &MeasurementSet,
+        noise_level: f64,
+        seed: u64,
+    ) -> Result<AreaSolution, WlsError> {
+        // Local measurements re-index unchanged: the extension appends
+        // buses and branches after the local ones.
+        let mut set: MeasurementSet = local_set.as_slice().iter().copied().collect();
+        // Tie-line flow telemetry at the local ends.
+        let mut rng_state = seed
+            ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(self.info.area as u64 + 1);
+        let mut gauss = move || {
+            // xorshift-based deterministic noise, adequate for σ-scaled
+            // measurement perturbations.
+            let mut x = rng_state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            rng_state = x;
+            let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+            let mut y = rng_state;
+            y ^= y << 13;
+            y ^= y >> 7;
+            y ^= y << 17;
+            rng_state = y;
+            let v = (y >> 11) as f64 / (1u64 << 53) as f64;
+            (-2.0 * u.max(1e-12).ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos()
+        };
+        let sig_flow = SigmaSet::default().flow * noise_level;
+        for tie in &self.ties {
+            set.push(Measurement::new(
+                MeasurementKind::Pflow { branch: tie.ext_branch, side: tie.side },
+                tie.truth_p + sig_flow * gauss(),
+                sig_flow,
+            ));
+            set.push(Measurement::new(
+                MeasurementKind::Qflow { branch: tie.ext_branch, side: tie.side },
+                tie.truth_q + sig_flow * gauss(),
+                sig_flow,
+            ));
+        }
+        // Neighbour pseudo measurements at the appended buses.
+        for p in neighbor_pseudo {
+            if let Some(&ext) = self.ext_of_global.get(&p.global_bus) {
+                set.push(Measurement::new(MeasurementKind::Vmag { bus: ext }, p.vm, p.sigma_vm));
+                set.push(Measurement::new(
+                    MeasurementKind::PmuAngle { bus: ext },
+                    p.va,
+                    p.sigma_va,
+                ));
+            }
+        }
+
+        // Warm-start the extended solve from Step 1 + the pseudo values.
+        let ext_n = self.step2_est.network().n_buses();
+        let mut vm0 = vec![1.0; ext_n];
+        let mut va0 = vec![0.0; ext_n];
+        vm0[..step1.vm.len()].copy_from_slice(&step1.vm);
+        va0[..step1.va.len()].copy_from_slice(&step1.va);
+        for p in neighbor_pseudo {
+            if let Some(&ext) = self.ext_of_global.get(&p.global_bus) {
+                vm0[ext] = p.vm;
+                va0[ext] = p.va;
+            }
+        }
+        let est = self.step2_est.estimate_from(&set, Some((&vm0, &va0)))?;
+
+        // Merge: re-evaluated buses take the Step-2 values.
+        let mut vm = step1.vm.clone();
+        let mut va = step1.va.clone();
+        for l in self.info.exported_buses() {
+            vm[l] = est.vm[l];
+            va[l] = est.va[l];
+        }
+        Ok(AreaSolution {
+            vm,
+            va,
+            iterations: est.iterations,
+            objective: est.objective,
+        })
+    }
+
+    /// Number of extended (foreign) buses in the Step-2 model.
+    pub fn n_foreign_buses(&self) -> usize {
+        self.ext_of_global.len()
+    }
+
+    /// Number of incident tie lines.
+    pub fn n_ties(&self) -> usize {
+        self.ties.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::{decompose, DecompositionOptions};
+    use pgse_grid::cases::ieee118_like;
+    use pgse_powerflow::{solve, PfOptions};
+
+    fn setup() -> (pgse_grid::Network, PfSolution, crate::decomposition::Decomposition) {
+        let net = ieee118_like();
+        let pf = solve(&net, &PfOptions::default()).unwrap();
+        let d = decompose(&net, &DecompositionOptions::default());
+        (net, pf, d)
+    }
+
+    #[test]
+    fn step1_recovers_local_state() {
+        let (net, pf, d) = setup();
+        let est = AreaEstimator::new(d.areas[0].clone(), &net, &pf, WlsOptions::default());
+        // Tiny noise: Step 1 must land very near the truth.
+        let set = est.generate_telemetry(0.05, 7);
+        let sol = est.step1(&set).unwrap();
+        for (l, &g) in est.info.global_ids.iter().enumerate() {
+            assert!((sol.vm[l] - pf.vm[g]).abs() < 5e-3, "vm bus {g}");
+            assert!((sol.va[l] - pf.va[g]).abs() < 5e-3, "va bus {g}");
+        }
+    }
+
+    #[test]
+    fn every_area_is_locally_observable() {
+        let (net, pf, d) = setup();
+        for info in &d.areas {
+            let est = AreaEstimator::new(info.clone(), &net, &pf, WlsOptions::default());
+            let set = est.generate_telemetry(1.0, 3);
+            let sol = est.step1(&set);
+            assert!(sol.is_ok(), "area {} failed: {:?}", info.area, sol.err());
+        }
+    }
+
+    #[test]
+    fn exported_pseudo_covers_gs_buses() {
+        let (net, pf, d) = setup();
+        let est = AreaEstimator::new(d.areas[2].clone(), &net, &pf, WlsOptions::default());
+        let set = est.generate_telemetry(1.0, 1);
+        let sol = est.step1(&set).unwrap();
+        let pseudo = est.export_pseudo(&sol);
+        assert_eq!(pseudo.len(), est.info.gs());
+        for p in &pseudo {
+            assert_eq!(p.from_area, 2);
+            assert!(est.info.global_ids.contains(&p.global_bus));
+        }
+    }
+
+    #[test]
+    fn step2_improves_boundary_accuracy() {
+        let (net, pf, d) = setup();
+        let estimators: Vec<AreaEstimator> = d
+            .areas
+            .iter()
+            .map(|a| AreaEstimator::new(a.clone(), &net, &pf, WlsOptions::default()))
+            .collect();
+        let noise = 1.0;
+        let sets: Vec<MeasurementSet> =
+            estimators.iter().map(|e| e.generate_telemetry(noise, 11)).collect();
+        let step1: Vec<AreaSolution> =
+            estimators.iter().zip(&sets).map(|(e, s)| e.step1(s).unwrap()).collect();
+        let all_pseudo: Vec<Vec<PseudoMeasurement>> = estimators
+            .iter()
+            .zip(&step1)
+            .map(|(e, s)| e.export_pseudo(s))
+            .collect();
+
+        // Area 4 (the best-connected) re-evaluates with its neighbours'
+        // pseudo data.
+        let a = 4usize;
+        let mut inbox = Vec::new();
+        for &nb in &estimators[a].info.neighbors {
+            inbox.extend(all_pseudo[nb].iter().copied());
+        }
+        let s2 = estimators[a].step2(&step1[a], &inbox, &sets[a], noise, 13).unwrap();
+
+        let err = |sol: &AreaSolution| -> f64 {
+            estimators[a]
+                .info
+                .boundary
+                .iter()
+                .map(|&l| {
+                    let g = estimators[a].info.global_ids[l];
+                    (sol.va[l] - pf.va[g]).abs() + (sol.vm[l] - pf.vm[g]).abs()
+                })
+                .sum()
+        };
+        let e1 = err(&step1[a]);
+        let e2 = err(&s2);
+        // Step 2 must not blow up the boundary solution, and typically
+        // tightens it (extra redundancy from ties + neighbours).
+        assert!(e2 <= e1 * 1.5 + 1e-4, "step2 {e2} vs step1 {e1}");
+        // Internal non-exported buses are untouched.
+        for l in 0..step1[a].vm.len() {
+            if !estimators[a].info.exported_buses().contains(&l) {
+                assert_eq!(s2.vm[l], step1[a].vm[l]);
+            }
+        }
+    }
+
+    #[test]
+    fn extended_model_has_foreign_buses_and_ties() {
+        let (net, pf, d) = setup();
+        for info in &d.areas {
+            let est = AreaEstimator::new(info.clone(), &net, &pf, WlsOptions::default());
+            assert!(est.n_ties() > 0, "area {}", info.area);
+            assert!(est.n_foreign_buses() > 0, "area {}", info.area);
+            assert!(est.n_foreign_buses() <= est.n_ties());
+        }
+    }
+
+    #[test]
+    fn telemetry_is_deterministic_per_seed() {
+        let (net, pf, d) = setup();
+        let est = AreaEstimator::new(d.areas[1].clone(), &net, &pf, WlsOptions::default());
+        assert_eq!(
+            est.generate_telemetry(1.0, 5).values(),
+            est.generate_telemetry(1.0, 5).values()
+        );
+    }
+}

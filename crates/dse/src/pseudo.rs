@@ -1,0 +1,86 @@
+//! Pseudo measurements — the data neighbours exchange in DSE Step 2.
+//!
+//! "The solutions of the boundary buses and sensitive internal buses from
+//! neighboring subsystems are considered as pseudo measurements" (§II,
+//! Step 2). A pseudo measurement is a neighbour's estimated voltage phasor
+//! at one of its exported buses, tagged with the accuracy the estimate
+//! carries. The type serializes to JSON so `pgse-core` can ship it through
+//! the MeDICi pipelines byte-for-byte.
+
+use serde::{Deserialize, Serialize};
+
+/// One exported bus solution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PseudoMeasurement {
+    /// Area that produced the estimate.
+    pub from_area: usize,
+    /// Global bus index the estimate describes.
+    pub global_bus: usize,
+    /// Estimated voltage magnitude (p.u.).
+    pub vm: f64,
+    /// Estimated voltage angle (radians, global PMU frame).
+    pub va: f64,
+    /// Standard deviation assigned to the magnitude pseudo measurement.
+    pub sigma_vm: f64,
+    /// Standard deviation assigned to the angle pseudo measurement.
+    pub sigma_va: f64,
+}
+
+/// Serializes a batch of pseudo measurements for the wire.
+pub fn to_wire(batch: &[PseudoMeasurement]) -> Vec<u8> {
+    serde_json::to_vec(batch).expect("pseudo measurements serialize")
+}
+
+/// Parses a batch of pseudo measurements off the wire.
+///
+/// # Errors
+/// Returns the JSON error on malformed input.
+pub fn from_wire(bytes: &[u8]) -> Result<Vec<PseudoMeasurement>, serde_json::Error> {
+    serde_json::from_slice(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<PseudoMeasurement> {
+        vec![
+            PseudoMeasurement {
+                from_area: 3,
+                global_bus: 41,
+                vm: 1.021,
+                va: -0.113,
+                sigma_vm: 0.003,
+                sigma_va: 0.002,
+            },
+            PseudoMeasurement {
+                from_area: 3,
+                global_bus: 44,
+                vm: 0.997,
+                va: -0.125,
+                sigma_vm: 0.003,
+                sigma_va: 0.002,
+            },
+        ]
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let batch = sample();
+        let bytes = to_wire(&batch);
+        let back = from_wire(&bytes).unwrap();
+        assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn malformed_wire_is_an_error() {
+        assert!(from_wire(b"not json").is_err());
+    }
+
+    #[test]
+    fn wire_size_is_linear_in_count() {
+        let one = to_wire(&sample()[..1]).len();
+        let two = to_wire(&sample()).len();
+        assert!(two > one && two < 3 * one);
+    }
+}

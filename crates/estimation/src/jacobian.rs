@@ -1,0 +1,290 @@
+//! State space, `h(x)` evaluation, and sparse Jacobian assembly.
+//!
+//! The state is the polar voltage at every bus: angles `θ` and magnitudes
+//! `V`. Two reference conventions are supported:
+//!
+//! * **Slack-referenced** ([`StateSpace::with_reference`]): one bus angle is
+//!   fixed (classical centralized SE);
+//! * **PMU-referenced** ([`StateSpace::full`]): all angles are unknowns and
+//!   synchronized PMU angle measurements anchor the frame — the convention
+//!   the distributed estimator relies on (Jiang et al. [5]).
+
+use pgse_grid::{BranchAdmittance, Network, Ybus};
+use pgse_powerflow::equations::{
+    branch_flows, bus_injections, from_flow_derivatives, injection_derivatives,
+};
+use pgse_sparsela::{Coo, Csr};
+
+use crate::measurement::{FlowSide, MeasurementKind, MeasurementSet};
+
+/// Maps bus angles/magnitudes to positions in the state vector.
+#[derive(Debug, Clone)]
+pub struct StateSpace {
+    n: usize,
+    /// Angle-variable position per bus; `usize::MAX` for the reference bus.
+    th_pos: Vec<usize>,
+    /// Magnitude-variable position per bus.
+    v_pos: Vec<usize>,
+    /// The fixed-angle reference bus, if any.
+    ref_bus: Option<usize>,
+    dim: usize,
+}
+
+impl StateSpace {
+    /// All angles and magnitudes unknown (PMU-anchored frame).
+    pub fn full(n: usize) -> Self {
+        let th_pos: Vec<usize> = (0..n).collect();
+        let v_pos: Vec<usize> = (n..2 * n).collect();
+        StateSpace { n, th_pos, v_pos, ref_bus: None, dim: 2 * n }
+    }
+
+    /// Angle at `ref_bus` fixed to zero; all other angles and every
+    /// magnitude unknown.
+    pub fn with_reference(n: usize, ref_bus: usize) -> Self {
+        assert!(ref_bus < n, "reference bus out of range");
+        let mut th_pos = vec![usize::MAX; n];
+        let mut k = 0usize;
+        for (i, pos) in th_pos.iter_mut().enumerate() {
+            if i != ref_bus {
+                *pos = k;
+                k += 1;
+            }
+        }
+        let v_pos: Vec<usize> = (k..k + n).collect();
+        StateSpace { n, th_pos, v_pos, ref_bus: Some(ref_bus), dim: 2 * n - 1 }
+    }
+
+    /// Number of buses.
+    pub fn n_buses(&self) -> usize {
+        self.n
+    }
+
+    /// State dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The fixed-angle reference bus, if any.
+    pub fn ref_bus(&self) -> Option<usize> {
+        self.ref_bus
+    }
+
+    /// State-vector position of bus `i`'s angle, if it is a variable.
+    pub fn angle_pos(&self, i: usize) -> Option<usize> {
+        let p = self.th_pos[i];
+        (p != usize::MAX).then_some(p)
+    }
+
+    /// State-vector position of bus `i`'s magnitude.
+    pub fn mag_pos(&self, i: usize) -> usize {
+        self.v_pos[i]
+    }
+
+    /// Applies the update `x ← x + Δx` onto the voltage profile.
+    pub fn apply_update(&self, dx: &[f64], vm: &mut [f64], va: &mut [f64]) {
+        debug_assert_eq!(dx.len(), self.dim);
+        for i in 0..self.n {
+            if let Some(p) = self.angle_pos(i) {
+                va[i] += dx[p];
+            }
+            vm[i] += dx[self.v_pos[i]];
+        }
+    }
+}
+
+/// Evaluates `h(x)`: the model-predicted value of each measurement at the
+/// voltage profile `(vm, va)`.
+pub fn evaluate_h(
+    net: &Network,
+    ybus: &Ybus,
+    set: &MeasurementSet,
+    vm: &[f64],
+    va: &[f64],
+) -> Vec<f64> {
+    let (p, q) = bus_injections(ybus, vm, va);
+    let flows = branch_flows(net, vm, va);
+    set.as_slice()
+        .iter()
+        .map(|m| match m.kind {
+            MeasurementKind::Vmag { bus } | MeasurementKind::PmuVmag { bus } => vm[bus],
+            MeasurementKind::PmuAngle { bus } => va[bus],
+            MeasurementKind::Pinj { bus } => p[bus],
+            MeasurementKind::Qinj { bus } => q[bus],
+            MeasurementKind::Pflow { branch, side } => match side {
+                FlowSide::From => flows[branch].p_from,
+                FlowSide::To => flows[branch].p_to,
+            },
+            MeasurementKind::Qflow { branch, side } => match side {
+                FlowSide::From => flows[branch].q_from,
+                FlowSide::To => flows[branch].q_to,
+            },
+        })
+        .collect()
+}
+
+/// Assembles the sparse measurement Jacobian `H = ∂h/∂x` at `(vm, va)`.
+pub fn assemble_jacobian(
+    net: &Network,
+    ybus: &Ybus,
+    set: &MeasurementSet,
+    space: &StateSpace,
+    vm: &[f64],
+    va: &[f64],
+) -> Csr {
+    let (p, q) = bus_injections(ybus, vm, va);
+    let mut coo = Coo::with_capacity(set.len(), space.dim(), 8 * set.len());
+
+    let push_angle = |coo: &mut Coo, row: usize, bus: usize, v: f64| {
+        if let Some(col) = space.angle_pos(bus) {
+            coo.push(row, col, v);
+        }
+    };
+
+    for (row, m) in set.as_slice().iter().enumerate() {
+        match m.kind {
+            MeasurementKind::Vmag { bus } | MeasurementKind::PmuVmag { bus } => {
+                coo.push(row, space.mag_pos(bus), 1.0);
+            }
+            MeasurementKind::PmuAngle { bus } => {
+                push_angle(&mut coo, row, bus, 1.0);
+            }
+            MeasurementKind::Pinj { bus } | MeasurementKind::Qinj { bus } => {
+                let is_p = matches!(m.kind, MeasurementKind::Pinj { .. });
+                let (cols, _) = ybus.row(bus);
+                for &j in cols {
+                    let (dp_dth, dp_dv, dq_dth, dq_dv) =
+                        injection_derivatives(ybus, vm, va, p[bus], q[bus], bus, j);
+                    let (dth, dv) = if is_p { (dp_dth, dp_dv) } else { (dq_dth, dq_dv) };
+                    push_angle(&mut coo, row, j, dth);
+                    coo.push(row, space.mag_pos(j), dv);
+                }
+            }
+            MeasurementKind::Pflow { branch, side } | MeasurementKind::Qflow { branch, side } => {
+                let is_p = matches!(m.kind, MeasurementKind::Pflow { .. });
+                let br = &net.branches[branch];
+                let y = BranchAdmittance::of(br);
+                // The to side is the from side of the reversed two-port.
+                let (yy, f, t) = match side {
+                    FlowSide::From => (y, br.from, br.to),
+                    FlowSide::To => (
+                        BranchAdmittance { yff: y.ytt, yft: y.ytf, ytf: y.yft, ytt: y.yff },
+                        br.to,
+                        br.from,
+                    ),
+                };
+                let (dp, dq) = from_flow_derivatives(&yy, vm[f], vm[t], va[f] - va[t]);
+                let d = if is_p { dp } else { dq };
+                push_angle(&mut coo, row, f, d[0]);
+                coo.push(row, space.mag_pos(f), d[1]);
+                push_angle(&mut coo, row, t, d[2]);
+                coo.push(row, space.mag_pos(t), d[3]);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::Measurement;
+    use pgse_grid::cases::ieee14;
+
+    fn profile(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let vm: Vec<f64> = (0..n).map(|i| 1.0 + 0.03 * ((i as f64) * 0.9).sin()).collect();
+        let va: Vec<f64> = (0..n).map(|i| 0.04 * ((i as f64) * 1.1).cos()).collect();
+        (vm, va)
+    }
+
+    fn all_kinds_set() -> MeasurementSet {
+        [
+            Measurement::new(MeasurementKind::Vmag { bus: 3 }, 1.0, 0.004),
+            Measurement::new(MeasurementKind::PmuVmag { bus: 0 }, 1.0, 0.002),
+            Measurement::new(MeasurementKind::PmuAngle { bus: 0 }, 0.0, 0.001),
+            Measurement::new(MeasurementKind::Pinj { bus: 4 }, 0.0, 0.01),
+            Measurement::new(MeasurementKind::Qinj { bus: 8 }, 0.0, 0.01),
+            Measurement::new(MeasurementKind::Pflow { branch: 2, side: FlowSide::From }, 0.0, 0.008),
+            Measurement::new(MeasurementKind::Pflow { branch: 2, side: FlowSide::To }, 0.0, 0.008),
+            Measurement::new(MeasurementKind::Qflow { branch: 9, side: FlowSide::From }, 0.0, 0.008),
+            Measurement::new(MeasurementKind::Qflow { branch: 9, side: FlowSide::To }, 0.0, 0.008),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn state_space_dimensions() {
+        let full = StateSpace::full(14);
+        assert_eq!(full.dim(), 28);
+        assert_eq!(full.angle_pos(0), Some(0));
+        let refd = StateSpace::with_reference(14, 0);
+        assert_eq!(refd.dim(), 27);
+        assert_eq!(refd.angle_pos(0), None);
+        assert_eq!(refd.angle_pos(1), Some(0));
+        assert_eq!(refd.mag_pos(0), 13);
+    }
+
+    #[test]
+    fn apply_update_respects_reference() {
+        let space = StateSpace::with_reference(3, 1);
+        let mut vm = vec![1.0; 3];
+        let mut va = vec![0.0; 3];
+        let dx = vec![0.01, 0.02, 0.1, 0.2, 0.3];
+        space.apply_update(&dx, &mut vm, &mut va);
+        assert_eq!(va, vec![0.01, 0.0, 0.02]);
+        assert_eq!(vm, vec![1.1, 1.2, 1.3]);
+    }
+
+    #[test]
+    fn jacobian_matches_finite_differences() {
+        let net = ieee14();
+        let ybus = Ybus::new(&net);
+        let set = all_kinds_set();
+        let space = StateSpace::full(14);
+        let (vm, va) = profile(14);
+        let h0 = evaluate_h(&net, &ybus, &set, &vm, &va);
+        let jac = assemble_jacobian(&net, &ybus, &set, &space, &vm, &va);
+        let eps = 1e-6;
+        for col in 0..space.dim() {
+            let mut vmp = vm.clone();
+            let mut vap = va.clone();
+            let mut dx = vec![0.0; space.dim()];
+            dx[col] = eps;
+            space.apply_update(&dx, &mut vmp, &mut vap);
+            let hp = evaluate_h(&net, &ybus, &set, &vmp, &vap);
+            for row in 0..set.len() {
+                let fd = (hp[row] - h0[row]) / eps;
+                let an = jac.get(row, col);
+                assert!(
+                    (fd - an).abs() < 1e-4 * an.abs().max(1.0),
+                    "H[{row}][{col}]: fd {fd} vs analytic {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_column_is_absent() {
+        let net = ieee14();
+        let ybus = Ybus::new(&net);
+        let set = all_kinds_set();
+        let space = StateSpace::with_reference(14, 0);
+        let (vm, va) = profile(14);
+        let jac = assemble_jacobian(&net, &ybus, &set, &space, &vm, &va);
+        assert_eq!(jac.ncols(), 27);
+        assert_eq!(jac.nrows(), set.len());
+    }
+
+    #[test]
+    fn direct_measurements_have_unit_rows() {
+        let net = ieee14();
+        let ybus = Ybus::new(&net);
+        let set: MeasurementSet =
+            [Measurement::new(MeasurementKind::Vmag { bus: 5 }, 1.0, 0.01)].into_iter().collect();
+        let space = StateSpace::full(14);
+        let (vm, va) = profile(14);
+        let jac = assemble_jacobian(&net, &ybus, &set, &space, &vm, &va);
+        assert_eq!(jac.nnz(), 1);
+        assert_eq!(jac.get(0, space.mag_pos(5)), 1.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # pgse-estimation
+//!
+//! Weighted-least-squares (WLS) power-system state estimation — the paper's
+//! core computational kernel.
+//!
+//! The estimator solves `min_x (z − h(x))ᵀ R⁻¹ (z − h(x))` by Gauss–Newton:
+//! each iteration assembles the sparse measurement Jacobian `H`, forms the
+//! gain matrix `G = HᵀR⁻¹H`, and solves `G·Δx = HᵀR⁻¹(z − h(x))` with
+//! either the paper's parallel **PCG** solver or a direct sparse Cholesky
+//! baseline.
+//!
+//! Modules:
+//! * [`measurement`] — the measurement model (SCADA V/P/Q injections and
+//!   flows, PMU phasors) and measurement sets;
+//! * [`jacobian`] — `h(x)` evaluation and sparse `H(x)` assembly;
+//! * [`wls`] — the Gauss–Newton WLS estimator with pluggable linear solver;
+//! * [`telemetry`] — noisy measurement generation from a solved power flow,
+//!   driven by the time-frame noise process `x = f(δt)` of §IV-B.2;
+//! * [`baddata`] — chi-square detection and largest-normalized-residual
+//!   identification of gross measurement errors;
+//! * [`observability`] — numerical observability analysis;
+//! * [`restoration`] — pseudo-measurement observability restoration after
+//!   telemetry loss;
+//! * [`itermodel`] — fitting the paper's iteration-count model
+//!   `Ni = g1·x + g2`.
+
+pub mod baddata;
+pub mod itermodel;
+pub mod jacobian;
+pub mod measurement;
+pub mod observability;
+pub mod restoration;
+pub mod telemetry;
+pub mod wls;
+
+pub use measurement::{Measurement, MeasurementKind, MeasurementSet};
+pub use telemetry::{NoiseProcess, TelemetryPlan};
+pub use wls::{GainSolver, StateEstimate, WlsError, WlsEstimator, WlsOptions};

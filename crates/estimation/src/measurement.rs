@@ -1,0 +1,238 @@
+//! The measurement model.
+//!
+//! The paper's data sources are "power flow-injections and voltage
+//! magnitudes", plus phasor data where PMUs are installed (§II). Each
+//! measurement carries its standard deviation; WLS weights are `1/σ²`.
+
+use serde::{Deserialize, Serialize};
+
+/// Which side of a branch a flow measurement is taken at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowSide {
+    /// Metering at the from terminal.
+    From,
+    /// Metering at the to terminal.
+    To,
+}
+
+/// The physical quantity a measurement observes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MeasurementKind {
+    /// SCADA voltage magnitude at a bus (p.u.).
+    Vmag { bus: usize },
+    /// Active power injection at a bus (p.u.).
+    Pinj { bus: usize },
+    /// Reactive power injection at a bus (p.u.).
+    Qinj { bus: usize },
+    /// Active power flow on a branch (p.u.).
+    Pflow { branch: usize, side: FlowSide },
+    /// Reactive power flow on a branch (p.u.).
+    Qflow { branch: usize, side: FlowSide },
+    /// PMU voltage magnitude at a bus (p.u.) — higher accuracy than SCADA.
+    PmuVmag { bus: usize },
+    /// PMU voltage angle at a bus (radians), synchronized to the global
+    /// reference — this is what lets distributed estimators share a frame.
+    PmuAngle { bus: usize },
+}
+
+impl MeasurementKind {
+    /// The bus this measurement is physically attached to (the from/to bus
+    /// for flow measurements).
+    pub fn site(&self, branches: &[pgse_grid::Branch]) -> usize {
+        match *self {
+            MeasurementKind::Vmag { bus }
+            | MeasurementKind::Pinj { bus }
+            | MeasurementKind::Qinj { bus }
+            | MeasurementKind::PmuVmag { bus }
+            | MeasurementKind::PmuAngle { bus } => bus,
+            MeasurementKind::Pflow { branch, side } | MeasurementKind::Qflow { branch, side } => {
+                let br = &branches[branch];
+                match side {
+                    FlowSide::From => br.from,
+                    FlowSide::To => br.to,
+                }
+            }
+        }
+    }
+
+    /// True for PMU (synchrophasor) measurements.
+    pub fn is_pmu(&self) -> bool {
+        matches!(
+            self,
+            MeasurementKind::PmuVmag { .. } | MeasurementKind::PmuAngle { .. }
+        )
+    }
+}
+
+/// One measurement: a kind, the telemetered value, and its accuracy.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Measurement {
+    /// What is measured.
+    pub kind: MeasurementKind,
+    /// Telemetered value (p.u., or radians for angles).
+    pub value: f64,
+    /// Standard deviation of the measurement error.
+    pub sigma: f64,
+}
+
+impl Measurement {
+    /// Creates a measurement.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is not strictly positive.
+    pub fn new(kind: MeasurementKind, value: f64, sigma: f64) -> Self {
+        assert!(sigma > 0.0, "measurement sigma must be positive");
+        Measurement { kind, value, sigma }
+    }
+
+    /// WLS weight `1/σ²`.
+    pub fn weight(&self) -> f64 {
+        1.0 / (self.sigma * self.sigma)
+    }
+}
+
+/// An ordered collection of measurements for one (sub)network.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MeasurementSet {
+    measurements: Vec<Measurement>,
+}
+
+impl MeasurementSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        MeasurementSet { measurements: Vec::new() }
+    }
+
+    /// Adds a measurement.
+    pub fn push(&mut self, m: Measurement) {
+        self.measurements.push(m);
+    }
+
+    /// Number of measurements.
+    pub fn len(&self) -> usize {
+        self.measurements.len()
+    }
+
+    /// True when no measurements are present.
+    pub fn is_empty(&self) -> bool {
+        self.measurements.is_empty()
+    }
+
+    /// Slice access.
+    pub fn as_slice(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// The telemetered value vector `z`.
+    pub fn values(&self) -> Vec<f64> {
+        self.measurements.iter().map(|m| m.value).collect()
+    }
+
+    /// The WLS weight vector `diag(R⁻¹)`.
+    pub fn weights(&self) -> Vec<f64> {
+        self.measurements.iter().map(Measurement::weight).collect()
+    }
+
+    /// Removes the measurement at `idx` (bad-data elimination).
+    pub fn remove(&mut self, idx: usize) -> Measurement {
+        self.measurements.remove(idx)
+    }
+
+    /// Count of PMU measurements.
+    pub fn n_pmu(&self) -> usize {
+        self.measurements.iter().filter(|m| m.kind.is_pmu()).count()
+    }
+
+    /// Whether any PMU angle measurement is present (i.e. the set carries an
+    /// absolute angle reference).
+    pub fn has_angle_reference(&self) -> bool {
+        self.measurements
+            .iter()
+            .any(|m| matches!(m.kind, MeasurementKind::PmuAngle { .. }))
+    }
+
+    /// Measurement redundancy `m / s` for a state dimension `s`.
+    pub fn redundancy(&self, state_dim: usize) -> f64 {
+        self.len() as f64 / state_dim as f64
+    }
+
+    /// Retains only measurements for which `keep` returns true.
+    pub fn retain(&mut self, keep: impl FnMut(&Measurement) -> bool) {
+        self.measurements.retain(keep);
+    }
+
+    /// Approximate serialized size in bytes, used by the communication model
+    /// when the architecture ships pseudo measurements between estimators.
+    pub fn wire_size(&self) -> usize {
+        // kind tag + indices + value + sigma, conservatively 32 bytes each.
+        32 * self.len()
+    }
+}
+
+impl FromIterator<Measurement> for MeasurementSet {
+    fn from_iter<T: IntoIterator<Item = Measurement>>(iter: T) -> Self {
+        MeasurementSet { measurements: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_is_inverse_variance() {
+        let m = Measurement::new(MeasurementKind::Vmag { bus: 0 }, 1.0, 0.5);
+        assert!((m.weight() - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_sigma_rejected() {
+        Measurement::new(MeasurementKind::Vmag { bus: 0 }, 1.0, 0.0);
+    }
+
+    #[test]
+    fn set_accumulates_and_reports() {
+        let mut set = MeasurementSet::new();
+        assert!(set.is_empty());
+        set.push(Measurement::new(MeasurementKind::Pinj { bus: 1 }, 0.3, 0.01));
+        set.push(Measurement::new(MeasurementKind::PmuAngle { bus: 0 }, 0.0, 0.001));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.values(), vec![0.3, 0.0]);
+        assert_eq!(set.n_pmu(), 1);
+        assert!(set.has_angle_reference());
+        assert!((set.redundancy(4) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn site_resolves_flow_measurements() {
+        let branches = vec![pgse_grid::Branch::line(3, 7, 0.01, 0.1, 0.0)];
+        let from = MeasurementKind::Pflow { branch: 0, side: FlowSide::From };
+        let to = MeasurementKind::Qflow { branch: 0, side: FlowSide::To };
+        assert_eq!(from.site(&branches), 3);
+        assert_eq!(to.site(&branches), 7);
+        assert_eq!(MeasurementKind::Vmag { bus: 5 }.site(&branches), 5);
+    }
+
+    #[test]
+    fn remove_drops_by_index() {
+        let mut set: MeasurementSet = [
+            Measurement::new(MeasurementKind::Vmag { bus: 0 }, 1.0, 0.01),
+            Measurement::new(MeasurementKind::Vmag { bus: 1 }, 1.1, 0.01),
+        ]
+        .into_iter()
+        .collect();
+        let removed = set.remove(0);
+        assert!(matches!(removed.kind, MeasurementKind::Vmag { bus: 0 }));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn wire_size_scales_with_count() {
+        let mut set = MeasurementSet::new();
+        for i in 0..10 {
+            set.push(Measurement::new(MeasurementKind::Vmag { bus: i }, 1.0, 0.01));
+        }
+        assert_eq!(set.wire_size(), 320);
+    }
+}

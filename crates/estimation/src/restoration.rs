@@ -1,0 +1,191 @@
+//! Observability restoration.
+//!
+//! When telemetry loss leaves state variables unobserved (an RTU outage, a
+//! dropped PMU feed — the failure scenarios Bose et al. [6] exercise), the
+//! estimator can be kept runnable by adding *pseudo measurements* drawn
+//! from the last good estimate or from forecasts, with deliberately large
+//! σ so they carry almost no weight wherever real telemetry exists.
+
+use pgse_grid::Network;
+
+use crate::jacobian::StateSpace;
+use crate::measurement::{Measurement, MeasurementKind, MeasurementSet};
+use crate::observability::{check, Observability};
+
+/// What restoration did.
+#[derive(Debug, Clone)]
+pub struct RestorationReport {
+    /// Pseudo measurements appended (indices into the returned set).
+    pub added: Vec<usize>,
+    /// Observability after restoration.
+    pub after: Observability,
+}
+
+/// Standard deviation given to restoration pseudo measurements: large
+/// enough that any real measurement dominates them.
+pub const PSEUDO_SIGMA_VM: f64 = 0.1;
+/// Angle pseudo-measurement deviation (radians).
+pub const PSEUDO_SIGMA_VA: f64 = 0.2;
+
+/// Restores observability of `set` on `net` by appending weak pseudo
+/// measurements at the untouched state variables, using the prior profile
+/// `(vm0, va0)` (e.g. the previous frame's estimate, or flat values).
+///
+/// Returns the augmented set and a report; if the set was already
+/// observable it is returned unchanged.
+pub fn restore(
+    net: &Network,
+    set: &MeasurementSet,
+    space: &StateSpace,
+    vm0: &[f64],
+    va0: &[f64],
+) -> (MeasurementSet, RestorationReport) {
+    let before = check(net, set, space);
+    if before.observable {
+        return (set.clone(), RestorationReport { added: Vec::new(), after: before });
+    }
+    let mut augmented: MeasurementSet = set.as_slice().iter().copied().collect();
+    let mut added = Vec::new();
+
+    // Structural holes: pin each untouched state variable directly.
+    let n = net.n_buses();
+    for bus in 0..n {
+        if let Some(col) = space.angle_pos(bus) {
+            if before.untouched_states.contains(&col) {
+                added.push(augmented.len());
+                augmented.push(Measurement::new(
+                    MeasurementKind::PmuAngle { bus },
+                    va0[bus],
+                    PSEUDO_SIGMA_VA,
+                ));
+            }
+        }
+        let vcol = space.mag_pos(bus);
+        if before.untouched_states.contains(&vcol) {
+            added.push(augmented.len());
+            augmented.push(Measurement::new(
+                MeasurementKind::Vmag { bus },
+                vm0[bus],
+                PSEUDO_SIGMA_VM,
+            ));
+        }
+    }
+
+    // Numerical rank deficiency without structural holes (e.g. a missing
+    // angle reference): anchor the frame at bus 0, then keep adding weak
+    // full-state anchors at successive buses until the gain matrix is SPD.
+    let mut bus = 0usize;
+    let mut after = check(net, &augmented, space);
+    while !after.observable && bus < n {
+        if let Some(_col) = space.angle_pos(bus) {
+            added.push(augmented.len());
+            augmented.push(Measurement::new(
+                MeasurementKind::PmuAngle { bus },
+                va0[bus],
+                PSEUDO_SIGMA_VA,
+            ));
+        }
+        added.push(augmented.len());
+        augmented.push(Measurement::new(
+            MeasurementKind::Vmag { bus },
+            vm0[bus],
+            PSEUDO_SIGMA_VM,
+        ));
+        after = check(net, &augmented, space);
+        bus += 1;
+    }
+    (augmented, RestorationReport { added, after })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::TelemetryPlan;
+    use crate::wls::{WlsEstimator, WlsOptions};
+    use pgse_grid::cases::ieee14;
+    use pgse_powerflow::{solve, PfOptions};
+
+    fn truth() -> (pgse_grid::Network, pgse_powerflow::PfSolution) {
+        let net = ieee14();
+        let pf = solve(&net, &PfOptions::default()).unwrap();
+        (net, pf)
+    }
+
+    #[test]
+    fn observable_set_passes_through_unchanged() {
+        let (net, pf) = truth();
+        let set = TelemetryPlan::full(&net, vec![0]).generate(&net, &pf, 1.0, 1);
+        let space = StateSpace::with_reference(14, 0);
+        let (aug, report) = restore(&net, &set, &space, &pf.vm, &pf.va);
+        assert!(report.added.is_empty());
+        assert_eq!(aug.len(), set.len());
+        assert!(report.after.observable);
+    }
+
+    #[test]
+    fn rtu_outage_is_restored_and_estimable() {
+        let (net, pf) = truth();
+        // Kill every measurement touching buses 9-13 (an RTU cluster).
+        let dead: Vec<usize> = vec![9, 10, 11, 12, 13];
+        let mut set = TelemetryPlan::full(&net, vec![0]).generate(&net, &pf, 1.0, 1);
+        set.retain(|m| {
+            let site = m.kind.site(&net.branches);
+            let flows_into_dead = match m.kind {
+                crate::measurement::MeasurementKind::Pflow { branch, .. }
+                | crate::measurement::MeasurementKind::Qflow { branch, .. } => {
+                    let br = &net.branches[branch];
+                    dead.contains(&br.from) || dead.contains(&br.to)
+                }
+                crate::measurement::MeasurementKind::Pinj { bus }
+                | crate::measurement::MeasurementKind::Qinj { bus } => {
+                    // Injections at neighbours of dead buses involve them too.
+                    dead.contains(&bus)
+                        || net.branches.iter().any(|br| {
+                            (br.from == bus && dead.contains(&br.to))
+                                || (br.to == bus && dead.contains(&br.from))
+                        })
+                }
+                _ => false,
+            };
+            !dead.contains(&site) && !flows_into_dead
+        });
+        let space = StateSpace::with_reference(14, 0);
+        let before = check(&net, &set, &space);
+        assert!(!before.observable, "outage must break observability");
+
+        // Restore from a flat prior.
+        let vm0 = vec![1.0; 14];
+        let va0 = vec![0.0; 14];
+        let (aug, report) = restore(&net, &set, &space, &vm0, &va0);
+        assert!(report.after.observable, "{:?}", report.after.reason);
+        assert!(!report.added.is_empty());
+
+        // The estimator now runs; observed buses stay accurate.
+        let est = WlsEstimator::new(net.clone(), space, WlsOptions::default());
+        let out = est.estimate(&aug).unwrap();
+        for i in 0..9 {
+            assert!((out.vm[i] - pf.vm[i]).abs() < 5e-3, "bus {i}");
+        }
+    }
+
+    #[test]
+    fn missing_reference_gets_anchored() {
+        let (net, pf) = truth();
+        // Full state space with no PMU: the angle frame is free.
+        let set = TelemetryPlan::full(&net, vec![]).generate(&net, &pf, 1.0, 1);
+        let space = StateSpace::full(14);
+        assert!(!check(&net, &set, &space).observable);
+        let (aug, report) = restore(&net, &set, &space, &pf.vm, &pf.va);
+        assert!(report.after.observable, "{:?}", report.after.reason);
+        let est = WlsEstimator::new(net, space, WlsOptions::default());
+        assert!(est.estimate(&aug).is_ok());
+    }
+
+    #[test]
+    fn pseudo_sigmas_are_weak() {
+        // The pseudo measurements must be at least an order of magnitude
+        // weaker than real telemetry so they never fight real data.
+        assert!(PSEUDO_SIGMA_VM >= 10.0 * crate::telemetry::SigmaSet::default().vmag);
+        assert!(PSEUDO_SIGMA_VA >= 10.0 * crate::telemetry::SigmaSet::default().pmu_angle);
+    }
+}

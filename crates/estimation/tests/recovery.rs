@@ -1,0 +1,118 @@
+//! Cross-case recovery tests: the estimator must reproduce the exact state
+//! from noise-free telemetry on *any* network the builder can produce, and
+//! degrade gracefully (and without bias) as noise grows.
+
+use pgse_estimation::jacobian::StateSpace;
+use pgse_estimation::telemetry::TelemetryPlan;
+use pgse_estimation::wls::{WlsEstimator, WlsOptions};
+use pgse_grid::cases::builder::{build, AreaPlan};
+use pgse_powerflow::{solve, PfOptions};
+
+fn random_case(seed: u64, n_areas: usize) -> pgse_grid::Network {
+    build(&AreaPlan {
+        name: format!("recovery-{seed}"),
+        bus_counts: vec![6 + (seed as usize % 5); n_areas],
+        area_edges: (1..n_areas).map(|a| (a - 1, a)).collect(),
+        ties_per_edge: 2,
+        seed,
+        load_mw: (15.0, 35.0),
+        chord_fraction: 0.3,
+    })
+}
+
+#[test]
+fn near_zero_noise_recovers_exact_state_on_random_networks() {
+    for seed in [1u64, 7, 42, 99] {
+        let net = random_case(seed, 3);
+        let pf = solve(&net, &PfOptions::default()).unwrap();
+        let plan = TelemetryPlan::full(&net, vec![net.slack()]);
+        let set = plan.generate(&net, &pf, 1e-6, seed);
+        let est = WlsEstimator::new(
+            net.clone(),
+            StateSpace::with_reference(net.n_buses(), net.slack()),
+            WlsOptions::default(),
+        );
+        let out = est.estimate(&set).unwrap();
+        assert!(out.vm_rmse(&pf.vm) < 1e-6, "seed {seed}: {}", out.vm_rmse(&pf.vm));
+        assert!(out.va_rmse(&pf.va) < 1e-6, "seed {seed}: {}", out.va_rmse(&pf.va));
+    }
+}
+
+#[test]
+fn error_scales_roughly_linearly_with_noise() {
+    let net = random_case(5, 3);
+    let pf = solve(&net, &PfOptions::default()).unwrap();
+    let plan = TelemetryPlan::full(&net, vec![net.slack()]);
+    let est = WlsEstimator::new(
+        net.clone(),
+        StateSpace::with_reference(net.n_buses(), net.slack()),
+        WlsOptions::default(),
+    );
+    // Average over several scans to suppress realization noise.
+    let mean_err = |level: f64| -> f64 {
+        let mut total = 0.0;
+        let n = 6;
+        for seed in 0..n {
+            let set = plan.generate(&net, &pf, level, 100 + seed);
+            total += est.estimate(&set).unwrap().vm_rmse(&pf.vm);
+        }
+        total / n as f64
+    };
+    let e1 = mean_err(0.5);
+    let e2 = mean_err(2.0);
+    // 4× the noise should give roughly 4× the error (WLS is unbiased and
+    // the problem is locally linear); accept a generous band.
+    let ratio = e2 / e1;
+    assert!(ratio > 2.0 && ratio < 8.0, "ratio {ratio}");
+}
+
+#[test]
+fn estimates_are_unbiased_across_realizations() {
+    let net = random_case(11, 2);
+    let pf = solve(&net, &PfOptions::default()).unwrap();
+    let plan = TelemetryPlan::full(&net, vec![net.slack()]);
+    let est = WlsEstimator::new(
+        net.clone(),
+        StateSpace::with_reference(net.n_buses(), net.slack()),
+        WlsOptions::default(),
+    );
+    let n = net.n_buses();
+    let mut mean_vm = vec![0.0f64; n];
+    let reps = 24;
+    for seed in 0..reps {
+        let set = plan.generate(&net, &pf, 1.0, 500 + seed);
+        let out = est.estimate(&set).unwrap();
+        for i in 0..n {
+            mean_vm[i] += out.vm[i] / reps as f64;
+        }
+    }
+    // The mean estimate converges on the truth (bias ≪ single-scan error).
+    for i in 0..n {
+        assert!(
+            (mean_vm[i] - pf.vm[i]).abs() < 2e-3,
+            "bus {i}: mean {} vs truth {}",
+            mean_vm[i],
+            pf.vm[i]
+        );
+    }
+}
+
+#[test]
+fn flow_only_telemetry_still_observable_with_voltages() {
+    // Drop all injection measurements: V + flows (+ PMU) must still carry
+    // the state.
+    let net = random_case(21, 2);
+    let pf = solve(&net, &PfOptions::default()).unwrap();
+    let mut plan = TelemetryPlan::full(&net, vec![net.slack()]);
+    plan.injection_buses.clear();
+    // Measure both branch ends for extra redundancy.
+    plan.flow_branches_to = (0..net.n_branches()).collect();
+    let set = plan.generate(&net, &pf, 0.5, 3);
+    let est = WlsEstimator::new(
+        net.clone(),
+        StateSpace::with_reference(net.n_buses(), net.slack()),
+        WlsOptions::default(),
+    );
+    let out = est.estimate(&set).unwrap();
+    assert!(out.vm_rmse(&pf.vm) < 5e-3);
+}

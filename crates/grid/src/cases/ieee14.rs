@@ -1,0 +1,134 @@
+//! The IEEE 14-bus test system.
+//!
+//! Standard data (MATPOWER `case14` / University of Washington PSTCA
+//! archive), embedded verbatim on a 100 MVA base. The paper uses a 14-bus
+//! subsystem for its empirical iteration model (`g1 = 3.7579`,
+//! `g2 = 5.2464`); we use this case both for that experiment and as the
+//! correctness anchor of the whole estimation stack.
+
+use crate::model::{Branch, Bus, BusKind, Network};
+
+/// Builds the IEEE 14-bus network (all buses in area 0).
+pub fn ieee14() -> Network {
+    // (id, kind, Pd MW, Qd MVAr, Gs MW, Bs MVAr, Vm setpoint, Pg MW)
+    #[rustfmt::skip]
+    let bus_rows: [(usize, BusKind, f64, f64, f64, f64, f64, f64); 14] = [
+        ( 1, BusKind::Slack,  0.0,  0.0, 0.0,  0.0, 1.060, 232.4),
+        ( 2, BusKind::Pv,    21.7, 12.7, 0.0,  0.0, 1.045,  40.0),
+        ( 3, BusKind::Pv,    94.2, 19.0, 0.0,  0.0, 1.010,   0.0),
+        ( 4, BusKind::Pq,    47.8, -3.9, 0.0,  0.0, 1.000,   0.0),
+        ( 5, BusKind::Pq,     7.6,  1.6, 0.0,  0.0, 1.000,   0.0),
+        ( 6, BusKind::Pv,    11.2,  7.5, 0.0,  0.0, 1.070,   0.0),
+        ( 7, BusKind::Pq,     0.0,  0.0, 0.0,  0.0, 1.000,   0.0),
+        ( 8, BusKind::Pv,     0.0,  0.0, 0.0,  0.0, 1.090,   0.0),
+        ( 9, BusKind::Pq,    29.5, 16.6, 0.0, 19.0, 1.000,   0.0),
+        (10, BusKind::Pq,     9.0,  5.8, 0.0,  0.0, 1.000,   0.0),
+        (11, BusKind::Pq,     3.5,  1.8, 0.0,  0.0, 1.000,   0.0),
+        (12, BusKind::Pq,     6.1,  1.6, 0.0,  0.0, 1.000,   0.0),
+        (13, BusKind::Pq,    13.5,  5.8, 0.0,  0.0, 1.000,   0.0),
+        (14, BusKind::Pq,    14.9,  5.0, 0.0,  0.0, 1.000,   0.0),
+    ];
+    let base = 100.0;
+    let buses = bus_rows
+        .iter()
+        .map(|&(id, kind, pd, qd, gs, bs, vm, pg)| Bus {
+            id,
+            kind,
+            pd: pd / base,
+            qd: qd / base,
+            pg: pg / base,
+            qg: 0.0,
+            gs: gs / base,
+            bs: bs / base,
+            vm_setpoint: vm,
+            area: 0,
+        })
+        .collect();
+
+    // (from id, to id, r, x, b, tap). tap = 0 denotes a plain line.
+    #[rustfmt::skip]
+    let branch_rows: [(usize, usize, f64, f64, f64, f64); 20] = [
+        ( 1,  2, 0.01938, 0.05917, 0.0528, 0.0),
+        ( 1,  5, 0.05403, 0.22304, 0.0492, 0.0),
+        ( 2,  3, 0.04699, 0.19797, 0.0438, 0.0),
+        ( 2,  4, 0.05811, 0.17632, 0.0340, 0.0),
+        ( 2,  5, 0.05695, 0.17388, 0.0346, 0.0),
+        ( 3,  4, 0.06701, 0.17103, 0.0128, 0.0),
+        ( 4,  5, 0.01335, 0.04211, 0.0,    0.0),
+        ( 4,  7, 0.0,     0.20912, 0.0,    0.978),
+        ( 4,  9, 0.0,     0.55618, 0.0,    0.969),
+        ( 5,  6, 0.0,     0.25202, 0.0,    0.932),
+        ( 6, 11, 0.09498, 0.19890, 0.0,    0.0),
+        ( 6, 12, 0.12291, 0.25581, 0.0,    0.0),
+        ( 6, 13, 0.06615, 0.13027, 0.0,    0.0),
+        ( 7,  8, 0.0,     0.17615, 0.0,    0.0),
+        ( 7,  9, 0.0,     0.11001, 0.0,    0.0),
+        ( 9, 10, 0.03181, 0.08450, 0.0,    0.0),
+        ( 9, 14, 0.12711, 0.27038, 0.0,    0.0),
+        (10, 11, 0.08205, 0.19207, 0.0,    0.0),
+        (12, 13, 0.22092, 0.19988, 0.0,    0.0),
+        (13, 14, 0.17093, 0.34802, 0.0,    0.0),
+    ];
+    let branches = branch_rows
+        .iter()
+        .map(|&(f, t, r, x, b, tap)| Branch {
+            from: f - 1,
+            to: t - 1,
+            r,
+            x,
+            b,
+            tap: if tap == 0.0 { 1.0 } else { tap },
+            shift: 0.0,
+        })
+        .collect();
+
+    Network { name: "ieee14".into(), base_mva: base, buses, branches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_is_structurally_valid() {
+        let net = ieee14();
+        net.validate().unwrap();
+        assert_eq!(net.n_buses(), 14);
+        assert_eq!(net.n_branches(), 20);
+    }
+
+    #[test]
+    fn generation_roughly_covers_load() {
+        let net = ieee14();
+        let load: f64 = net.buses.iter().map(|b| b.pd).sum();
+        let gen: f64 = net.buses.iter().map(|b| b.pg).sum();
+        // 259 MW load, 272.4 MW dispatched (losses covered by the slack).
+        assert!((load - 2.59).abs() < 1e-9);
+        assert!((gen - 2.724).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transformers_have_taps() {
+        let net = ieee14();
+        let taps: Vec<f64> = net
+            .branches
+            .iter()
+            .filter(|b| b.tap != 1.0)
+            .map(|b| b.tap)
+            .collect();
+        assert_eq!(taps, vec![0.978, 0.969, 0.932]);
+    }
+
+    #[test]
+    fn bus9_carries_the_shunt() {
+        let net = ieee14();
+        assert!((net.buses[8].bs - 0.19).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_area_case() {
+        let net = ieee14();
+        assert_eq!(net.n_areas(), 1);
+        assert!(net.tie_lines().is_empty());
+    }
+}

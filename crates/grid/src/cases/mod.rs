@@ -1,0 +1,18 @@
+//! Test cases.
+//!
+//! * [`ieee14`] — the true IEEE 14-bus test system, embedded verbatim; the
+//!   validation anchor for power flow and WLS estimation.
+//! * [`ieee118`] — an IEEE-118-like system whose 9-subsystem decomposition
+//!   reproduces the paper's Table I / Fig. 3 exactly (bus counts
+//!   14,13,13,13,13,12,14,13,13 and the 12 tie-line edges).
+//! * [`synthetic`] — a scalable multi-area generator for WECC-sized runs
+//!   (the paper's ongoing work targets 37 balancing authorities).
+
+pub mod builder;
+pub mod ieee118;
+pub mod ieee14;
+pub mod synthetic;
+
+pub use ieee118::ieee118_like;
+pub use ieee14::ieee14;
+pub use synthetic::{synthetic_grid, SyntheticSpec};

@@ -1,0 +1,328 @@
+//! IEEE Common Data Format (CDF) import/export.
+//!
+//! The original IEEE 118-bus test case the paper uses is distributed as a
+//! CDF text file (the University of Washington power systems test case
+//! archive the paper cites). This module writes any [`Network`] as CDF and
+//! reads CDF back, so our cases interoperate with the classic tooling —
+//! and so a user with the licensed original file can drop it in directly.
+//!
+//! The dialect implemented is the fixed-column subset every archive case
+//! uses: the title card, `BUS DATA FOLLOWS` … `-999`, and
+//! `BRANCH DATA FOLLOWS` … `-999` sections. Fields we do not model
+//! (loss zones, MVA limits, …) are written as zeros and ignored on read.
+
+use crate::model::{Branch, Bus, BusKind, Network};
+
+/// CDF parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CdfError {
+    /// A required section marker is missing.
+    MissingSection(&'static str),
+    /// A data card could not be parsed.
+    BadCard { line: usize, reason: String },
+    /// A branch references an unknown bus number.
+    UnknownBus { line: usize, bus: usize },
+}
+
+impl std::fmt::Display for CdfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CdfError::MissingSection(s) => write!(f, "missing CDF section: {s}"),
+            CdfError::BadCard { line, reason } => write!(f, "bad card at line {line}: {reason}"),
+            CdfError::UnknownBus { line, bus } => {
+                write!(f, "branch at line {line} references unknown bus {bus}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CdfError {}
+
+/// Serializes `net` to CDF text.
+pub fn to_cdf(net: &Network) -> String {
+    let mut out = String::new();
+    // Title card: date, originator, MVA base, year, season, case id.
+    out.push_str(&format!(
+        " 01/01/26 PGSE                 {:6.1} 2026 W {}\n",
+        net.base_mva, net.name
+    ));
+    out.push_str(&format!("BUS DATA FOLLOWS {:>28} ITEMS\n", net.n_buses()));
+    for bus in &net.buses {
+        let kind = match bus.kind {
+            BusKind::Pq => 0,
+            BusKind::Pv => 2,
+            BusKind::Slack => 3,
+        };
+        // Columns (space separated within our writer; the reader is
+        // whitespace-tolerant): number, name, area, zone, type, V, angle,
+        // load MW, load MVAr, gen MW, gen MVAr, base kV, desired V,
+        // Qmax, Qmin, shunt G, shunt B, remote bus.
+        out.push_str(&format!(
+            "{:>4} BUS{:<5} {:>3} {:>3} {:>2} {:>7.4} {:>7.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>7.2} {:>7.4} {:>8.2} {:>8.2} {:>8.4} {:>8.4} {:>4}\n",
+            bus.id,
+            bus.id,
+            bus.area + 1,
+            1,
+            kind,
+            bus.vm_setpoint,
+            0.0,
+            bus.pd * net.base_mva,
+            bus.qd * net.base_mva,
+            bus.pg * net.base_mva,
+            bus.qg * net.base_mva,
+            138.0,
+            bus.vm_setpoint,
+            0.0,
+            0.0,
+            bus.gs,
+            bus.bs,
+            0
+        ));
+    }
+    out.push_str("-999\n");
+    out.push_str(&format!("BRANCH DATA FOLLOWS {:>25} ITEMS\n", net.n_branches()));
+    for br in &net.branches {
+        let (tap, kind) = if br.tap == 1.0 && br.shift == 0.0 {
+            (0.0, 0)
+        } else {
+            (br.tap, 1)
+        };
+        // Columns: from, to, area, zone, circuit, type, r, x, b, ratings…,
+        // control bus, side, tap ratio, phase shift.
+        out.push_str(&format!(
+            "{:>4} {:>4} {:>3} {:>3} {:>2} {:>2} {:>10.6} {:>10.6} {:>10.6} {:>5} {:>5} {:>5} {:>4} {:>2} {:>7.4} {:>7.2}\n",
+            net.buses[br.from].id,
+            net.buses[br.to].id,
+            net.buses[br.from].area + 1,
+            1,
+            1,
+            kind,
+            br.r,
+            br.x,
+            br.b,
+            0,
+            0,
+            0,
+            0,
+            0,
+            tap,
+            br.shift.to_degrees()
+        ));
+    }
+    out.push_str("-999\nEND OF DATA\n");
+    out
+}
+
+/// Parses CDF text into a [`Network`].
+///
+/// # Errors
+/// [`CdfError`] on malformed input.
+pub fn from_cdf(text: &str) -> Result<Network, CdfError> {
+    let mut lines = text.lines().enumerate();
+    // Title card: pick up the MVA base (field 3 by whitespace).
+    let (_, title) = lines.next().ok_or(CdfError::MissingSection("title card"))?;
+    let base_mva: f64 = title
+        .split_whitespace()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100.0);
+    let name = title.split_whitespace().skip(5).collect::<Vec<_>>().join(" ");
+
+    // Bus section.
+    let mut buses: Vec<Bus> = Vec::new();
+    let mut id_to_idx = std::collections::HashMap::new();
+    let mut in_bus = false;
+    let mut in_branch = false;
+    let mut branches: Vec<Branch> = Vec::new();
+    let mut saw_bus_section = false;
+    let mut saw_branch_section = false;
+    for (lineno, raw) in lines {
+        let line = raw.trim_end();
+        if line.starts_with("BUS DATA FOLLOWS") {
+            in_bus = true;
+            saw_bus_section = true;
+            continue;
+        }
+        if line.starts_with("BRANCH DATA FOLLOWS") {
+            in_branch = true;
+            saw_branch_section = true;
+            continue;
+        }
+        if line.trim_start().starts_with("-999") {
+            in_bus = false;
+            in_branch = false;
+            continue;
+        }
+        if line.starts_with("END OF DATA") {
+            break;
+        }
+        if in_bus {
+            let f: Vec<&str> = line.split_whitespace().collect();
+            if f.len() < 13 {
+                return Err(CdfError::BadCard {
+                    line: lineno + 1,
+                    reason: format!("bus card has {} fields", f.len()),
+                });
+            }
+            let parse = |s: &str, what: &str| -> Result<f64, CdfError> {
+                s.parse().map_err(|_| CdfError::BadCard {
+                    line: lineno + 1,
+                    reason: format!("bad {what}: {s}"),
+                })
+            };
+            let id = parse(f[0], "bus number")? as usize;
+            let area = (parse(f[2], "area")? as usize).saturating_sub(1);
+            let kind = match parse(f[4], "type")? as i64 {
+                3 => BusKind::Slack,
+                2 | 1 => BusKind::Pv,
+                _ => BusKind::Pq,
+            };
+            let vm_setpoint = parse(f[5], "voltage")?;
+            let pd = parse(f[7], "load MW")? / base_mva;
+            let qd = parse(f[8], "load MVAr")? / base_mva;
+            let pg = parse(f[9], "gen MW")? / base_mva;
+            let qg = parse(f[10], "gen MVAr")? / base_mva;
+            let gs = parse(f[15], "shunt G").unwrap_or(0.0);
+            let bs = parse(f[16], "shunt B").unwrap_or(0.0);
+            id_to_idx.insert(id, buses.len());
+            buses.push(Bus { id, kind, pd, qd, pg, qg, gs, bs, vm_setpoint, area });
+        } else if in_branch {
+            let f: Vec<&str> = line.split_whitespace().collect();
+            if f.len() < 9 {
+                return Err(CdfError::BadCard {
+                    line: lineno + 1,
+                    reason: format!("branch card has {} fields", f.len()),
+                });
+            }
+            let parse = |s: &str, what: &str| -> Result<f64, CdfError> {
+                s.parse().map_err(|_| CdfError::BadCard {
+                    line: lineno + 1,
+                    reason: format!("bad {what}: {s}"),
+                })
+            };
+            let from_id = parse(f[0], "from bus")? as usize;
+            let to_id = parse(f[1], "to bus")? as usize;
+            let from = *id_to_idx
+                .get(&from_id)
+                .ok_or(CdfError::UnknownBus { line: lineno + 1, bus: from_id })?;
+            let to = *id_to_idx
+                .get(&to_id)
+                .ok_or(CdfError::UnknownBus { line: lineno + 1, bus: to_id })?;
+            let r = parse(f[6], "resistance")?;
+            let x = parse(f[7], "reactance")?;
+            let b = parse(f[8], "charging")?;
+            let tap = f.get(14).and_then(|s| s.parse::<f64>().ok()).unwrap_or(0.0);
+            let shift =
+                f.get(15).and_then(|s| s.parse::<f64>().ok()).unwrap_or(0.0).to_radians();
+            branches.push(Branch {
+                from,
+                to,
+                r,
+                x,
+                b,
+                tap: if tap == 0.0 { 1.0 } else { tap },
+                shift,
+            });
+        }
+    }
+    if !saw_bus_section {
+        return Err(CdfError::MissingSection("BUS DATA FOLLOWS"));
+    }
+    if !saw_branch_section {
+        return Err(CdfError::MissingSection("BRANCH DATA FOLLOWS"));
+    }
+    Ok(Network {
+        name: if name.is_empty() { "cdf-import".into() } else { name },
+        base_mva,
+        buses,
+        branches,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::{ieee118_like, ieee14};
+
+    #[test]
+    fn ieee14_roundtrips_through_cdf() {
+        let net = ieee14();
+        let text = to_cdf(&net);
+        let back = from_cdf(&text).unwrap();
+        assert_eq!(back.n_buses(), 14);
+        assert_eq!(back.n_branches(), 20);
+        assert_eq!(back.base_mva, 100.0);
+        for (a, b) in net.buses.iter().zip(&back.buses) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.kind, b.kind);
+            assert!((a.pd - b.pd).abs() < 1e-4, "bus {} pd", a.id);
+            assert!((a.vm_setpoint - b.vm_setpoint).abs() < 1e-4);
+        }
+        for (a, b) in net.branches.iter().zip(&back.branches) {
+            assert_eq!((a.from, a.to), (b.from, b.to));
+            assert!((a.r - b.r).abs() < 1e-6);
+            assert!((a.x - b.x).abs() < 1e-6);
+            assert!((a.tap - b.tap).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_power_flow_solution() {
+        let net = ieee14();
+        let back = from_cdf(&to_cdf(&net)).unwrap();
+        let a = pgse_powerflow_check(&net);
+        let b = pgse_powerflow_check(&back);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Cheap stand-in for a full PF (grid must not depend on powerflow):
+    /// the Ybus diagonal magnitudes capture the electrical identity.
+    fn pgse_powerflow_check(net: &Network) -> Vec<f64> {
+        let y = crate::ybus::Ybus::new(net);
+        (0..net.n_buses()).map(|i| y.get(i, i).abs()).collect()
+    }
+
+    #[test]
+    fn areas_survive_the_roundtrip() {
+        let net = ieee118_like();
+        let back = from_cdf(&to_cdf(&net)).unwrap();
+        assert_eq!(back.n_areas(), 9);
+        for a in 0..9 {
+            assert_eq!(back.area_buses(a).len(), net.area_buses(a).len(), "area {a}");
+        }
+        assert_eq!(back.tie_lines().len(), net.tie_lines().len());
+    }
+
+    #[test]
+    fn missing_sections_are_reported() {
+        assert_eq!(
+            from_cdf("title only\n").unwrap_err(),
+            CdfError::MissingSection("BUS DATA FOLLOWS")
+        );
+        let no_branch = " t PGSE 100.0 2026 W x\nBUS DATA FOLLOWS 1 ITEMS\n-999\nEND OF DATA\n";
+        assert_eq!(
+            from_cdf(no_branch).unwrap_err(),
+            CdfError::MissingSection("BRANCH DATA FOLLOWS")
+        );
+    }
+
+    #[test]
+    fn bad_cards_are_reported_with_line_numbers() {
+        let text = " t PGSE 100.0 2026 W x\nBUS DATA FOLLOWS 1 ITEMS\ngarbage card\n-999\n";
+        match from_cdf(text) {
+            Err(CdfError::BadCard { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected BadCard, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_branch_bus_is_reported() {
+        let net = ieee14();
+        let mut text = to_cdf(&net);
+        // Corrupt the first branch card's from-bus to 999.
+        text = text.replacen("   1    2", " 999    2", 1);
+        assert!(matches!(from_cdf(&text), Err(CdfError::UnknownBus { bus: 999, .. })));
+    }
+}

@@ -1,0 +1,25 @@
+//! # pgse-grid
+//!
+//! Power-network model and test cases for the distributed state-estimation
+//! prototype.
+//!
+//! Provides:
+//! * the network data model ([`Network`], [`Bus`], [`Branch`]) with areas —
+//!   the paper's *subsystems* — and tie-line identification;
+//! * the complex bus admittance matrix ([`ybus::Ybus`]) and per-branch
+//!   two-port admittances used by power flow and the measurement model;
+//! * test cases: the true IEEE 14-bus system ([`cases::ieee14`]), an
+//!   IEEE-118-like system whose 9-subsystem decomposition matches the
+//!   paper's Table I exactly ([`cases::ieee118`]), and a scalable synthetic
+//!   multi-area generator ([`cases::synthetic`]) for WECC-sized studies;
+//! * JSON (de)serialization of cases for the experiment harness, and IEEE
+//!   Common Data Format import/export ([`cdf`]) for interoperability with
+//!   the classic test-case archive the paper cites.
+
+pub mod cases;
+pub mod cdf;
+pub mod model;
+pub mod ybus;
+
+pub use model::{Branch, Bus, BusKind, Network};
+pub use ybus::{BranchAdmittance, Ybus};

@@ -1,0 +1,115 @@
+//! Property tests on network construction and the admittance model.
+
+use proptest::prelude::*;
+
+use pgse_grid::cases::builder::{build, AreaPlan};
+use pgse_grid::{Network, Ybus};
+use pgse_sparsela::Cplx;
+
+fn arb_plan() -> impl Strategy<Value = AreaPlan> {
+    (
+        2usize..6,
+        3usize..9,
+        1usize..3,
+        any::<u64>(),
+        15.0f64..40.0,
+    )
+        .prop_map(|(n_areas, buses, ties, seed, load)| {
+            let edges: Vec<(usize, usize)> = (1..n_areas).map(|a| (a - 1, a)).collect();
+            AreaPlan {
+                name: "prop".into(),
+                bus_counts: vec![buses; n_areas],
+                area_edges: edges,
+                ties_per_edge: ties,
+                seed,
+                load_mw: (load, load + 10.0),
+                chord_fraction: 0.3,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn built_networks_are_always_valid(plan in arb_plan()) {
+        let net = build(&plan);
+        prop_assert!(net.validate().is_ok(), "{:?}", net.validate());
+        prop_assert_eq!(net.n_areas(), plan.bus_counts.len());
+        for (a, &k) in plan.bus_counts.iter().enumerate() {
+            prop_assert_eq!(net.area_buses(a).len(), k);
+        }
+    }
+
+    #[test]
+    fn tie_lines_connect_exactly_the_planned_pairs(plan in arb_plan()) {
+        let net = build(&plan);
+        let mut expected: Vec<(usize, usize)> = plan.area_edges.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(net.area_adjacency(), expected);
+        // Tie count: ties_per_edge per planned pair.
+        prop_assert_eq!(
+            net.tie_lines().len(),
+            plan.area_edges.len() * plan.ties_per_edge
+        );
+    }
+
+    #[test]
+    fn ybus_rows_sum_to_shunt_terms(plan in arb_plan()) {
+        // With the π model, Σ_j Y[i][j] = shunt(i) + Σ_{branches at i} j·b/2
+        // (+ tap corrections); for our tap-free builder lines this reduces
+        // to the bus shunt plus the charging halves.
+        let net = build(&plan);
+        let y = Ybus::new(&net);
+        for i in 0..net.n_buses() {
+            let (_, vals) = y.row(i);
+            let sum = vals.iter().fold(Cplx::ZERO, |acc, v| acc + *v);
+            let mut expect = Cplx::new(net.buses[i].gs, net.buses[i].bs);
+            for br in &net.branches {
+                if br.from == i || br.to == i {
+                    expect += Cplx::new(0.0, br.b / 2.0);
+                }
+            }
+            prop_assert!((sum - expect).abs() < 1e-10, "bus {i}: {sum} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless(plan in arb_plan()) {
+        let net = build(&plan);
+        let back = Network::from_json(&net.to_json()).unwrap();
+        prop_assert_eq!(net.to_json(), back.to_json());
+    }
+
+    #[test]
+    fn extract_area_covers_all_buses_once(plan in arb_plan()) {
+        let net = build(&plan);
+        let mut seen = vec![false; net.n_buses()];
+        for a in 0..net.n_areas() {
+            let (sub, map) = net.extract_area(a);
+            prop_assert_eq!(sub.n_buses(), map.len());
+            for &g in &map {
+                prop_assert!(!seen[g]);
+                seen[g] = true;
+            }
+            // Sub-network branches are exactly the internal ones.
+            prop_assert_eq!(sub.n_branches(), net.internal_branches(a).len());
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn boundary_buses_touch_tie_lines(plan in arb_plan()) {
+        let net = build(&plan);
+        for a in 0..net.n_areas() {
+            for &b in &net.boundary_buses(a) {
+                let touches = net.tie_lines().iter().any(|&k| {
+                    let br = &net.branches[k];
+                    br.from == b || br.to == b
+                });
+                prop_assert!(touches, "area {a} bus {b}");
+            }
+        }
+    }
+}

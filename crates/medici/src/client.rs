@@ -1,0 +1,128 @@
+//! The middleware client — the interface the state estimators use.
+//!
+//! Mirrors the paper's Fig. 6: `MW_Client_Send` "invokes a C socket program
+//! to connect the appropriate MeDICi inbound endpoint and sends data to
+//! it"; the state-estimation code only names the destination estimator and
+//! the data. Here the client resolves the logical URL through the registry
+//! and speaks the EOF frame protocol.
+
+use std::net::{TcpListener, TcpStream};
+
+use crate::endpoint::EndpointRegistry;
+use crate::framing::{read_frame, read_frame_discard, write_frame, write_frame_synthetic};
+use crate::throttle::Throttle;
+use crate::MwError;
+
+/// A middleware client bound to a deployment registry.
+#[derive(Debug, Clone)]
+pub struct MwClient {
+    registry: EndpointRegistry,
+}
+
+impl MwClient {
+    /// Creates a client over `registry`.
+    pub fn new(registry: EndpointRegistry) -> Self {
+        MwClient { registry }
+    }
+
+    /// The registry this client resolves against.
+    pub fn registry(&self) -> &EndpointRegistry {
+        &self.registry
+    }
+
+    /// Sends one frame to the endpoint named by `url` (paper:
+    /// `MW_Client_Send`).
+    ///
+    /// # Errors
+    /// [`MwError`] on resolution or socket failure.
+    pub fn send(&self, url: &str, body: &[u8]) -> Result<(), MwError> {
+        let addr = self.registry.resolve(url)?;
+        let mut conn = TcpStream::connect(addr)?;
+        write_frame(&mut conn, body)?;
+        Ok(())
+    }
+
+    /// Sends a synthetic frame of `len` bytes, optionally paced at
+    /// `link_rate` bytes/second (the simulated-LAN path of the
+    /// measurement harness).
+    pub fn send_synthetic(
+        &self,
+        url: &str,
+        len: u64,
+        link_rate: Option<f64>,
+    ) -> Result<(), MwError> {
+        let addr = self.registry.resolve(url)?;
+        let mut conn = TcpStream::connect(addr)?;
+        let mut throttle = link_rate.map(Throttle::new);
+        write_frame_synthetic(&mut conn, len, |n| {
+            if let Some(t) = throttle.as_mut() {
+                t.account(n);
+            }
+        })?;
+        Ok(())
+    }
+
+    /// Blocks for one inbound frame on `listener` (paper:
+    /// `MW_Client_Recv`).
+    ///
+    /// # Errors
+    /// [`MwError::Io`] on socket failure.
+    pub fn recv_on(listener: &TcpListener) -> Result<Vec<u8>, MwError> {
+        let (mut conn, _) = listener.accept()?;
+        Ok(read_frame(&mut conn)?)
+    }
+
+    /// Receives one frame and discards the body, returning its length
+    /// (benchmark receivers).
+    pub fn recv_discard_on(listener: &TcpListener) -> Result<u64, MwError> {
+        let (mut conn, _) = listener.accept()?;
+        Ok(read_frame_discard(&mut conn)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_send_recv_roundtrip() {
+        let registry = EndpointRegistry::new();
+        let listener = registry.bind("tcp://estimator-a:9000").unwrap();
+        let client = MwClient::new(registry);
+        let rx = std::thread::spawn(move || MwClient::recv_on(&listener).unwrap());
+        client.send("tcp://estimator-a:9000", b"state vector").unwrap();
+        assert_eq!(rx.join().unwrap(), b"state vector");
+    }
+
+    #[test]
+    fn synthetic_send_reports_length() {
+        let registry = EndpointRegistry::new();
+        let listener = registry.bind("tcp://sink:1").unwrap();
+        let client = MwClient::new(registry);
+        let rx = std::thread::spawn(move || MwClient::recv_discard_on(&listener).unwrap());
+        client.send_synthetic("tcp://sink:1", 10_000_000, None).unwrap();
+        assert_eq!(rx.join().unwrap(), 10_000_000);
+    }
+
+    #[test]
+    fn send_to_unknown_endpoint_fails() {
+        let client = MwClient::new(EndpointRegistry::new());
+        assert!(matches!(
+            client.send("tcp://ghost:1", b"x"),
+            Err(MwError::UnknownEndpoint(_))
+        ));
+    }
+
+    #[test]
+    fn link_rate_paces_synthetic_send() {
+        let registry = EndpointRegistry::new();
+        let listener = registry.bind("tcp://sink:2").unwrap();
+        let client = MwClient::new(registry);
+        let rx = std::thread::spawn(move || MwClient::recv_discard_on(&listener).unwrap());
+        let start = std::time::Instant::now();
+        // 2 MB at 10 MB/s ≈ 0.2 s.
+        client.send_synthetic("tcp://sink:2", 2_000_000, Some(10.0e6)).unwrap();
+        rx.join().unwrap();
+        assert!(start.elapsed().as_secs_f64() >= 0.15);
+    }
+}

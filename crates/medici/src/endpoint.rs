@@ -1,0 +1,158 @@
+//! Endpoint URLs and the deployment registry.
+//!
+//! The paper identifies every state estimator and data source by a URL
+//! ("each state estimator or data source is uniquely identified by a URL",
+//! §IV-A) such as `tcp://nwiceb.pnl.gov:6789`. The prototype keeps those
+//! names as the addressing scheme and maps each one to a live loopback
+//! socket through the [`EndpointRegistry`] — the single point where the
+//! simulated deployment differs from the laboratory testbed.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::MwError;
+
+/// A parsed `tcp://host:port` endpoint name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EndpointUrl {
+    /// Host name as written (a logical name; resolution goes through the
+    /// registry, not DNS).
+    pub host: String,
+    /// Port as written (part of the logical name).
+    pub port: u16,
+}
+
+impl EndpointUrl {
+    /// Parses `tcp://host:port`.
+    ///
+    /// # Errors
+    /// [`MwError::BadUrl`] on anything else.
+    pub fn parse(url: &str) -> Result<Self, MwError> {
+        let rest = url
+            .strip_prefix("tcp://")
+            .ok_or_else(|| MwError::BadUrl(url.to_string()))?;
+        let (host, port) = rest
+            .rsplit_once(':')
+            .ok_or_else(|| MwError::BadUrl(url.to_string()))?;
+        if host.is_empty() {
+            return Err(MwError::BadUrl(url.to_string()));
+        }
+        let port: u16 = port.parse().map_err(|_| MwError::BadUrl(url.to_string()))?;
+        Ok(EndpointUrl { host: host.to_string(), port })
+    }
+
+    /// The canonical string form.
+    pub fn to_url_string(&self) -> String {
+        format!("tcp://{}:{}", self.host, self.port)
+    }
+}
+
+/// Maps logical endpoint URLs to live loopback socket addresses.
+///
+/// Cloning is cheap (shared state): every component of the deployment holds
+/// the same registry, exactly like a name service.
+#[derive(Debug, Clone, Default)]
+pub struct EndpointRegistry {
+    inner: Arc<Mutex<HashMap<EndpointUrl, SocketAddr>>>,
+}
+
+impl EndpointRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds a fresh loopback listener for `url` and records the mapping.
+    /// Returns the listener the endpoint's owner should serve on.
+    ///
+    /// # Errors
+    /// [`MwError::BadUrl`] for malformed URLs, [`MwError::Io`] when the
+    /// bind fails.
+    pub fn bind(&self, url: &str) -> Result<TcpListener, MwError> {
+        let parsed = EndpointUrl::parse(url)?;
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        self.inner.lock().insert(parsed, addr);
+        Ok(listener)
+    }
+
+    /// Resolves a logical URL to its live socket address.
+    ///
+    /// # Errors
+    /// [`MwError::UnknownEndpoint`] when the URL was never bound.
+    pub fn resolve(&self, url: &str) -> Result<SocketAddr, MwError> {
+        let parsed = EndpointUrl::parse(url)?;
+        self.inner
+            .lock()
+            .get(&parsed)
+            .copied()
+            .ok_or_else(|| MwError::UnknownEndpoint(url.to_string()))
+    }
+
+    /// Number of registered endpoints.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_urls() {
+        let u = EndpointUrl::parse("tcp://nwiceb.pnl.gov:6789").unwrap();
+        assert_eq!(u.host, "nwiceb.pnl.gov");
+        assert_eq!(u.port, 6789);
+        assert_eq!(u.to_url_string(), "tcp://nwiceb.pnl.gov:6789");
+    }
+
+    #[test]
+    fn rejects_malformed_urls() {
+        for bad in ["http://x:1", "tcp://", "tcp://host", "tcp://host:notaport", "tcp://:5"] {
+            assert!(EndpointUrl::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn bind_then_resolve() {
+        let reg = EndpointRegistry::new();
+        let listener = reg.bind("tcp://chinook.emsl.pnl.gov:7890").unwrap();
+        let addr = reg.resolve("tcp://chinook.emsl.pnl.gov:7890").unwrap();
+        assert_eq!(addr, listener.local_addr().unwrap());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn unknown_endpoint_errors() {
+        let reg = EndpointRegistry::new();
+        assert!(matches!(
+            reg.resolve("tcp://nowhere:1"),
+            Err(MwError::UnknownEndpoint(_))
+        ));
+    }
+
+    #[test]
+    fn registry_clones_share_state() {
+        let reg = EndpointRegistry::new();
+        let clone = reg.clone();
+        let _l = reg.bind("tcp://a:1").unwrap();
+        assert!(clone.resolve("tcp://a:1").is_ok());
+    }
+
+    #[test]
+    fn distinct_urls_get_distinct_ports() {
+        let reg = EndpointRegistry::new();
+        let _a = reg.bind("tcp://a:1").unwrap();
+        let _b = reg.bind("tcp://b:1").unwrap();
+        assert_ne!(reg.resolve("tcp://a:1").unwrap(), reg.resolve("tcp://b:1").unwrap());
+    }
+}

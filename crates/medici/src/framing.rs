@@ -1,0 +1,132 @@
+//! The EOF wire protocol: length-prefixed frames.
+//!
+//! The paper configures its TCP connector with an "EOFProtocol" so the
+//! receiver knows where a message ends. We use an 8-byte big-endian length
+//! prefix followed by the body; streaming variants move large payloads in
+//! bounded chunks so multi-gigabyte benchmark frames never need a giant
+//! allocation on the sending side.
+
+use std::io::{Read, Write};
+
+/// Chunk size used by the streaming send/receive paths.
+pub const CHUNK: usize = 1 << 22; // 4 MiB
+
+/// Writes one frame: 8-byte length prefix + body.
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(body.len() as u64).to_be_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one frame into memory.
+///
+/// # Errors
+/// Propagates socket errors; an unexpected EOF mid-frame surfaces as
+/// `ErrorKind::UnexpectedEof`.
+pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Vec<u8>> {
+    let mut len_buf = [0u8; 8];
+    r.read_exact(&mut len_buf)?;
+    let len = u64::from_be_bytes(len_buf) as usize;
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Writes a frame of `total` synthetic bytes (the measurement-harness
+/// payload) in [`CHUNK`]-sized pieces, pacing each piece through `pace`.
+pub fn write_frame_synthetic<W: Write>(
+    w: &mut W,
+    total: u64,
+    mut pace: impl FnMut(usize),
+) -> std::io::Result<()> {
+    w.write_all(&total.to_be_bytes())?;
+    // Pace-then-send so a simulated link actually delays the receiver.
+    const PACE_CHUNK: usize = 1 << 18; // 256 KiB
+    let chunk = vec![0x5au8; PACE_CHUNK];
+    let mut remaining = total as usize;
+    while remaining > 0 {
+        let n = remaining.min(PACE_CHUNK);
+        pace(n);
+        w.write_all(&chunk[..n])?;
+        remaining -= n;
+    }
+    w.flush()
+}
+
+/// Reads a frame's header and discards its body in chunks, returning the
+/// body length. Used by benchmark receivers and by the relay when it only
+/// needs to account for bytes.
+pub fn read_frame_discard<R: Read>(r: &mut R) -> std::io::Result<u64> {
+    let mut len_buf = [0u8; 8];
+    r.read_exact(&mut len_buf)?;
+    let len = u64::from_be_bytes(len_buf);
+    let mut buf = vec![0u8; CHUNK];
+    let mut remaining = len as usize;
+    while remaining > 0 {
+        let n = remaining.min(CHUNK);
+        r.read_exact(&mut buf[..n])?;
+        remaining -= n;
+    }
+    Ok(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello grid").unwrap();
+        let got = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(got, b"hello grid");
+    }
+
+    #[test]
+    fn empty_frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"").unwrap();
+        let got = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn multiple_frames_in_sequence() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"one").unwrap();
+        write_frame(&mut buf, b"two").unwrap();
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(read_frame(&mut cur).unwrap(), b"one");
+        assert_eq!(read_frame(&mut cur).unwrap(), b"two");
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"truncate me").unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn synthetic_stream_roundtrip() {
+        let total = (3 * CHUNK + 12345) as u64;
+        let mut buf = Vec::new();
+        let mut paced = 0usize;
+        write_frame_synthetic(&mut buf, total, |n| paced += n).unwrap();
+        assert_eq!(paced as u64, total);
+        let got = read_frame_discard(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(got, total);
+    }
+
+    #[test]
+    fn synthetic_matches_regular_reader() {
+        let mut buf = Vec::new();
+        write_frame_synthetic(&mut buf, 100, |_| {}).unwrap();
+        let body = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(body.len(), 100);
+        assert!(body.iter().all(|&b| b == 0x5a));
+    }
+}

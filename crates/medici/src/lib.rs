@@ -1,0 +1,66 @@
+//! # pgse-medici
+//!
+//! The data-communication middleware of the prototype — our from-scratch
+//! substitute for PNNL's MeDICi (§IV-D).
+//!
+//! Exactly as in the paper, each state estimator is identified by an
+//! endpoint URL (`tcp://nwiceb.pnl.gov:6789`); a *pipeline* owns a pair of
+//! inbound/outbound endpoints and forwards whatever arrives on the inbound
+//! side to the outbound side (one-way channels, Fig. 7); estimators call a
+//! middleware client's send/receive and never touch sockets directly
+//! (Fig. 6). The relay is store-and-forward, which is what produces the
+//! measured overhead of Tables III/IV: an extra hop whose cost is linear in
+//! the payload at the middleware's relaying rate (≈0.4 GB/s in the paper).
+//!
+//! Differences from the real system are confined to deployment: endpoint
+//! URLs resolve to loopback TCP addresses through an [`EndpointRegistry`]
+//! (we have one machine, not three clusters), and a token-bucket
+//! [`throttle::Throttle`] models link bandwidth and the relay rate.
+//!
+//! * [`framing`] — the EOF length-prefix wire protocol;
+//! * [`endpoint`] — URL parsing and the URL → socket-address registry;
+//! * [`throttle`] — token-bucket pacing (relay rate / simulated LAN);
+//! * [`pipeline`] — `MifPipeline` mirroring the paper's Fig. 7 API;
+//! * [`client`] — `MwClient::{send, recv}` used by estimators (Fig. 6);
+//! * [`measure`] — the timing harness behind Tables III/IV and Fig. 8.
+
+pub mod client;
+pub mod endpoint;
+pub mod framing;
+pub mod measure;
+pub mod pipeline;
+pub mod throttle;
+
+pub use client::MwClient;
+pub use endpoint::{EndpointRegistry, EndpointUrl};
+pub use pipeline::{EndpointProtocol, MifPipeline, PipelineHandle, SeComponent};
+pub use throttle::Throttle;
+
+/// Middleware error type.
+#[derive(Debug)]
+pub enum MwError {
+    /// Endpoint URL could not be parsed.
+    BadUrl(String),
+    /// Endpoint is not registered.
+    UnknownEndpoint(String),
+    /// Underlying socket failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for MwError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MwError::BadUrl(u) => write!(f, "malformed endpoint url: {u}"),
+            MwError::UnknownEndpoint(u) => write!(f, "unknown endpoint: {u}"),
+            MwError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MwError {}
+
+impl From<std::io::Error> for MwError {
+    fn from(e: std::io::Error) -> Self {
+        MwError::Io(e)
+    }
+}

@@ -1,0 +1,165 @@
+//! Timing harness for the middleware-overhead experiments.
+//!
+//! Reproduces the paper's §V-B methodology: transfer a payload from a
+//! source to a destination **without** the middleware (direct TCP socket)
+//! and **with** it (through a MeDICi pipeline); the difference is the
+//! absolute middleware overhead. Two deployments are measured: within one
+//! workstation (loopback at memory speed) and across a LAN (modelled by a
+//! sender-side token bucket at the paper's measured ≈115 MB/s).
+
+use std::time::{Duration, Instant};
+
+use crate::client::MwClient;
+use crate::endpoint::EndpointRegistry;
+use crate::pipeline::{EndpointProtocol, MifPipeline, SeComponent};
+
+/// One measured transfer.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferTiming {
+    /// Payload size in bytes.
+    pub size: u64,
+    /// End-to-end time: sender start → receiver holds all bytes.
+    pub elapsed: Duration,
+}
+
+impl TransferTiming {
+    /// Observed throughput in bytes/second.
+    pub fn throughput(&self) -> f64 {
+        self.size as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Measures a direct TCP transfer of `size` bytes, optionally paced at
+/// `link_rate` (simulated LAN). This is the paper's `T1`/`T3`.
+///
+/// # Panics
+/// Panics on socket failures (the harness runs on loopback; failures are
+/// programming errors, not expected conditions).
+pub fn measure_direct(size: u64, link_rate: Option<f64>) -> TransferTiming {
+    let registry = EndpointRegistry::new();
+    let listener = registry.bind("tcp://destination-se:7000").expect("bind");
+    let client = MwClient::new(registry);
+    let receiver = std::thread::spawn(move || {
+        let got = MwClient::recv_discard_on(&listener).expect("receive");
+        (got, Instant::now())
+    });
+    let start = Instant::now();
+    client
+        .send_synthetic("tcp://destination-se:7000", size, link_rate)
+        .expect("send");
+    let (got, done) = receiver.join().expect("receiver thread");
+    assert_eq!(got, size, "receiver byte count");
+    TransferTiming { size, elapsed: done.duration_since(start) }
+}
+
+/// Measures the same transfer through a MeDICi pipeline relaying at
+/// `relay_rate` (the paper's `T2`/`T4`).
+pub fn measure_via_middleware(
+    size: u64,
+    relay_rate: f64,
+    link_rate: Option<f64>,
+) -> TransferTiming {
+    let registry = EndpointRegistry::new();
+    let dst = registry.bind("tcp://destination-se:7000").expect("bind dst");
+    let mut pipeline = MifPipeline::new();
+    pipeline.add_mif_connector(EndpointProtocol::Tcp);
+    let mut se = SeComponent::new("SE");
+    se.set_in_name_endp("tcp://medici-router:6789");
+    se.set_out_hal_endp("tcp://destination-se:7000");
+    pipeline.add_mif_component(se);
+    pipeline.set_relay_rate(relay_rate);
+    let handle = pipeline.start(&registry).expect("pipeline start");
+
+    let client = MwClient::new(registry);
+    let receiver = std::thread::spawn(move || {
+        let got = MwClient::recv_discard_on(&dst).expect("receive");
+        (got, Instant::now())
+    });
+    let start = Instant::now();
+    client
+        .send_synthetic("tcp://medici-router:6789", size, link_rate)
+        .expect("send");
+    let (got, done) = receiver.join().expect("receiver thread");
+    assert_eq!(got, size, "receiver byte count");
+    let timing = TransferTiming { size, elapsed: done.duration_since(start) };
+    handle.stop();
+    timing
+}
+
+/// One row of Table III/IV: direct time, middleware time, absolute
+/// overhead.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadRow {
+    /// Payload size in bytes.
+    pub size: u64,
+    /// Direct TCP time (`T1`/`T3`).
+    pub direct: Duration,
+    /// Via-middleware time (`T2`/`T4`).
+    pub middleware: Duration,
+}
+
+impl OverheadRow {
+    /// The paper's absolute overhead `T2 − T1` (clamped at zero).
+    pub fn overhead(&self) -> Duration {
+        self.middleware.saturating_sub(self.direct)
+    }
+
+    /// Effective data relaying rate implied by the overhead (the paper
+    /// reports ≈ 0.4 GB/s).
+    pub fn relay_rate(&self) -> f64 {
+        self.size as f64 / self.overhead().as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs one size through both modes.
+pub fn measure_overhead(size: u64, relay_rate: f64, link_rate: Option<f64>) -> OverheadRow {
+    let direct = measure_direct(size, link_rate);
+    let middleware = measure_via_middleware(size, relay_rate, link_rate);
+    OverheadRow { size, direct: direct.elapsed, middleware: middleware.elapsed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throttle::PAPER_RELAY_RATE;
+
+    #[test]
+    fn middleware_adds_overhead_scaling_with_size() {
+        // Scaled-down sizes keep the unit test fast; the tables binary runs
+        // the paper's full 100 MB – 2 GB sweep.
+        let small = measure_overhead(4_000_000, 40.0e6, None);
+        let large = measure_overhead(16_000_000, 40.0e6, None);
+        assert!(small.overhead() > Duration::ZERO);
+        // Linear trend: 4× the size → roughly 4× the overhead (±60%).
+        let ratio =
+            large.overhead().as_secs_f64() / small.overhead().as_secs_f64();
+        assert!(ratio > 1.6 && ratio < 10.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn implied_relay_rate_is_near_configured() {
+        let row = measure_overhead(20_000_000, 50.0e6, None);
+        // Overhead ≈ 20 MB / 50 MB/s = 0.4 s → implied rate near 50 MB/s.
+        let implied = row.relay_rate();
+        assert!(
+            implied > 25.0e6 && implied < 100.0e6,
+            "implied relay rate {implied}"
+        );
+    }
+
+    #[test]
+    fn simulated_lan_slows_direct_transfer() {
+        let local = measure_direct(5_000_000, None);
+        let lan = measure_direct(5_000_000, Some(25.0e6)); // 5 MB at 25 MB/s ≈ 0.2 s
+        assert!(lan.elapsed > local.elapsed);
+        assert!(lan.elapsed.as_secs_f64() >= 0.15);
+        assert!(local.throughput() > lan.throughput());
+    }
+
+    #[test]
+    fn paper_rate_constant_is_plausible_on_loopback() {
+        // At the paper's relay rate a 8 MB frame adds ≈ 20 ms.
+        let row = measure_overhead(8_000_000, PAPER_RELAY_RATE, None);
+        assert!(row.overhead().as_secs_f64() < 1.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests on the middleware wire formats and endpoint naming.
+
+use proptest::prelude::*;
+
+use pgse_medici::framing::{read_frame, write_frame};
+use pgse_medici::EndpointUrl;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn frames_roundtrip(body in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &body).unwrap();
+        prop_assert_eq!(buf.len(), body.len() + 8);
+        let got = read_frame(&mut std::io::Cursor::new(&buf)).unwrap();
+        prop_assert_eq!(got, body);
+    }
+
+    #[test]
+    fn frame_sequences_preserve_order_and_content(
+        bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..256), 1..20)
+    ) {
+        let mut buf = Vec::new();
+        for b in &bodies {
+            write_frame(&mut buf, b).unwrap();
+        }
+        let mut cur = std::io::Cursor::new(&buf);
+        for b in &bodies {
+            let got = read_frame(&mut cur).unwrap();
+            prop_assert_eq!(&got, b);
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics(body in proptest::collection::vec(any::<u8>(), 1..512),
+                               cut in 0usize..520) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &body).unwrap();
+        let cut = cut.min(buf.len().saturating_sub(1));
+        buf.truncate(cut);
+        // Must surface as an error, not a panic or a bogus frame.
+        prop_assert!(read_frame(&mut std::io::Cursor::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn endpoint_urls_roundtrip(host in "[a-z][a-z0-9.-]{0,30}", port in 1u16..) {
+        let url = format!("tcp://{host}:{port}");
+        let parsed = EndpointUrl::parse(&url).unwrap();
+        prop_assert_eq!(parsed.to_url_string(), url);
+        prop_assert_eq!(parsed.host, host);
+        prop_assert_eq!(parsed.port, port);
+    }
+
+    #[test]
+    fn garbage_urls_error_not_panic(s in ".{0,60}") {
+        // Parsing must be total: any input either parses or errors.
+        let _ = EndpointUrl::parse(&s);
+    }
+}

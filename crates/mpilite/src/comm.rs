@@ -1,0 +1,352 @@
+//! Ranked communicators over crossbeam channels.
+//!
+//! A *world* of `size` ranks is spawned with [`spawn_world`]; each rank's
+//! closure receives a [`Communicator`] supporting tagged point-to-point
+//! messages and the standard collectives. Payloads are `Vec<f64>` — the
+//! only message type the numerical kernels exchange.
+
+use std::collections::{HashMap, VecDeque};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Communication failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The peer's channel is closed (its rank panicked or exited early).
+    PeerGone { rank: usize },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::PeerGone { rank } => write!(f, "rank {rank} is gone"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// A tagged message envelope.
+struct Envelope {
+    src: usize,
+    tag: u64,
+    payload: Vec<f64>,
+}
+
+/// One rank's endpoint in a world.
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    /// Messages received but not yet matched by a `recv` call.
+    pending: HashMap<(usize, u64), VecDeque<Vec<f64>>>,
+}
+
+impl Communicator {
+    /// This rank's id, `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Sends `payload` to `dst` with `tag`.
+    ///
+    /// # Errors
+    /// [`CommError::PeerGone`] when the destination has hung up.
+    pub fn send(&self, dst: usize, tag: u64, payload: Vec<f64>) -> Result<(), CommError> {
+        assert!(dst < self.size, "destination rank out of range");
+        self.senders[dst]
+            .send(Envelope { src: self.rank, tag, payload })
+            .map_err(|_| CommError::PeerGone { rank: dst })
+    }
+
+    /// Blocking receive of a message from `src` with `tag`; out-of-order
+    /// arrivals are buffered.
+    ///
+    /// # Errors
+    /// [`CommError::PeerGone`] when the world has collapsed before a
+    /// matching message arrived.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+        let key = (src, tag);
+        if let Some(queue) = self.pending.get_mut(&key) {
+            if let Some(msg) = queue.pop_front() {
+                return Ok(msg);
+            }
+        }
+        loop {
+            let env = self.inbox.recv().map_err(|_| CommError::PeerGone { rank: src })?;
+            if env.src == src && env.tag == tag {
+                return Ok(env.payload);
+            }
+            self.pending.entry((env.src, env.tag)).or_default().push_back(env.payload);
+        }
+    }
+
+    /// Broadcast from `root`: the root's `data` reaches every rank.
+    pub fn bcast(&mut self, root: usize, data: &mut Vec<f64>) -> Result<(), CommError> {
+        const TAG: u64 = u64::MAX - 1;
+        if self.rank == root {
+            for dst in 0..self.size {
+                if dst != root {
+                    self.send(dst, TAG, data.clone())?;
+                }
+            }
+        } else {
+            *data = self.recv(root, TAG)?;
+        }
+        Ok(())
+    }
+
+    /// Gather to `root`: returns `Some(chunks)` (indexed by rank) at the
+    /// root, `None` elsewhere.
+    pub fn gather(
+        &mut self,
+        root: usize,
+        data: Vec<f64>,
+    ) -> Result<Option<Vec<Vec<f64>>>, CommError> {
+        const TAG: u64 = u64::MAX - 2;
+        if self.rank == root {
+            let mut out = vec![Vec::new(); self.size];
+            out[root] = data;
+            for src in 0..self.size {
+                if src != root {
+                    out[src] = self.recv(src, TAG)?;
+                }
+            }
+            Ok(Some(out))
+        } else {
+            self.send(root, TAG, data)?;
+            Ok(None)
+        }
+    }
+
+    /// Allgather: every rank receives every rank's chunk, concatenated in
+    /// rank order.
+    pub fn allgather(&mut self, data: Vec<f64>) -> Result<Vec<f64>, CommError> {
+        let gathered = self.gather(0, data)?;
+        let mut flat = match gathered {
+            Some(chunks) => chunks.concat(),
+            None => Vec::new(),
+        };
+        self.bcast(0, &mut flat)?;
+        Ok(flat)
+    }
+
+    /// Elementwise sum-allreduce.
+    pub fn allreduce_sum(&mut self, data: Vec<f64>) -> Result<Vec<f64>, CommError> {
+        let len = data.len();
+        let gathered = self.gather(0, data)?;
+        let mut acc = match gathered {
+            Some(chunks) => {
+                let mut acc = vec![0.0; len];
+                for chunk in chunks {
+                    for (a, v) in acc.iter_mut().zip(chunk) {
+                        *a += v;
+                    }
+                }
+                acc
+            }
+            None => Vec::new(),
+        };
+        self.bcast(0, &mut acc)?;
+        Ok(acc)
+    }
+
+    /// Scalar sum-allreduce.
+    pub fn allreduce_scalar(&mut self, v: f64) -> Result<f64, CommError> {
+        Ok(self.allreduce_sum(vec![v])?[0])
+    }
+
+    /// Barrier: all ranks wait until every rank arrives.
+    pub fn barrier(&mut self) -> Result<(), CommError> {
+        let _ = self.allreduce_scalar(0.0)?;
+        Ok(())
+    }
+
+    /// Scatter from `root`: rank `r` receives `chunks[r]`. Pass `None` on
+    /// non-root ranks.
+    pub fn scatter(
+        &mut self,
+        root: usize,
+        chunks: Option<Vec<Vec<f64>>>,
+    ) -> Result<Vec<f64>, CommError> {
+        const TAG: u64 = u64::MAX - 3;
+        if self.rank == root {
+            let chunks = chunks.expect("root must supply chunks");
+            assert_eq!(chunks.len(), self.size, "scatter needs one chunk per rank");
+            let mut mine = Vec::new();
+            for (dst, chunk) in chunks.into_iter().enumerate() {
+                if dst == root {
+                    mine = chunk;
+                } else {
+                    self.send(dst, TAG, chunk)?;
+                }
+            }
+            Ok(mine)
+        } else {
+            self.recv(root, TAG)
+        }
+    }
+}
+
+/// Spawns a world of `size` ranks, runs `f` on each with its communicator,
+/// and returns the per-rank results in rank order.
+///
+/// # Panics
+/// Propagates a panic of any rank.
+pub fn spawn_world<T, F>(size: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Communicator) -> T + Sync,
+{
+    assert!(size > 0, "world size must be positive");
+    let mut senders = Vec::with_capacity(size);
+    let mut receivers = Vec::with_capacity(size);
+    for _ in 0..size {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let comms: Vec<Communicator> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, inbox)| Communicator {
+            rank,
+            size,
+            senders: senders.clone(),
+            inbox,
+            pending: HashMap::new(),
+        })
+        .collect();
+    drop(senders);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| scope.spawn(move || f(comm)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let results = spawn_world(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![1.0, 2.0]).unwrap();
+                comm.recv(1, 8).unwrap()
+            } else {
+                let got = comm.recv(0, 7).unwrap();
+                comm.send(0, 8, vec![got[0] + got[1]]).unwrap();
+                got
+            }
+        });
+        assert_eq!(results[0], vec![3.0]);
+        assert_eq!(results[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn tag_matching_buffers_out_of_order() {
+        let results = spawn_world(2, |mut comm| {
+            if comm.rank() == 0 {
+                // Send tag 2 first, then tag 1.
+                comm.send(1, 2, vec![2.0]).unwrap();
+                comm.send(1, 1, vec![1.0]).unwrap();
+                vec![]
+            } else {
+                // Receive in the opposite order.
+                let a = comm.recv(0, 1).unwrap();
+                let b = comm.recv(0, 2).unwrap();
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(results[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn bcast_reaches_all_ranks() {
+        let results = spawn_world(4, |mut comm| {
+            let mut data = if comm.rank() == 2 { vec![9.0, 8.0] } else { vec![] };
+            comm.bcast(2, &mut data).unwrap();
+            data
+        });
+        for r in results {
+            assert_eq!(r, vec![9.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let results = spawn_world(3, |mut comm| {
+            comm.gather(0, vec![comm.rank() as f64]).unwrap()
+        });
+        let chunks = results[0].as_ref().unwrap();
+        assert_eq!(chunks, &vec![vec![0.0], vec![1.0], vec![2.0]]);
+        assert!(results[1].is_none());
+    }
+
+    #[test]
+    fn allgather_concatenates() {
+        let results = spawn_world(3, |mut comm| {
+            comm.allgather(vec![comm.rank() as f64; 2]).unwrap()
+        });
+        for r in results {
+            assert_eq!(r, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_elementwise() {
+        let results = spawn_world(4, |mut comm| {
+            comm.allreduce_sum(vec![comm.rank() as f64, 1.0]).unwrap()
+        });
+        for r in results {
+            assert_eq!(r, vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_chunks() {
+        let results = spawn_world(3, |mut comm| {
+            let chunks = (comm.rank() == 1)
+                .then(|| vec![vec![0.0], vec![10.0], vec![20.0]]);
+            comm.scatter(1, chunks).unwrap()
+        });
+        assert_eq!(results[0], vec![0.0]);
+        assert_eq!(results[1], vec![10.0]);
+        assert_eq!(results[2], vec![20.0]);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        spawn_world(4, |mut comm| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            comm.barrier().unwrap();
+            // After the barrier every rank must have incremented.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let results = spawn_world(1, |mut comm| {
+            assert_eq!(comm.size(), 1);
+            comm.allreduce_scalar(5.0).unwrap()
+        });
+        assert_eq!(results, vec![5.0]);
+    }
+}

@@ -1,0 +1,19 @@
+//! # pgse-mpilite
+//!
+//! A minimal message-passing substrate — the stand-in for the MPI runtime
+//! each of the paper's HPC clusters runs its parallel state-estimation code
+//! on (see DESIGN.md §2 for the substitution argument).
+//!
+//! [`comm`] provides ranked communicators over crossbeam channels with the
+//! point-to-point and collective operations the solver needs (send/recv,
+//! barrier, broadcast, gather, allgather, allreduce). [`dpcg`] implements
+//! the paper's parallel preconditioned conjugate gradient on top: matrix
+//! rows are block-partitioned across ranks, SpMV exchanges the shared
+//! vector by allgather, and dot products are allreduced — the canonical
+//! distributed-memory CG structure.
+
+pub mod comm;
+pub mod dpcg;
+
+pub use comm::{spawn_world, CommError, Communicator};
+pub use dpcg::{dpcg_solve, DpcgOutcome};

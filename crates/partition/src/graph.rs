@@ -1,0 +1,199 @@
+//! The weighted, undirected decomposition graph.
+
+/// An undirected graph with positive vertex and edge weights.
+///
+/// Vertices are `0..n`. Parallel edges are merged by summing weights;
+/// self-loops are rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedGraph {
+    vwgt: Vec<f64>,
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl WeightedGraph {
+    /// A graph with `n` vertices of weight 1 and no edges.
+    pub fn new(n: usize) -> Self {
+        WeightedGraph { vwgt: vec![1.0; n], adj: vec![Vec::new(); n] }
+    }
+
+    /// A graph with the given vertex weights and no edges.
+    ///
+    /// # Panics
+    /// Panics if any weight is not strictly positive.
+    pub fn with_vertex_weights(vwgt: Vec<f64>) -> Self {
+        assert!(vwgt.iter().all(|&w| w > 0.0), "vertex weights must be positive");
+        let n = vwgt.len();
+        WeightedGraph { vwgt, adj: vec![Vec::new(); n] }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn n_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Vertex weight of `v`.
+    pub fn vertex_weight(&self, v: usize) -> f64 {
+        self.vwgt[v]
+    }
+
+    /// Sets the vertex weight of `v`.
+    ///
+    /// # Panics
+    /// Panics on non-positive weight.
+    pub fn set_vertex_weight(&mut self, v: usize, w: f64) {
+        assert!(w > 0.0, "vertex weight must be positive");
+        self.vwgt[v] = w;
+    }
+
+    /// Total vertex weight.
+    pub fn total_weight(&self) -> f64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Adds (or accumulates onto) the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    /// Panics on self-loops, out-of-range vertices, or non-positive weight.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: f64) {
+        assert!(u != v, "self-loop on vertex {u}");
+        assert!(u < self.n() && v < self.n(), "edge ({u},{v}) out of range");
+        assert!(w > 0.0, "edge weight must be positive");
+        for (a, b) in [(u, v), (v, u)] {
+            match self.adj[a].iter_mut().find(|(t, _)| *t == b) {
+                Some((_, wv)) => *wv += w,
+                None => self.adj[a].push((b, w)),
+            }
+        }
+    }
+
+    /// Sets the weight of an existing edge `{u, v}` on both directions.
+    ///
+    /// # Panics
+    /// Panics if the edge does not exist or the weight is not positive.
+    pub fn set_edge_weight(&mut self, u: usize, v: usize, w: f64) {
+        assert!(w > 0.0, "edge weight must be positive");
+        for (a, b) in [(u, v), (v, u)] {
+            let e = self.adj[a]
+                .iter_mut()
+                .find(|(t, _)| *t == b)
+                .unwrap_or_else(|| panic!("edge ({u},{v}) does not exist"));
+            e.1 = w;
+        }
+    }
+
+    /// The neighbours of `v` with edge weights.
+    pub fn neighbors(&self, v: usize) -> &[(usize, f64)] {
+        &self.adj[v]
+    }
+
+    /// The weight of edge `{u, v}`, or 0 when absent.
+    pub fn edge_weight(&self, u: usize, v: usize) -> f64 {
+        self.adj[u].iter().find(|(t, _)| *t == v).map_or(0.0, |(_, w)| *w)
+    }
+
+    /// All undirected edges, each once, as `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::with_capacity(self.n_edges());
+        for u in 0..self.n() {
+            for &(v, w) in &self.adj[u] {
+                if u < v {
+                    out.push((u, v, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Graph diameter in hops (unweighted BFS); `usize::MAX` when
+    /// disconnected. The DSE exchange rounds are bounded by this (§II).
+    pub fn diameter(&self) -> usize {
+        let n = self.n();
+        let mut diameter = 0usize;
+        for s in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            dist[s] = 0;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(v) = queue.pop_front() {
+                for &(w, _) in &self.adj[v] {
+                    if dist[w] == usize::MAX {
+                        dist[w] = dist[v] + 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            let ecc = dist.iter().copied().max().expect("non-empty graph");
+            if ecc == usize::MAX {
+                return usize::MAX;
+            }
+            diameter = diameter.max(ecc);
+        }
+        diameter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_is_symmetric_and_merges() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(1, 0, 3.0);
+        assert_eq!(g.edge_weight(0, 1), 5.0);
+        assert_eq!(g.edge_weight(1, 0), 5.0);
+        assert_eq!(g.n_edges(), 1);
+    }
+
+    #[test]
+    fn set_edge_weight_overwrites() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 1, 2.0);
+        g.set_edge_weight(0, 1, 7.0);
+        assert_eq!(g.edge_weight(1, 0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        WeightedGraph::new(2).add_edge(1, 1, 1.0);
+    }
+
+    #[test]
+    fn vertex_weights_accumulate_total() {
+        let g = WeightedGraph::with_vertex_weights(vec![14.0, 13.0, 12.0]);
+        assert_eq!(g.total_weight(), 39.0);
+        assert_eq!(g.vertex_weight(0), 14.0);
+    }
+
+    #[test]
+    fn edges_listed_once() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(2, 1, 1.0);
+        g.add_edge(3, 0, 1.0);
+        let e = g.edges();
+        assert_eq!(e.len(), 3);
+        assert!(e.iter().all(|&(u, v, _)| u < v));
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        assert_eq!(g.diameter(), 3);
+    }
+
+    #[test]
+    fn diameter_of_disconnected_is_max() {
+        let g = WeightedGraph::new(3);
+        assert_eq!(g.diameter(), usize::MAX);
+    }
+}

@@ -1,0 +1,36 @@
+//! # pgse-partition
+//!
+//! Graph partitioning for mapping power-system decompositions onto HPC
+//! clusters — the role METIS plays in the paper (§IV-B.3).
+//!
+//! The decomposition graph has one vertex per subsystem (vertex weight =
+//! estimated computation cost) and one edge per tie-line-connected pair
+//! (edge weight = estimated communication volume). Partitioning it into `p`
+//! parts assigns subsystems to HPC clusters so that computation is balanced
+//! and inter-cluster communication minimized; *re*partitioning adapts the
+//! mapping when the weights change between DSE Step 1 and Step 2 while
+//! keeping migration (data redistribution) small.
+//!
+//! * [`graph::WeightedGraph`] — the weighted decomposition graph;
+//! * [`partition::Partition`] — an assignment plus the paper's metrics
+//!   (load-imbalance ratio, edge cut, migration count);
+//! * [`kway`] — multilevel k-way partitioning (heavy-edge-matching
+//!   coarsening, greedy initial assignment, FM-style refinement);
+//! * [`repartition`] — adaptive repartitioning with a migration penalty;
+//! * [`brute`] — exact enumeration for tiny graphs (test oracle; the
+//!   paper's 9-vertex graph is solved exactly);
+//! * [`weights`] — the paper's weight model `Wv = Nb·(g1·x + g2)`,
+//!   `We = gs(s1) + gs(s2)`.
+
+pub mod brute;
+pub mod graph;
+pub mod kway;
+pub mod partition;
+pub mod repartition;
+pub mod weights;
+
+pub use brute::brute_force_optimal;
+pub use graph::WeightedGraph;
+pub use kway::{partition_kway, KwayOptions};
+pub use partition::Partition;
+pub use repartition::{repartition, RepartitionOptions};

@@ -1,0 +1,159 @@
+//! A k-way partition and the metrics the paper reports.
+
+use crate::graph::WeightedGraph;
+
+/// An assignment of every vertex to one of `k` parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `assignment[v]` is the part of vertex `v`, in `0..k`.
+    pub assignment: Vec<usize>,
+    /// Number of parts.
+    pub k: usize,
+}
+
+impl Partition {
+    /// Creates a partition, validating the assignment range.
+    ///
+    /// # Panics
+    /// Panics if any entry is `>= k` or `k == 0`.
+    pub fn new(assignment: Vec<usize>, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(assignment.iter().all(|&p| p < k), "part out of range");
+        Partition { assignment, k }
+    }
+
+    /// Vertices in part `p`, ascending.
+    pub fn part(&self, p: usize) -> Vec<usize> {
+        (0..self.assignment.len()).filter(|&v| self.assignment[v] == p).collect()
+    }
+
+    /// Total vertex weight per part.
+    pub fn part_loads(&self, g: &WeightedGraph) -> Vec<f64> {
+        let mut loads = vec![0.0; self.k];
+        for (v, &p) in self.assignment.iter().enumerate() {
+            loads[p] += g.vertex_weight(v);
+        }
+        loads
+    }
+
+    /// The paper's *load-imbalance ratio*: max part load over average part
+    /// load (1.0 is perfect; METIS suggests ≤ 1.05).
+    pub fn imbalance(&self, g: &WeightedGraph) -> f64 {
+        let loads = self.part_loads(g);
+        let avg = g.total_weight() / self.k as f64;
+        loads.iter().fold(0.0f64, |m, &l| m.max(l)) / avg
+    }
+
+    /// Total weight of edges crossing between parts (the communication the
+    /// mapping must pay in DSE Step 2).
+    pub fn edge_cut(&self, g: &WeightedGraph) -> f64 {
+        g.edges()
+            .into_iter()
+            .filter(|&(u, v, _)| self.assignment[u] != self.assignment[v])
+            .map(|(_, _, w)| w)
+            .sum()
+    }
+
+    /// Number of vertices assigned differently than in `previous` — the
+    /// subsystems whose raw measurement data must be redistributed between
+    /// clusters when the mapping changes (§IV-C).
+    pub fn migration(&self, previous: &Partition) -> usize {
+        assert_eq!(self.assignment.len(), previous.assignment.len(), "size mismatch");
+        self.assignment
+            .iter()
+            .zip(&previous.assignment)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// True when every part is non-empty.
+    pub fn all_parts_used(&self) -> bool {
+        let mut used = vec![false; self.k];
+        for &p in &self.assignment {
+            used[p] = true;
+        }
+        used.into_iter().all(|u| u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1_graph() -> WeightedGraph {
+        // The paper's IEEE-118 decomposition graph (Table I).
+        let mut g = WeightedGraph::with_vertex_weights(vec![
+            14.0, 13.0, 13.0, 13.0, 13.0, 12.0, 14.0, 13.0, 13.0,
+        ]);
+        for (u, v) in [
+            (0, 1),
+            (0, 3),
+            (0, 4),
+            (1, 2),
+            (1, 5),
+            (2, 5),
+            (3, 4),
+            (3, 6),
+            (4, 5),
+            (4, 6),
+            (4, 7),
+            (6, 8),
+        ] {
+            let w = g.vertex_weight(u) + g.vertex_weight(v);
+            g.add_edge(u, v, w);
+        }
+        g
+    }
+
+    #[test]
+    fn figure4_partition_metrics() {
+        // Fig. 4: {1,4,8} / {2,3,6} / {5,7,9} (1-indexed) → zero-indexed
+        // parts {0,3,7}, {1,2,5}, {4,6,8}.
+        let g = table1_graph();
+        let mut asg = vec![0usize; 9];
+        for v in [1, 2, 5] {
+            asg[v] = 1;
+        }
+        for v in [4, 6, 8] {
+            asg[v] = 2;
+        }
+        let p = Partition::new(asg, 3);
+        let loads = p.part_loads(&g);
+        assert_eq!(loads, vec![40.0, 38.0, 40.0]);
+        // 40 / (118/3) ≈ 1.0169 — comfortably inside METIS's 1.05.
+        assert!((p.imbalance(&g) - 40.0 / (118.0 / 3.0)).abs() < 1e-12);
+        assert!(p.imbalance(&g) < 1.05);
+    }
+
+    #[test]
+    fn edge_cut_counts_crossing_weights_once() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(1, 2, 7.0);
+        let p = Partition::new(vec![0, 0, 1], 2);
+        assert_eq!(p.edge_cut(&g), 7.0);
+    }
+
+    #[test]
+    fn migration_counts_moves() {
+        let a = Partition::new(vec![0, 1, 2, 0], 3);
+        let b = Partition::new(vec![0, 2, 2, 1], 3);
+        assert_eq!(b.migration(&a), 2);
+        assert_eq!(a.migration(&a), 0);
+    }
+
+    #[test]
+    fn parts_enumerate_members() {
+        let p = Partition::new(vec![1, 0, 1], 2);
+        assert_eq!(p.part(1), vec![0, 2]);
+        assert!(p.all_parts_used());
+        let q = Partition::new(vec![0, 0, 0], 2);
+        assert!(!q.all_parts_used());
+    }
+
+    #[test]
+    #[should_panic(expected = "part out of range")]
+    fn out_of_range_rejected() {
+        Partition::new(vec![0, 3], 3);
+    }
+}

@@ -1,0 +1,202 @@
+//! Adaptive repartitioning.
+//!
+//! Between DSE Step 1 and Step 2 the graph weights change (edge weights
+//! become real communication volumes, vertex weights change with the new
+//! computation estimate), and the paper re-invokes METIS's repartitioning
+//! routine: improve the objective under the *new* weights while moving as
+//! few subsystems as possible, because every moved subsystem forces its raw
+//! measurement data to be redistributed to another cluster (§IV-C). In the
+//! paper's example only subsystems 4 and 5 swap clusters (Figs. 4→5).
+
+use crate::graph::WeightedGraph;
+use crate::kway::KwayOptions;
+use crate::partition::Partition;
+
+/// Options of the adaptive repartitioner.
+#[derive(Debug, Clone, Copy)]
+pub struct RepartitionOptions {
+    /// Allowed load-imbalance ratio under the new weights.
+    pub imbalance_tol: f64,
+    /// Cut-gain a move must additionally earn per unit of migration (the
+    /// redistribution cost of moving a subsystem's raw data).
+    pub migration_penalty: f64,
+    /// Refinement passes.
+    pub passes: usize,
+}
+
+impl Default for RepartitionOptions {
+    fn default() -> Self {
+        RepartitionOptions { imbalance_tol: 1.10, migration_penalty: 1.0, passes: 8 }
+    }
+}
+
+/// Adapts `previous` to the (re-weighted) graph `g`.
+///
+/// Starts from the previous assignment and performs migration-penalized
+/// FM moves: a move's score is its edge-cut gain minus
+/// `migration_penalty × Δmigration`, with rebalancing moves forced when a
+/// part exceeds the tolerance.
+///
+/// # Panics
+/// Panics when `previous` does not match `g`'s vertex count.
+pub fn repartition(
+    g: &WeightedGraph,
+    previous: &Partition,
+    opts: &RepartitionOptions,
+) -> Partition {
+    assert_eq!(previous.assignment.len(), g.n(), "partition/graph size mismatch");
+    let k = previous.k;
+    let mut assignment = previous.assignment.clone();
+    let avg = g.total_weight() / k as f64;
+    let max_load = opts.imbalance_tol * avg;
+    let mut loads = vec![0.0f64; k];
+    for (v, &p) in assignment.iter().enumerate() {
+        loads[p] += g.vertex_weight(v);
+    }
+
+    for _ in 0..opts.passes {
+        let mut moved = false;
+        for v in 0..g.n() {
+            let a = assignment[v];
+            let w = g.vertex_weight(v);
+            let part_count = assignment.iter().filter(|&&p| p == a).count();
+            if part_count <= 1 {
+                continue;
+            }
+            let mut conn = vec![0.0f64; k];
+            for &(u, ew) in g.neighbors(v) {
+                conn[assignment[u]] += ew;
+            }
+            let overloaded = loads[a] > max_load;
+            let mut best: Option<(usize, f64)> = None;
+            for b in 0..k {
+                if b == a {
+                    continue;
+                }
+                let fits = loads[b] + w <= max_load;
+                let improves_balance = loads[b] + w < loads[a];
+                if !(fits || (overloaded && improves_balance)) {
+                    continue;
+                }
+                // Migration delta of this move relative to the previous
+                // mapping: +1 when leaving the original cluster, −1 when
+                // returning to it.
+                let dmig = (b != previous.assignment[v]) as i64
+                    - (a != previous.assignment[v]) as i64;
+                let gain = conn[b] - conn[a] - opts.migration_penalty * dmig as f64;
+                let acceptable =
+                    if overloaded && improves_balance { true } else { gain > 1e-12 };
+                if acceptable {
+                    let score = if overloaded { gain + (loads[a] - loads[b]) } else { gain };
+                    if best.is_none_or(|(_, s)| score > s) {
+                        best = Some((b, score));
+                    }
+                }
+            }
+            if let Some((b, _)) = best {
+                loads[a] -= w;
+                loads[b] += w;
+                assignment[v] = b;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    Partition::new(assignment, k)
+}
+
+/// Convenience: the paper's full sequence — partition for Step 1, then
+/// repartition for Step 2 after the weights change.
+pub fn partition_then_adapt(
+    step1_graph: &WeightedGraph,
+    step2_graph: &WeightedGraph,
+    k: usize,
+    kway: &KwayOptions,
+    re: &RepartitionOptions,
+) -> (Partition, Partition) {
+    let p1 = crate::kway::partition_kway(step1_graph, k, kway);
+    let p2 = repartition(step2_graph, &p1, re);
+    (p1, p2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kway::{partition_kway, tests::table1_graph};
+
+    #[test]
+    fn stable_weights_cause_no_migration() {
+        let g = table1_graph();
+        let p1 = partition_kway(&g, 3, &KwayOptions::default());
+        let p2 = repartition(&g, &p1, &RepartitionOptions::default());
+        assert_eq!(p2.migration(&p1), 0);
+    }
+
+    #[test]
+    fn weight_shift_triggers_bounded_migration() {
+        // Step 2 weights: one subsystem becomes much more expensive.
+        let g1 = table1_graph();
+        let p1 = partition_kway(&g1, 3, &KwayOptions::default());
+        let mut g2 = table1_graph();
+        g2.set_vertex_weight(4, 40.0); // subsystem 5 triples in cost
+        let p2 = repartition(&g2, &p1, &RepartitionOptions::default());
+        assert!(p2.imbalance(&g2) <= 1.35, "imbalance {}", p2.imbalance(&g2));
+        // Migration stays small — the paper's example moves two subsystems.
+        assert!(p2.migration(&p1) <= 3, "migration {}", p2.migration(&p1));
+    }
+
+    #[test]
+    fn migration_penalty_suppresses_marginal_moves() {
+        let g = table1_graph();
+        let p1 = partition_kway(&g, 3, &KwayOptions::default());
+        // With an enormous penalty, nothing moves even if small cut gains
+        // exist.
+        let frozen = repartition(
+            &g,
+            &p1,
+            &RepartitionOptions { migration_penalty: 1e9, ..Default::default() },
+        );
+        assert_eq!(frozen.migration(&p1), 0);
+    }
+
+    #[test]
+    fn rebalancing_overrides_penalty_when_overloaded() {
+        let mut g = table1_graph();
+        // Make part loads wildly uneven under the old mapping.
+        let p1 = partition_kway(&table1_graph(), 3, &KwayOptions::default());
+        for &v in &p1.part(0) {
+            g.set_vertex_weight(v, 100.0);
+        }
+        let p2 = repartition(
+            &g,
+            &p1,
+            &RepartitionOptions { migration_penalty: 10.0, ..Default::default() },
+        );
+        assert!(p2.imbalance(&g) < p1.imbalance(&g));
+        assert!(p2.migration(&p1) > 0);
+    }
+
+    #[test]
+    fn full_sequence_mirrors_paper_workflow() {
+        // Step 1: uniform edge weights (no Step-1 communication).
+        let mut g1 = table1_graph();
+        for (u, v, _) in g1.edges() {
+            g1.set_edge_weight(u, v, 1.0);
+        }
+        // Step 2: Table I communication weights.
+        let g2 = table1_graph();
+        let (p1, p2) = partition_then_adapt(
+            &g1,
+            &g2,
+            3,
+            &KwayOptions::default(),
+            &RepartitionOptions::default(),
+        );
+        assert!(p1.all_parts_used() && p2.all_parts_used());
+        assert!(p2.imbalance(&g2) <= 1.10);
+        // Paper: the Step-2 scheme moves only a couple of subsystems.
+        assert!(p2.migration(&p1) <= 4);
+    }
+}

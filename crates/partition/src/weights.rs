@@ -1,0 +1,173 @@
+//! The paper's graph-weight estimation model (§IV-B.2).
+//!
+//! * Vertex weight: `Wv = Nb × Ni` with `Ni = g1·x + g2`, where `Nb` is the
+//!   subsystem's bus count and `x = f(δt)` the noise level of the time
+//!   frame (Expressions (1)–(4));
+//! * Edge weight for Step 2: `We = gs(s1) + gs(s2)`, where `gs` counts a
+//!   subsystem's boundary and sensitive internal buses (Expression (5));
+//!   the Table I *initial* weights use the upper bound `gs = Nb`.
+//! * Step 1 needs no communication, so its graph carries uniform edge
+//!   weights and the objective is pure load balance.
+
+use crate::graph::WeightedGraph;
+
+/// Per-subsystem inputs of the weight model.
+#[derive(Debug, Clone, Copy)]
+pub struct SubsystemProfile {
+    /// Number of buses `Nb`.
+    pub n_buses: usize,
+    /// Number of boundary + sensitive internal buses `gs`.
+    pub gs: usize,
+    /// Iteration-model slope `g1` for this subsystem size.
+    pub g1: f64,
+    /// Iteration-model intercept `g2`.
+    pub g2: f64,
+}
+
+impl SubsystemProfile {
+    /// Predicted Gauss–Newton iterations at noise level `x` (Expression 2).
+    pub fn iterations(&self, x: f64) -> f64 {
+        (self.g1 * x + self.g2).max(1.0)
+    }
+
+    /// Vertex weight `Wv = Nb·Ni` at noise level `x` (Expression 4).
+    pub fn vertex_weight(&self, x: f64) -> f64 {
+        self.n_buses as f64 * self.iterations(x)
+    }
+}
+
+/// Edge weight for Step 2 (Expression 5): measurements exchanged between the
+/// two subsystems' boundary/sensitive buses.
+pub fn edge_weight(s1: &SubsystemProfile, s2: &SubsystemProfile) -> f64 {
+    (s1.gs + s2.gs) as f64
+}
+
+/// Builds the Step-1 graph: noise-scaled vertex weights, uniform edge
+/// weights (no Step-1 communication — balance is the only objective).
+pub fn step1_graph(
+    profiles: &[SubsystemProfile],
+    edges: &[(usize, usize)],
+    noise_level: f64,
+) -> WeightedGraph {
+    let mut g = WeightedGraph::with_vertex_weights(
+        profiles.iter().map(|p| p.vertex_weight(noise_level)).collect(),
+    );
+    for &(u, v) in edges {
+        g.add_edge(u, v, 1.0);
+    }
+    g
+}
+
+/// Builds the Step-2 graph: noise-scaled vertex weights and the
+/// communication edge weights of Expression (5).
+pub fn step2_graph(
+    profiles: &[SubsystemProfile],
+    edges: &[(usize, usize)],
+    noise_level: f64,
+) -> WeightedGraph {
+    let mut g = WeightedGraph::with_vertex_weights(
+        profiles.iter().map(|p| p.vertex_weight(noise_level)).collect(),
+    );
+    for &(u, v) in edges {
+        g.add_edge(u, v, edge_weight(&profiles[u], &profiles[v]));
+    }
+    g
+}
+
+/// The paper's Table I *initial* graph: `Wv = Nb` and the upper-bound edge
+/// weight `We = Nb(s1) + Nb(s2)`.
+pub fn initial_graph(bus_counts: &[usize], edges: &[(usize, usize)]) -> WeightedGraph {
+    let mut g = WeightedGraph::with_vertex_weights(
+        bus_counts.iter().map(|&n| n as f64).collect(),
+    );
+    for &(u, v) in edges {
+        g.add_edge(u, v, (bus_counts[u] + bus_counts[v]) as f64);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TABLE1_BUSES: [usize; 9] = [14, 13, 13, 13, 13, 12, 14, 13, 13];
+    const TABLE1_EDGES: [(usize, usize); 12] = [
+        (0, 1),
+        (0, 3),
+        (0, 4),
+        (1, 2),
+        (1, 5),
+        (2, 5),
+        (3, 4),
+        (3, 6),
+        (4, 5),
+        (4, 6),
+        (4, 7),
+        (6, 8),
+    ];
+
+    #[test]
+    fn initial_graph_reproduces_table1() {
+        let g = initial_graph(&TABLE1_BUSES, &TABLE1_EDGES);
+        // Vertex weights.
+        assert_eq!(g.vertex_weight(0), 14.0);
+        assert_eq!(g.vertex_weight(5), 12.0);
+        // Edge weights as printed in Table I.
+        assert_eq!(g.edge_weight(0, 1), 27.0);
+        assert_eq!(g.edge_weight(0, 3), 27.0);
+        assert_eq!(g.edge_weight(0, 4), 27.0);
+        assert_eq!(g.edge_weight(1, 2), 26.0);
+        assert_eq!(g.edge_weight(1, 5), 25.0);
+        assert_eq!(g.edge_weight(2, 5), 25.0);
+        assert_eq!(g.edge_weight(3, 4), 26.0);
+        assert_eq!(g.edge_weight(3, 6), 27.0);
+        assert_eq!(g.edge_weight(4, 5), 25.0);
+        assert_eq!(g.edge_weight(4, 6), 27.0);
+        assert_eq!(g.edge_weight(4, 7), 26.0);
+        assert_eq!(g.edge_weight(6, 8), 27.0);
+        assert_eq!(g.n_edges(), 12);
+    }
+
+    #[test]
+    fn paper_14bus_constants_predict_iterations() {
+        let p = SubsystemProfile { n_buses: 14, gs: 5, g1: 3.7579, g2: 5.2464 };
+        assert!((p.iterations(1.0) - 9.0043).abs() < 1e-3);
+        assert!((p.vertex_weight(1.0) - 14.0 * 9.0043).abs() < 0.02);
+    }
+
+    #[test]
+    fn vertex_weight_grows_with_noise() {
+        let p = SubsystemProfile { n_buses: 13, gs: 4, g1: 3.0, g2: 5.0 };
+        assert!(p.vertex_weight(2.0) > p.vertex_weight(0.5));
+    }
+
+    #[test]
+    fn step1_graph_has_uniform_edges() {
+        let profiles: Vec<SubsystemProfile> = TABLE1_BUSES
+            .iter()
+            .map(|&n| SubsystemProfile { n_buses: n, gs: 4, g1: 3.0, g2: 5.0 })
+            .collect();
+        let g = step1_graph(&profiles, &TABLE1_EDGES, 1.0);
+        for (u, v, w) in g.edges() {
+            assert_eq!(w, 1.0, "edge ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn step2_graph_uses_gs_sums() {
+        let profiles: Vec<SubsystemProfile> = TABLE1_BUSES
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| SubsystemProfile { n_buses: n, gs: 3 + i, g1: 3.0, g2: 5.0 })
+            .collect();
+        let g = step2_graph(&profiles, &TABLE1_EDGES, 1.0);
+        assert_eq!(g.edge_weight(0, 1), (3 + 4) as f64);
+        assert_eq!(g.edge_weight(6, 8), (9 + 11) as f64);
+    }
+
+    #[test]
+    fn iterations_clamp_at_one() {
+        let p = SubsystemProfile { n_buses: 10, gs: 2, g1: 1.0, g2: -10.0 };
+        assert_eq!(p.iterations(0.5), 1.0);
+    }
+}

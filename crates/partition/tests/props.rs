@@ -1,0 +1,115 @@
+//! Property tests on the partitioner and repartitioner.
+
+use proptest::prelude::*;
+
+use pgse_partition::kway::KwayOptions;
+use pgse_partition::repartition::{repartition, RepartitionOptions};
+use pgse_partition::{partition_kway, WeightedGraph};
+
+fn arb_graph() -> impl Strategy<Value = WeightedGraph> {
+    (4usize..30).prop_flat_map(|n| {
+        let weights = proptest::collection::vec(1.0f64..25.0, n);
+        let extras = proptest::collection::vec((0..n, 0..n, 0.5f64..4.0), 0..2 * n);
+        (weights, extras).prop_map(move |(w, extras)| {
+            let mut g = WeightedGraph::with_vertex_weights(w);
+            for v in 1..n {
+                g.add_edge(v - 1, v, 1.0);
+            }
+            for (u, v, ew) in extras {
+                if u != v {
+                    g.add_edge(u, v, ew);
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn migrations_under_stable_weights_pay_for_themselves(g in arb_graph(), k in 2usize..5) {
+        // With unchanged weights the repartitioner may still move vertices,
+        // but only when the cut improvement beats the migration penalty:
+        // the penalized objective must never get worse.
+        prop_assume!(k <= g.n());
+        let p = partition_kway(&g, k, &KwayOptions::default());
+        let opts = RepartitionOptions::default();
+        let q = repartition(&g, &p, &opts);
+        let objective = |part: &pgse_partition::Partition| {
+            part.edge_cut(&g) + opts.migration_penalty * part.migration(&p) as f64
+        };
+        prop_assert!(
+            objective(&q) <= objective(&p) + 1e-9,
+            "objective worsened: {} -> {} (migration {})",
+            objective(&p),
+            objective(&q),
+            q.migration(&p)
+        );
+    }
+
+    #[test]
+    fn repartition_never_leaves_a_cluster_empty(g in arb_graph(), k in 2usize..5,
+                                                heavy in 0usize..4) {
+        prop_assume!(k <= g.n());
+        let p = partition_kway(&g, k, &KwayOptions::default());
+        let mut g2 = g.clone();
+        let v = heavy % g.n();
+        g2.set_vertex_weight(v, 200.0); // dramatic weight shift
+        let q = repartition(&g2, &p, &RepartitionOptions::default());
+        prop_assert!(q.all_parts_used());
+        prop_assert_eq!(q.assignment.len(), g.n());
+    }
+
+    #[test]
+    fn repartition_improves_or_holds_balance_when_overloaded(
+        g in arb_graph(), k in 2usize..4, heavy in 0usize..8) {
+        prop_assume!(k <= g.n());
+        let p = partition_kway(&g, k, &KwayOptions::default());
+        let mut g2 = g.clone();
+        g2.set_vertex_weight(heavy % g.n(), 150.0);
+        let before = p.imbalance(&g2);
+        let q = repartition(&g2, &p, &RepartitionOptions::default());
+        // The adaptive pass may trade a little balance for cut only within
+        // tolerance; when the start is overloaded it must not get worse.
+        if before > 1.10 {
+            prop_assert!(q.imbalance(&g2) <= before + 1e-9,
+                         "balance worsened: {} -> {}", before, q.imbalance(&g2));
+        }
+    }
+
+    #[test]
+    fn infinite_penalty_freezes_the_mapping(g in arb_graph(), k in 2usize..5) {
+        prop_assume!(k <= g.n());
+        let p = partition_kway(&g, k, &KwayOptions::default());
+        let frozen = repartition(
+            &g,
+            &p,
+            &RepartitionOptions { migration_penalty: f64::MAX / 4.0, imbalance_tol: 1e9,
+                                  passes: 4 },
+        );
+        prop_assert_eq!(frozen.migration(&p), 0);
+    }
+
+    #[test]
+    fn part_loads_sum_to_total(g in arb_graph(), k in 1usize..5) {
+        prop_assume!(k <= g.n());
+        let p = partition_kway(&g, k, &KwayOptions::default());
+        let loads = p.part_loads(&g);
+        let sum: f64 = loads.iter().sum();
+        prop_assert!((sum - g.total_weight()).abs() < 1e-9);
+        // Edge cut is at most the total edge weight.
+        let total_edges: f64 = g.edges().iter().map(|&(_, _, w)| w).sum();
+        prop_assert!(p.edge_cut(&g) <= total_edges + 1e-9);
+    }
+
+    #[test]
+    fn seeds_are_deterministic(g in arb_graph(), k in 2usize..4, seed in 0u64..50) {
+        prop_assume!(k <= g.n());
+        let opts = KwayOptions { seed, ..KwayOptions::default() };
+        let a = partition_kway(&g, k, &opts);
+        let b = partition_kway(&g, k, &opts);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,151 @@
+//! DC power flow.
+//!
+//! The linearized model (`P = B'·θ`, voltage ≈ 1 p.u., losses ignored) —
+//! the screening tool contingency analysis uses to triage thousands of
+//! outages before full AC solves, and the basis of the DSE sensitivity
+//! analysis.
+
+use pgse_grid::{Network};
+use pgse_sparsela::{Coo, SparseLu};
+
+use crate::newton::PfError;
+
+/// A DC power-flow solution.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    /// Bus angles (radians); slack at zero.
+    pub va: Vec<f64>,
+    /// Active flow on each branch, from → to (p.u.).
+    pub p_flow: Vec<f64>,
+}
+
+/// Solves the DC power flow of `net`.
+///
+/// # Errors
+/// [`PfError::SingularJacobian`] on disconnected systems.
+pub fn solve_dc(net: &Network) -> Result<DcSolution, PfError> {
+    let n = net.n_buses();
+    let slack = net.slack();
+    // Reduced susceptance Laplacian (slack grounded).
+    let mut pos = vec![usize::MAX; n];
+    let mut k = 0usize;
+    for i in 0..n {
+        if i != slack {
+            pos[i] = k;
+            k += 1;
+        }
+    }
+    let mut b = Coo::new(k, k);
+    for br in &net.branches {
+        let w = 1.0 / (br.x * br.tap);
+        let (f, t) = (pos[br.from], pos[br.to]);
+        if f != usize::MAX {
+            b.push(f, f, w);
+        }
+        if t != usize::MAX {
+            b.push(t, t, w);
+        }
+        if f != usize::MAX && t != usize::MAX {
+            b.push(f, t, -w);
+            b.push(t, f, -w);
+        }
+    }
+    let lu = SparseLu::factor_csr(&b.to_csr(), 1.0)
+        .map_err(|e| PfError::SingularJacobian(format!("DC B matrix: {e}")))?;
+    let rhs: Vec<f64> = (0..n)
+        .filter(|&i| i != slack)
+        .map(|i| {
+            let bus = &net.buses[i];
+            // Phase shifters inject an equivalent power; our cases use
+            // shift = 0, so this is simply the scheduled injection.
+            bus.p_injection()
+        })
+        .collect();
+    let th = lu.solve(&rhs);
+    let mut va = vec![0.0; n];
+    for i in 0..n {
+        if pos[i] != usize::MAX {
+            va[i] = th[pos[i]];
+        }
+    }
+    let p_flow = net
+        .branches
+        .iter()
+        .map(|br| (va[br.from] - va[br.to]) / (br.x * br.tap))
+        .collect();
+    Ok(DcSolution { va, p_flow })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newton::{solve, PfOptions};
+    use pgse_grid::cases::{ieee118_like, ieee14};
+
+    #[test]
+    fn dc_angles_approximate_ac() {
+        let net = ieee14();
+        let ac = solve(&net, &PfOptions::default()).unwrap();
+        let dc = solve_dc(&net).unwrap();
+        for i in 0..14 {
+            // DC is a linearization; agreement within a few degrees.
+            assert!(
+                (dc.va[i] - ac.va[i]).abs() < 0.06,
+                "bus {i}: dc {} vs ac {}",
+                dc.va[i],
+                ac.va[i]
+            );
+        }
+    }
+
+    #[test]
+    fn dc_flows_balance_at_each_bus() {
+        let net = ieee118_like();
+        let dc = solve_dc(&net).unwrap();
+        let slack = net.slack();
+        for i in 0..net.n_buses() {
+            if i == slack {
+                continue;
+            }
+            let mut net_out = 0.0;
+            for (k, br) in net.branches.iter().enumerate() {
+                if br.from == i {
+                    net_out += dc.p_flow[k];
+                }
+                if br.to == i {
+                    net_out -= dc.p_flow[k];
+                }
+            }
+            assert!(
+                (net_out - net.buses[i].p_injection()).abs() < 1e-9,
+                "bus {i}: outflow {net_out} vs injection {}",
+                net.buses[i].p_injection()
+            );
+        }
+    }
+
+    #[test]
+    fn dc_is_lossless() {
+        let net = ieee14();
+        let dc = solve_dc(&net).unwrap();
+        // Sum of injections implied by flows is exactly zero.
+        let slack = net.slack();
+        let slack_out: f64 = net
+            .branches
+            .iter()
+            .enumerate()
+            .map(|(k, br)| {
+                if br.from == slack {
+                    dc.p_flow[k]
+                } else if br.to == slack {
+                    -dc.p_flow[k]
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        let others: f64 =
+            (0..14).filter(|&i| i != slack).map(|i| net.buses[i].p_injection()).sum();
+        assert!((slack_out + others).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,190 @@
+//! Fast-decoupled power flow (XB scheme).
+//!
+//! The workhorse of real-time control centers: the Newton Jacobian is
+//! replaced by two constant matrices — `B'` (angle/active) built from
+//! branch reactances only, and `B''` (magnitude/reactive) from the imaginary
+//! part of Ybus — factored **once** and reused every half-iteration. More
+//! iterations than Newton, far less work per iteration; the natural
+//! baseline for the per-frame SCADA cadence the paper targets.
+
+use pgse_grid::{BusKind, Network, Ybus};
+use pgse_sparsela::{Coo, SparseLu};
+
+use crate::equations::bus_injections;
+use crate::newton::{PfError, PfOptions, PfSolution};
+
+/// Solves the AC power flow of `net` with the fast-decoupled method.
+///
+/// # Errors
+/// [`PfError::DidNotConverge`] (the method's convergence domain is smaller
+/// than Newton's) or [`PfError::SingularJacobian`].
+pub fn solve_fast_decoupled(net: &Network, opts: &PfOptions) -> Result<PfSolution, PfError> {
+    let n = net.n_buses();
+    let ybus = Ybus::new(net);
+    let slack = net.slack();
+
+    let mut th_pos = vec![usize::MAX; n];
+    let mut nth = 0usize;
+    for i in 0..n {
+        if i != slack {
+            th_pos[i] = nth;
+            nth += 1;
+        }
+    }
+    let mut v_pos = vec![usize::MAX; n];
+    let mut nv = 0usize;
+    for (i, bus) in net.buses.iter().enumerate() {
+        if bus.kind == BusKind::Pq {
+            v_pos[i] = nv;
+            nv += 1;
+        }
+    }
+
+    // B': Laplacian of 1/x over non-slack buses (resistances ignored).
+    let mut bp = Coo::new(nth, nth);
+    for br in &net.branches {
+        let w = 1.0 / br.x;
+        let (f, t) = (th_pos[br.from], th_pos[br.to]);
+        if f != usize::MAX {
+            bp.push(f, f, w);
+        }
+        if t != usize::MAX {
+            bp.push(t, t, w);
+        }
+        if f != usize::MAX && t != usize::MAX {
+            bp.push(f, t, -w);
+            bp.push(t, f, -w);
+        }
+    }
+    let bp_lu = SparseLu::factor_csr(&bp.to_csr(), 1.0)
+        .map_err(|e| PfError::SingularJacobian(format!("B': {e}")))?;
+
+    // B'': −Im(Ybus) restricted to PQ buses.
+    let mut bpp = Coo::new(nv, nv);
+    for i in 0..n {
+        if v_pos[i] == usize::MAX {
+            continue;
+        }
+        let (cols, vals) = ybus.row(i);
+        for (j, y) in cols.iter().zip(vals) {
+            if v_pos[*j] != usize::MAX {
+                bpp.push(v_pos[i], v_pos[*j], -y.im);
+            }
+        }
+    }
+    let bpp_lu = SparseLu::factor_csr(&bpp.to_csr(), 1.0)
+        .map_err(|e| PfError::SingularJacobian(format!("B'': {e}")))?;
+
+    let mut vm: Vec<f64> = net
+        .buses
+        .iter()
+        .map(|b| if b.kind == BusKind::Pq { 1.0 } else { b.vm_setpoint })
+        .collect();
+    let mut va = vec![0.0f64; n];
+    let p_sched: Vec<f64> = net.buses.iter().map(|b| b.p_injection()).collect();
+    let q_sched: Vec<f64> = net.buses.iter().map(|b| b.q_injection()).collect();
+
+    let mut mismatch = f64::INFINITY;
+    // FDPF needs more sweeps than Newton; scale the budget accordingly.
+    let max_iter = opts.max_iter * 6;
+    for iter in 0..=max_iter {
+        let (p, q) = bus_injections(&ybus, &vm, &va);
+        mismatch = 0.0f64;
+        for i in 0..n {
+            if th_pos[i] != usize::MAX {
+                mismatch = mismatch.max((p_sched[i] - p[i]).abs());
+            }
+            if v_pos[i] != usize::MAX {
+                mismatch = mismatch.max((q_sched[i] - q[i]).abs());
+            }
+        }
+        if mismatch <= opts.tol {
+            let flows = crate::equations::branch_flows(net, &vm, &va);
+            return Ok(PfSolution {
+                vm,
+                va,
+                p_inj: p,
+                q_inj: q,
+                flows,
+                iterations: iter,
+                mismatch,
+            });
+        }
+        if iter == max_iter {
+            break;
+        }
+        // P–θ half-iteration: B' Δθ = ΔP / V.
+        let mut rhs_p = vec![0.0; nth];
+        for i in 0..n {
+            if th_pos[i] != usize::MAX {
+                rhs_p[th_pos[i]] = (p_sched[i] - p[i]) / vm[i];
+            }
+        }
+        let dth = bp_lu.solve(&rhs_p);
+        for i in 0..n {
+            if th_pos[i] != usize::MAX {
+                va[i] += dth[th_pos[i]];
+            }
+        }
+        // Q–V half-iteration with refreshed Q: B'' ΔV = ΔQ / V.
+        let (_, q2) = bus_injections(&ybus, &vm, &va);
+        let mut rhs_q = vec![0.0; nv];
+        for i in 0..n {
+            if v_pos[i] != usize::MAX {
+                rhs_q[v_pos[i]] = (q_sched[i] - q2[i]) / vm[i];
+            }
+        }
+        let dv = bpp_lu.solve(&rhs_q);
+        for i in 0..n {
+            if v_pos[i] != usize::MAX {
+                vm[i] += dv[v_pos[i]];
+            }
+        }
+    }
+    Err(PfError::DidNotConverge { iterations: max_iter, mismatch })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newton;
+    use pgse_grid::cases::{ieee118_like, ieee14};
+
+    #[test]
+    fn matches_newton_on_ieee14() {
+        let net = ieee14();
+        let newton_sol = newton::solve(&net, &PfOptions::default()).unwrap();
+        let fd = solve_fast_decoupled(&net, &PfOptions::default()).unwrap();
+        for i in 0..14 {
+            assert!((fd.vm[i] - newton_sol.vm[i]).abs() < 1e-6, "vm bus {i}");
+            assert!((fd.va[i] - newton_sol.va[i]).abs() < 1e-6, "va bus {i}");
+        }
+    }
+
+    #[test]
+    fn matches_newton_on_ieee118_like() {
+        let net = ieee118_like();
+        let newton_sol = newton::solve(&net, &PfOptions::default()).unwrap();
+        let fd = solve_fast_decoupled(&net, &PfOptions::default()).unwrap();
+        for i in 0..net.n_buses() {
+            assert!((fd.vm[i] - newton_sol.vm[i]).abs() < 1e-6, "vm bus {i}");
+        }
+    }
+
+    #[test]
+    fn uses_more_sweeps_than_newton() {
+        let net = ieee14();
+        let newton_sol = newton::solve(&net, &PfOptions::default()).unwrap();
+        let fd = solve_fast_decoupled(&net, &PfOptions::default()).unwrap();
+        assert!(fd.iterations >= newton_sol.iterations);
+    }
+
+    #[test]
+    fn infeasible_case_errors() {
+        let mut net = ieee14();
+        for b in &mut net.buses {
+            b.pd *= 100.0;
+        }
+        assert!(solve_fast_decoupled(&net, &PfOptions::default()).is_err());
+    }
+}

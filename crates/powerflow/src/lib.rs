@@ -1,0 +1,26 @@
+//! # pgse-powerflow
+//!
+//! Full Newton–Raphson AC power flow.
+//!
+//! The prototype needs a self-consistent operating point of each test
+//! network: the telemetry generator samples noisy measurements from a
+//! *solved* power flow, which guarantees the WLS estimator faces realistic,
+//! convergent problems (the paper's testbed obtains the same thing from
+//! recorded SCADA snapshots).
+//!
+//! [`equations`] holds the AC power-flow arithmetic (bus injections, branch
+//! flows, and their partial derivatives) shared with the state-estimation
+//! crate; [`newton`] implements the full Newton solver on top of the sparse
+//! LU from `pgse-sparsela`; [`fdpf`] is the fast-decoupled variant control
+//! centers favour for SCADA-rate resolves, and [`dcpf`] the linear DC model
+//! used for contingency screening and sensitivity analysis.
+
+pub mod dcpf;
+pub mod equations;
+pub mod fdpf;
+pub mod newton;
+
+pub use equations::{branch_flows, bus_injections, BranchFlow};
+pub use dcpf::{solve_dc, DcSolution};
+pub use fdpf::solve_fast_decoupled;
+pub use newton::{solve, PfError, PfOptions, PfSolution};

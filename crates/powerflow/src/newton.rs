@@ -1,0 +1,322 @@
+//! Newton–Raphson power-flow solver.
+
+use pgse_grid::{BusKind, Network, Ybus};
+use pgse_sparsela::{Coo, SparseLu};
+
+use crate::equations::{branch_flows, bus_injections, injection_derivatives, BranchFlow};
+
+/// Options for the Newton iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct PfOptions {
+    /// Convergence tolerance on the infinity norm of the power mismatch
+    /// (p.u.).
+    pub tol: f64,
+    /// Maximum Newton iterations.
+    pub max_iter: usize,
+}
+
+impl Default for PfOptions {
+    fn default() -> Self {
+        PfOptions { tol: 1e-8, max_iter: 20 }
+    }
+}
+
+/// Power-flow failure modes.
+#[derive(Debug, Clone)]
+pub enum PfError {
+    /// The Newton iteration did not reach tolerance.
+    DidNotConverge { iterations: usize, mismatch: f64 },
+    /// The Jacobian was singular (e.g. an unobservable island).
+    SingularJacobian(String),
+}
+
+impl std::fmt::Display for PfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PfError::DidNotConverge { iterations, mismatch } => {
+                write!(f, "power flow stalled after {iterations} iterations (mismatch {mismatch:.3e} p.u.)")
+            }
+            PfError::SingularJacobian(e) => write!(f, "singular power-flow Jacobian: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PfError {}
+
+/// A converged operating point.
+#[derive(Debug, Clone)]
+pub struct PfSolution {
+    /// Voltage magnitudes (p.u.), one per bus.
+    pub vm: Vec<f64>,
+    /// Voltage angles (radians), one per bus; slack at 0.
+    pub va: Vec<f64>,
+    /// Active bus injections at the solution (p.u.).
+    pub p_inj: Vec<f64>,
+    /// Reactive bus injections at the solution (p.u.).
+    pub q_inj: Vec<f64>,
+    /// Terminal flows of every branch.
+    pub flows: Vec<BranchFlow>,
+    /// Newton iterations used.
+    pub iterations: usize,
+    /// Final mismatch infinity norm (p.u.).
+    pub mismatch: f64,
+}
+
+impl PfSolution {
+    /// Total series active losses (p.u.).
+    pub fn total_losses(&self) -> f64 {
+        self.flows.iter().map(BranchFlow::p_loss).sum()
+    }
+}
+
+/// Solves the AC power flow of `net` from a flat start.
+///
+/// # Errors
+/// [`PfError::DidNotConverge`] or [`PfError::SingularJacobian`].
+pub fn solve(net: &Network, opts: &PfOptions) -> Result<PfSolution, PfError> {
+    let n = net.n_buses();
+    let ybus = Ybus::new(net);
+    let slack = net.slack();
+
+    // State indexing: angles at all non-slack buses, magnitudes at PQ buses.
+    let mut th_pos = vec![usize::MAX; n];
+    let mut v_pos = vec![usize::MAX; n];
+    let mut nth = 0usize;
+    for i in 0..n {
+        if i != slack {
+            th_pos[i] = nth;
+            nth += 1;
+        }
+    }
+    let mut nv = 0usize;
+    for (i, bus) in net.buses.iter().enumerate() {
+        if bus.kind == BusKind::Pq {
+            v_pos[i] = nth + nv;
+            nv += 1;
+        }
+    }
+    let nx = nth + nv;
+
+    // Flat start: setpoint magnitudes at controlled buses, 1.0 elsewhere.
+    let mut vm: Vec<f64> = net
+        .buses
+        .iter()
+        .map(|b| if b.kind == BusKind::Pq { 1.0 } else { b.vm_setpoint })
+        .collect();
+    let mut va = vec![0.0f64; n];
+
+    let p_sched: Vec<f64> = net.buses.iter().map(|b| b.p_injection()).collect();
+    let q_sched: Vec<f64> = net.buses.iter().map(|b| b.q_injection()).collect();
+
+    let mut mismatch_norm = f64::INFINITY;
+    for iter in 0..=opts.max_iter {
+        let (p, q) = bus_injections(&ybus, &vm, &va);
+        // Mismatch vector f = [ΔP at non-slack; ΔQ at PQ].
+        let mut f = vec![0.0f64; nx];
+        for i in 0..n {
+            if th_pos[i] != usize::MAX {
+                f[th_pos[i]] = p_sched[i] - p[i];
+            }
+            if v_pos[i] != usize::MAX {
+                f[v_pos[i]] = q_sched[i] - q[i];
+            }
+        }
+        mismatch_norm = f.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        if mismatch_norm <= opts.tol {
+            let flows = branch_flows(net, &vm, &va);
+            return Ok(PfSolution {
+                vm,
+                va,
+                p_inj: p,
+                q_inj: q,
+                flows,
+                iterations: iter,
+                mismatch: mismatch_norm,
+            });
+        }
+        if iter == opts.max_iter {
+            break;
+        }
+
+        // Jacobian of the calculated injections w.r.t. the state.
+        let mut jac = Coo::with_capacity(nx, nx, 8 * ybus.nnz());
+        for i in 0..n {
+            let (cols, _) = ybus.row(i);
+            for &j in cols {
+                let (dp_dth, dp_dv, dq_dth, dq_dv) =
+                    injection_derivatives(&ybus, &vm, &va, p[i], q[i], i, j);
+                if th_pos[i] != usize::MAX {
+                    if th_pos[j] != usize::MAX {
+                        jac.push(th_pos[i], th_pos[j], dp_dth);
+                    }
+                    if v_pos[j] != usize::MAX {
+                        jac.push(th_pos[i], v_pos[j], dp_dv);
+                    }
+                }
+                if v_pos[i] != usize::MAX {
+                    if th_pos[j] != usize::MAX {
+                        jac.push(v_pos[i], th_pos[j], dq_dth);
+                    }
+                    if v_pos[j] != usize::MAX {
+                        jac.push(v_pos[i], v_pos[j], dq_dv);
+                    }
+                }
+            }
+        }
+        let lu = SparseLu::factor_csr(&jac.to_csr(), 1.0)
+            .map_err(|e| PfError::SingularJacobian(e.to_string()))?;
+        let dx = lu.solve(&f);
+
+        // Damped update: full Newton steps can overshoot from a flat start
+        // on electrically long systems. Backtrack the step until the
+        // mismatch norm decreases (Armijo-style, accept the last trial if
+        // nothing helps — near convergence the full step is always taken).
+        let mut alpha = 1.0f64;
+        let mut accepted = false;
+        for _ in 0..5 {
+            let mut vm_try = vm.clone();
+            let mut va_try = va.clone();
+            for i in 0..n {
+                if th_pos[i] != usize::MAX {
+                    va_try[i] += alpha * dx[th_pos[i]];
+                }
+                if v_pos[i] != usize::MAX {
+                    vm_try[i] += alpha * dx[v_pos[i]];
+                }
+            }
+            let (pt, qt) = bus_injections(&ybus, &vm_try, &va_try);
+            let mut m_try = 0.0f64;
+            for i in 0..n {
+                if th_pos[i] != usize::MAX {
+                    m_try = m_try.max((p_sched[i] - pt[i]).abs());
+                }
+                if v_pos[i] != usize::MAX {
+                    m_try = m_try.max((q_sched[i] - qt[i]).abs());
+                }
+            }
+            if m_try < mismatch_norm || alpha <= 0.125 {
+                vm = vm_try;
+                va = va_try;
+                accepted = true;
+                break;
+            }
+            alpha *= 0.5;
+        }
+        debug_assert!(accepted, "damping loop always accepts a step");
+    }
+    Err(PfError::DidNotConverge { iterations: opts.max_iter, mismatch: mismatch_norm })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgse_grid::cases::{ieee118_like, ieee14, synthetic_grid, SyntheticSpec};
+
+    #[test]
+    fn ieee14_converges_quadratically() {
+        let sol = solve(&ieee14(), &PfOptions::default()).unwrap();
+        assert!(sol.iterations <= 5, "took {} iterations", sol.iterations);
+        assert!(sol.mismatch <= 1e-8);
+    }
+
+    #[test]
+    fn ieee14_matches_published_solution() {
+        // Published solved voltages of the IEEE 14-bus case (PSTCA).
+        let sol = solve(&ieee14(), &PfOptions::default()).unwrap();
+        let deg = 180.0 / std::f64::consts::PI;
+        let expect_vm = [
+            1.060, 1.045, 1.010, 1.019, 1.020, 1.070, 1.062, 1.090, 1.056, 1.051, 1.057, 1.055,
+            1.050, 1.036,
+        ];
+        let expect_va_deg = [
+            0.0, -4.98, -12.72, -10.33, -8.78, -14.22, -13.37, -13.36, -14.94, -15.10, -14.79,
+            -15.07, -15.16, -16.04,
+        ];
+        for i in 0..14 {
+            assert!(
+                (sol.vm[i] - expect_vm[i]).abs() < 5e-3,
+                "Vm bus {}: {} vs {}",
+                i + 1,
+                sol.vm[i],
+                expect_vm[i]
+            );
+            assert!(
+                (sol.va[i] * deg - expect_va_deg[i]).abs() < 0.2,
+                "Va bus {}: {} vs {}",
+                i + 1,
+                sol.va[i] * deg,
+                expect_va_deg[i]
+            );
+        }
+    }
+
+    #[test]
+    fn slack_covers_losses() {
+        let net = ieee14();
+        let sol = solve(&net, &PfOptions::default()).unwrap();
+        // Power balance: Σ injections = Σ losses (+ shunt consumption,
+        // which for case14 is a capacitor producing Q only).
+        let p_total: f64 = sol.p_inj.iter().sum();
+        assert!((p_total - sol.total_losses()).abs() < 1e-6);
+        assert!(sol.total_losses() > 0.0);
+    }
+
+    #[test]
+    fn pv_magnitudes_are_held() {
+        let net = ieee14();
+        let sol = solve(&net, &PfOptions::default()).unwrap();
+        for (i, bus) in net.buses.iter().enumerate() {
+            if bus.kind != BusKind::Pq {
+                assert!((sol.vm[i] - bus.vm_setpoint).abs() < 1e-12, "bus {i}");
+            }
+        }
+        assert_eq!(sol.va[net.slack()], 0.0);
+    }
+
+    #[test]
+    fn injections_match_schedule_at_pq_buses() {
+        let net = ieee14();
+        let sol = solve(&net, &PfOptions::default()).unwrap();
+        for (i, bus) in net.buses.iter().enumerate() {
+            if i != net.slack() {
+                assert!((sol.p_inj[i] - bus.p_injection()).abs() < 1e-7, "P bus {i}");
+            }
+            if bus.kind == BusKind::Pq {
+                assert!((sol.q_inj[i] - bus.q_injection()).abs() < 1e-7, "Q bus {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ieee118_like_converges() {
+        let sol = solve(&ieee118_like(), &PfOptions::default()).unwrap();
+        assert!(sol.iterations <= 8, "took {} iterations", sol.iterations);
+        // Sanity: voltages near nominal at a healthy operating point.
+        for (i, &v) in sol.vm.iter().enumerate() {
+            assert!(v > 0.85 && v < 1.15, "bus {i} voltage {v}");
+        }
+    }
+
+    #[test]
+    fn synthetic_wecc_scale_converges() {
+        let net = synthetic_grid(&SyntheticSpec {
+            n_areas: 12,
+            buses_per_area: (8, 16),
+            extra_edges: 6,
+            ties_per_edge: 2,
+            seed: 5,
+        });
+        let sol = solve(&net, &PfOptions::default()).unwrap();
+        assert!(sol.mismatch <= 1e-8);
+    }
+
+    #[test]
+    fn infeasible_case_reports_nonconvergence() {
+        let mut net = ieee14();
+        // Absurd load forces divergence or a singular Jacobian.
+        for b in &mut net.buses {
+            b.pd *= 100.0;
+        }
+        assert!(solve(&net, &PfOptions::default()).is_err());
+    }
+}

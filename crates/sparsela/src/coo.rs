@@ -1,0 +1,188 @@
+//! Triplet (coordinate) format used for matrix assembly.
+//!
+//! Power-system matrices (Ybus, measurement Jacobians, gain matrices) are
+//! naturally assembled element-by-element; `Coo` collects `(row, col, value)`
+//! triplets — duplicates allowed and summed — and converts to [`Csr`] for
+//! computation.
+
+use crate::csr::Csr;
+
+/// A sparse matrix in coordinate (triplet) format.
+#[derive(Debug, Clone, Default)]
+pub struct Coo {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl Coo {
+    /// Creates an empty `nrows × ncols` triplet accumulator.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Coo { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Creates an accumulator with room reserved for `nnz` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, nnz: usize) -> Self {
+        Coo {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(nnz),
+            cols: Vec::with_capacity(nnz),
+            vals: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (duplicates counted separately).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Adds `value` at `(row, col)`. Duplicate coordinates are summed when
+    /// converting to CSR. Exact zeros are skipped.
+    ///
+    /// # Panics
+    /// Panics if the coordinate is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.nrows, "row {row} out of bounds ({})", self.nrows);
+        assert!(col < self.ncols, "col {col} out of bounds ({})", self.ncols);
+        if value == 0.0 {
+            return;
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(value);
+    }
+
+    /// Iterates over the stored triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Converts to CSR, summing duplicates and dropping entries that cancel
+    /// to exactly zero.
+    pub fn to_csr(&self) -> Csr {
+        // Counting sort by row, then sort each row's slice by column and
+        // compress duplicates. O(nnz log rowlen) without global sorting.
+        let mut counts = vec![0usize; self.nrows + 1];
+        for &r in &self.rows {
+            counts[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            counts[i + 1] += counts[i];
+        }
+        let mut next = counts[..self.nrows].to_vec();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0f64; self.nnz()];
+        for ((&r, &c), &v) in self.rows.iter().zip(&self.cols).zip(&self.vals) {
+            let slot = next[r];
+            col_idx[slot] = c;
+            values[slot] = v;
+            next[r] += 1;
+        }
+
+        let mut out_ptr = Vec::with_capacity(self.nrows + 1);
+        let mut out_cols = Vec::with_capacity(self.nnz());
+        let mut out_vals = Vec::with_capacity(self.nnz());
+        out_ptr.push(0);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for r in 0..self.nrows {
+            let (lo, hi) = (counts[r], counts[r + 1]);
+            scratch.clear();
+            scratch.extend(col_idx[lo..hi].iter().copied().zip(values[lo..hi].iter().copied()));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut sum = 0.0;
+                while i < scratch.len() && scratch[i].0 == c {
+                    sum += scratch[i].1;
+                    i += 1;
+                }
+                if sum != 0.0 {
+                    out_cols.push(c);
+                    out_vals.push(sum);
+                }
+            }
+            out_ptr.push(out_cols.len());
+        }
+        Csr::from_raw(self.nrows, self.ncols, out_ptr, out_cols, out_vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut a = Coo::new(2, 2);
+        a.push(0, 0, 1.0);
+        a.push(0, 0, 2.0);
+        a.push(1, 1, 5.0);
+        let csr = a.to_csr();
+        assert_eq!(csr.get(0, 0), 3.0);
+        assert_eq!(csr.get(1, 1), 5.0);
+        assert_eq!(csr.nnz(), 2);
+    }
+
+    #[test]
+    fn cancelling_duplicates_are_dropped() {
+        let mut a = Coo::new(1, 2);
+        a.push(0, 1, 2.0);
+        a.push(0, 1, -2.0);
+        a.push(0, 0, 1.0);
+        let csr = a.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn zero_pushes_are_ignored() {
+        let mut a = Coo::new(3, 3);
+        a.push(1, 2, 0.0);
+        assert_eq!(a.nnz(), 0);
+    }
+
+    #[test]
+    fn rows_are_sorted_in_csr() {
+        let mut a = Coo::new(1, 5);
+        a.push(0, 4, 4.0);
+        a.push(0, 0, 1.0);
+        a.push(0, 2, 2.0);
+        let csr = a.to_csr();
+        let (cols, _) = csr.row(0);
+        assert_eq!(cols, &[0, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let mut a = Coo::new(2, 2);
+        a.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn empty_matrix_converts() {
+        let a = Coo::new(3, 4);
+        let csr = a.to_csr();
+        assert_eq!(csr.nrows(), 3);
+        assert_eq!(csr.ncols(), 4);
+        assert_eq!(csr.nnz(), 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Dense matrix reference implementations.
+//!
+//! These are deliberately simple O(n³) kernels: they serve as test oracles
+//! for the sparse factorizations and as direct solvers for the small dense
+//! blocks that appear in sensitivity analysis.
+
+use std::ops::{Index, IndexMut};
+
+use crate::{LaError, LaResult};
+
+/// A row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// An `nrows × ncols` matrix of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        DenseMatrix { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a row-major slice.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_rows(nrows: usize, ncols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "from_rows: data length");
+        DenseMatrix { nrows, ncols, data: data.to_vec() }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Matrix transpose.
+    pub fn transposed(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.ncols, self.nrows);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · b`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, b: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.ncols, b.nrows, "matmul: inner dimension");
+        let mut c = DenseMatrix::zeros(self.nrows, b.ncols);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..b.ncols {
+                    c[(i, j)] += aik * b[(k, j)];
+                }
+            }
+        }
+        c
+    }
+
+    /// `y = A·x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "mul_vec: x length");
+        let mut y = vec![0.0; self.nrows];
+        for i in 0..self.nrows {
+            let mut acc = 0.0;
+            for j in 0..self.ncols {
+                acc += self[(i, j)] * x[j];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Solves `A x = b` by LU with partial pivoting (in-place copy).
+    ///
+    /// # Errors
+    /// [`LaError::SingularPivot`] when a pivot underflows.
+    pub fn solve(&self, b: &[f64]) -> LaResult<Vec<f64>> {
+        assert_eq!(self.nrows, self.ncols, "solve: square only");
+        assert_eq!(b.len(), self.nrows, "solve: rhs length");
+        let n = self.nrows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        let mut piv: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivot: largest |a[i][k]| for i >= k.
+            let mut pmax = 0.0;
+            let mut prow = k;
+            for i in k..n {
+                let v = a[piv[i] * n + k].abs();
+                if v > pmax {
+                    pmax = v;
+                    prow = i;
+                }
+            }
+            if pmax < f64::EPSILON * 16.0 {
+                return Err(LaError::SingularPivot { step: k });
+            }
+            piv.swap(k, prow);
+            let pk = piv[k];
+            let akk = a[pk * n + k];
+            for i in (k + 1)..n {
+                let pi = piv[i];
+                let factor = a[pi * n + k] / akk;
+                if factor == 0.0 {
+                    continue;
+                }
+                a[pi * n + k] = factor;
+                for j in (k + 1)..n {
+                    a[pi * n + j] -= factor * a[pk * n + j];
+                }
+                x[pi] -= factor * x[pk];
+            }
+        }
+        // Back substitution on the permuted rows.
+        let mut out = vec![0.0; n];
+        for k in (0..n).rev() {
+            let pk = piv[k];
+            let mut acc = x[pk];
+            for j in (k + 1)..n {
+                acc -= a[pk * n + j] * out[j];
+            }
+            out[k] = acc / a[pk * n + k];
+        }
+        Ok(out)
+    }
+
+    /// Cholesky factorization `A = L Lᵀ`, returning `L` (lower triangular).
+    ///
+    /// # Errors
+    /// [`LaError::NotPositiveDefinite`] when a diagonal becomes non-positive.
+    pub fn cholesky(&self) -> LaResult<DenseMatrix> {
+        assert_eq!(self.nrows, self.ncols, "cholesky: square only");
+        let n = self.nrows;
+        let mut l = DenseMatrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = self[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 {
+                return Err(LaError::NotPositiveDefinite { step: j, value: d });
+            }
+            l[(j, j)] = d.sqrt();
+            for i in (j + 1)..n {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / l[(j, j)];
+            }
+        }
+        Ok(l)
+    }
+
+    /// Maximum absolute entry difference against `other`.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(self.nrows, other.nrows);
+        assert_eq!(self.ncols, other.ncols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.nrows && c < self.ncols);
+        &self.data[r * self.ncols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.nrows && c < self.ncols);
+        &mut self.data[r * self.ncols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = DenseMatrix::from_rows(3, 3, &[4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]);
+        let xtrue = vec![1.0, -2.0, 3.0];
+        let b = a.mul_vec(&xtrue);
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&xtrue) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = DenseMatrix::from_rows(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = DenseMatrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 4.0]);
+        assert!(matches!(a.solve(&[1.0, 2.0]), Err(LaError::SingularPivot { .. })));
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = DenseMatrix::from_rows(3, 3, &[4.0, 2.0, 0.0, 2.0, 5.0, 1.0, 0.0, 1.0, 3.0]);
+        let l = a.cholesky().unwrap();
+        let rec = l.matmul(&l.transposed());
+        assert!(rec.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = DenseMatrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]);
+        assert!(matches!(a.cholesky(), Err(LaError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = DenseMatrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.matmul(&DenseMatrix::identity(2)), a);
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let a = DenseMatrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transposed();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! # pgse-sparsela
+//!
+//! Sparse linear-algebra substrate for the distributed power-grid state
+//! estimation prototype.
+//!
+//! The paper's WLS state estimator solves, in every Gauss–Newton iteration,
+//! a large sparse symmetric positive-definite system `G Δx = rhs` with a
+//! *parallel preconditioned conjugate gradient* (PCG) solver, and the Newton
+//! power flow that produces ground-truth operating points needs a general
+//! sparse LU. Neither existed as a substrate we could assume, so this crate
+//! provides them from scratch:
+//!
+//! * storage formats: [`Coo`] (triplet assembly), [`Csr`], [`Csc`];
+//! * kernels: (parallel) SpMV, Gustavson SpGEMM, transpose, `AᵀWA`;
+//! * orderings: reverse Cuthill–McKee and minimum degree;
+//! * direct solvers: Gilbert–Peierls sparse LU with partial pivoting
+//!   ([`lu`]), envelope/profile Cholesky ([`cholesky`]), and an
+//!   elimination-tree up-looking sparse Cholesky ([`scholesky`]);
+//! * iterative solvers: CG and PCG with Jacobi and IC(0) preconditioners
+//!   ([`pcg`]);
+//! * dense reference implementations used as test oracles ([`dense`]);
+//! * a minimal complex number type ([`complex::Cplx`]) shared by the power
+//!   system crates.
+
+pub mod cholesky;
+pub mod complex;
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod dense;
+pub mod lu;
+pub mod ordering;
+pub mod pcg;
+pub mod scholesky;
+pub mod vecops;
+
+pub use cholesky::EnvelopeCholesky;
+pub use complex::Cplx;
+pub use coo::Coo;
+pub use csc::Csc;
+pub use csr::Csr;
+pub use dense::DenseMatrix;
+pub use lu::SparseLu;
+pub use scholesky::SparseCholesky;
+pub use pcg::{pcg, CgOptions, CgOutcome, Preconditioner};
+
+/// Errors produced by factorizations and solvers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaError {
+    /// Matrix dimensions do not match the requested operation.
+    DimensionMismatch { expected: usize, found: usize },
+    /// A zero (or numerically negligible) pivot was encountered at the given
+    /// elimination step; the matrix is singular to working precision.
+    SingularPivot { step: usize },
+    /// A Cholesky factorization found a non-positive diagonal; the matrix is
+    /// not positive definite.
+    NotPositiveDefinite { step: usize, value: f64 },
+    /// An iterative solver failed to reach the requested tolerance.
+    DidNotConverge { iterations: usize, residual: f64 },
+}
+
+impl std::fmt::Display for LaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            LaError::SingularPivot { step } => {
+                write!(f, "singular pivot at elimination step {step}")
+            }
+            LaError::NotPositiveDefinite { step, value } => {
+                write!(
+                    f,
+                    "matrix not positive definite at step {step} (diagonal {value:.3e})"
+                )
+            }
+            LaError::DidNotConverge { iterations, residual } => {
+                write!(
+                    f,
+                    "iterative solver stalled after {iterations} iterations (residual {residual:.3e})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LaError {}
+
+/// Convenience alias used throughout the crate.
+pub type LaResult<T> = Result<T, LaError>;

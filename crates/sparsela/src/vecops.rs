@@ -1,0 +1,162 @@
+//! Dense vector kernels used by the iterative solvers.
+//!
+//! These are the BLAS-1 style operations the PCG loop is built from. Each has
+//! a sequential form; [`par_dot`] and [`par_axpy`] additionally offer
+//! rayon-parallel forms used when a single state estimator runs its solver
+//! across the cores of one cluster node.
+
+use rayon::prelude::*;
+
+/// Minimum vector length before the parallel kernels split work across
+/// threads; below this the fork/join overhead dominates.
+const PAR_THRESHOLD: usize = 4096;
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Parallel dot product; falls back to the serial kernel for short vectors.
+pub fn par_dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "par_dot: length mismatch");
+    if x.len() < PAR_THRESHOLD {
+        return dot(x, y);
+    }
+    x.par_iter().zip(y.par_iter()).map(|(a, b)| a * b).sum()
+}
+
+/// `y ← a·x + y`.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// Parallel `y ← a·x + y`.
+pub fn par_axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "par_axpy: length mismatch");
+    if x.len() < PAR_THRESHOLD {
+        return axpy(a, x, y);
+    }
+    y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| {
+        *yi += a * xi;
+    });
+}
+
+/// `x ← a·x`.
+#[inline]
+pub fn scal(a: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= a;
+    }
+}
+
+/// `p ← z + β·p` (the CG direction update).
+#[inline]
+pub fn xpby(z: &[f64], beta: f64, p: &mut [f64]) {
+    assert_eq!(z.len(), p.len(), "xpby: length mismatch");
+    for (pi, zi) in p.iter_mut().zip(z) {
+        *pi = zi + beta * *pi;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`, computed with scaling to avoid overflow on
+/// pathological inputs.
+pub fn norm2(x: &[f64]) -> f64 {
+    let maxabs = x.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+    if maxabs == 0.0 || !maxabs.is_finite() {
+        return maxabs;
+    }
+    let sum: f64 = x.iter().map(|v| (v / maxabs) * (v / maxabs)).sum();
+    maxabs * sum.sqrt()
+}
+
+/// Infinity norm `‖x‖∞`.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+/// Elementwise subtraction `out ← a − b`.
+pub fn sub_into(a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "sub_into: length mismatch");
+    assert_eq!(a.len(), out.len(), "sub_into: length mismatch");
+    for ((o, &ai), &bi) in out.iter_mut().zip(a).zip(b) {
+        *o = ai - bi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn par_dot_matches_serial_on_long_vectors() {
+        let x: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let y: Vec<f64> = (0..10_000).map(|i| (i as f64).cos()).collect();
+        let s = dot(&x, &y);
+        let p = par_dot(&x, &y);
+        assert!((s - p).abs() < 1e-9 * s.abs().max(1.0));
+    }
+
+    #[test]
+    fn axpy_basic() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn par_axpy_matches_serial() {
+        let x: Vec<f64> = (0..9000).map(|i| i as f64 * 0.5).collect();
+        let mut y1 = vec![1.0; 9000];
+        let mut y2 = y1.clone();
+        axpy(-0.25, &x, &mut y1);
+        par_axpy(-0.25, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn norm2_is_scale_safe() {
+        // Naive sum of squares would overflow here.
+        let x = vec![1e200, 1e200];
+        let n = norm2(&x);
+        assert!((n - 1e200 * 2.0_f64.sqrt()).abs() / n < 1e-12);
+    }
+
+    #[test]
+    fn norm2_zero_vector() {
+        assert_eq!(norm2(&[0.0, 0.0, 0.0]), 0.0);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn norm_inf_picks_max_abs() {
+        assert_eq!(norm_inf(&[1.0, -5.0, 3.0]), 5.0);
+    }
+
+    #[test]
+    fn xpby_updates_direction() {
+        let mut p = vec![1.0, 2.0];
+        xpby(&[10.0, 20.0], 0.5, &mut p);
+        assert_eq!(p, vec![10.5, 21.0]);
+    }
+
+    #[test]
+    fn sub_into_computes_difference() {
+        let mut out = vec![0.0; 2];
+        sub_into(&[5.0, 7.0], &[2.0, 10.0], &mut out);
+        assert_eq!(out, vec![3.0, -3.0]);
+    }
+}

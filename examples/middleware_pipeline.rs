@@ -1,0 +1,53 @@
+//! The paper's Fig. 7 scenario: a MeDICi pipeline carrying data from a
+//! state estimator on Nwiceb to one on Chinook, compared against a direct
+//! TCP socket — a miniature of the Table III experiment.
+//!
+//! ```text
+//! cargo run --release --example middleware_pipeline
+//! ```
+
+use pgse::medici::measure::measure_overhead;
+use pgse::medici::throttle::PAPER_RELAY_RATE;
+use pgse::medici::{EndpointProtocol, EndpointRegistry, MifPipeline, MwClient, SeComponent};
+
+fn main() {
+    // --- Fig. 7: build and start the pipeline exactly as the paper does.
+    let registry = EndpointRegistry::new();
+    let destination = registry.bind("tcp://chinook.emsl.pnl.gov:7890").expect("bind");
+
+    let mut pipeline = MifPipeline::new();
+    pipeline.add_mif_connector(EndpointProtocol::Tcp); // EOF protocol built in
+    let mut se = SeComponent::new("SESocket");
+    se.set_in_name_endp("tcp://nwiceb.pnl.gov:6789");
+    se.set_out_hal_endp("tcp://chinook.emsl.pnl.gov:7890");
+    pipeline.add_mif_component(se);
+    pipeline.set_relay_rate(PAPER_RELAY_RATE);
+    let handle = pipeline.start(&registry).expect("pipeline start");
+    println!("pipeline up: tcp://nwiceb.pnl.gov:6789 -> tcp://chinook.emsl.pnl.gov:7890");
+
+    // --- Fig. 6: MW_Client_Send / MW_Client_Recv.
+    let client = MwClient::new(registry.clone());
+    let payload = b"step1 solution: boundary + sensitive bus phasors";
+    let receiver = std::thread::spawn(move || MwClient::recv_on(&destination).expect("recv"));
+    client.send("tcp://nwiceb.pnl.gov:6789", payload).expect("send");
+    let got = receiver.join().expect("receiver");
+    assert_eq!(got, payload);
+    println!("delivered {} bytes through the middleware; stats: {:?}\n", got.len(), handle.stats());
+    handle.stop();
+
+    // --- Miniature Table III: direct vs middleware, a few payload sizes.
+    println!("payload     direct (T1)    w/ MeDICi (T2)   overhead (T2-T1)   relay rate");
+    for mb in [8u64, 16, 32, 64] {
+        let size = mb * 1_000_000;
+        let row = measure_overhead(size, PAPER_RELAY_RATE, None);
+        println!(
+            "{:>4} MB     {:>8.4} s     {:>8.4} s       {:>8.4} s       {:>5.2} GB/s",
+            mb,
+            row.direct.as_secs_f64(),
+            row.middleware.as_secs_f64(),
+            row.overhead().as_secs_f64(),
+            row.relay_rate() / 1e9
+        );
+    }
+    println!("\n(the tables binary in pgse-bench runs the paper's full 100 MB - 2 GB sweep)");
+}

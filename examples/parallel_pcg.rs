@@ -1,0 +1,79 @@
+//! The HPC kernel in isolation: the row-distributed preconditioned
+//! conjugate gradient running over the mini-MPI substrate, on a real WLS
+//! gain matrix from the IEEE-118-like case.
+//!
+//! Demonstrates the distributed-memory structure of the paper's parallel
+//! state estimation (allgather SpMV + allreduced dot products) and that
+//! the iteration count is independent of the rank count.
+//!
+//! ```text
+//! cargo run --release --example parallel_pcg
+//! ```
+
+use pgse::estimation::jacobian::{assemble_jacobian, StateSpace};
+use pgse::estimation::telemetry::TelemetryPlan;
+use pgse::grid::cases::ieee118_like;
+use pgse::grid::Ybus;
+use pgse::mpilite::dpcg::{dpcg_solve, extract_row_block, row_range};
+use pgse::mpilite::spawn_world;
+use pgse::powerflow::{solve, PfOptions};
+
+fn main() {
+    // Assemble a real gain matrix G = HᵀWH at flat start.
+    let net = ieee118_like();
+    let pf = solve(&net, &PfOptions::default()).expect("power flow");
+    let plan = TelemetryPlan::full(&net, vec![net.slack()]);
+    let set = plan.generate(&net, &pf, 1.0, 1);
+    let space = StateSpace::with_reference(net.n_buses(), net.slack());
+    let ybus = Ybus::new(&net);
+    let vm = vec![1.0; net.n_buses()];
+    let va = vec![0.0; net.n_buses()];
+    let h = assemble_jacobian(&net, &ybus, &set, &space, &vm, &va);
+    let gain = h.ata_weighted(&set.weights());
+    let n = gain.nrows();
+    let mut rhs = vec![0.0; n];
+    let wr: Vec<f64> = set
+        .values()
+        .iter()
+        .zip(set.weights())
+        .map(|(z, w)| z * w * 0.01)
+        .collect();
+    h.spmv_transpose(&wr, &mut rhs);
+    println!(
+        "gain matrix: {}x{} with {} nonzeros (measurements: {})\n",
+        n,
+        n,
+        gain.nnz(),
+        set.len()
+    );
+
+    println!("ranks | CG iterations | rel. residual | max |x_serial - x_dist|");
+    println!("------+---------------+---------------+-------------------------");
+    let mut reference: Option<Vec<f64>> = None;
+    for ranks in [1usize, 2, 4, 8] {
+        let results = spawn_world(ranks, |mut comm| {
+            let block = extract_row_block(&gain, ranks, comm.rank());
+            let range = row_range(n, ranks, comm.rank());
+            dpcg_solve(&mut comm, &block, &rhs[range], 1e-10, 5000).expect("dpcg")
+        });
+        let out = &results[0];
+        let diff = match &reference {
+            None => {
+                reference = Some(out.x.clone());
+                0.0
+            }
+            Some(r) => out
+                .x
+                .iter()
+                .zip(r)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max),
+        };
+        println!(
+            "{:>5} | {:>13} | {:>13.2e} | {:>10.2e}",
+            ranks, out.iterations, out.rel_residual, diff
+        );
+        assert!(out.converged);
+    }
+    println!("\n(iteration count is identical across rank counts: same math, distributed data)");
+}

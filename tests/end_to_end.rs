@@ -1,0 +1,88 @@
+//! End-to-end integration: the full prototype against the centralized
+//! baseline, in both coordination modes, across time frames.
+
+use pgse::core::{CoordinationMode, PrototypeConfig, SystemPrototype};
+use pgse::dse::{run_centralized, DseOptions};
+use pgse::grid::cases::{ieee118_like, synthetic_grid, SyntheticSpec};
+
+#[test]
+fn decentralized_prototype_tracks_truth_over_a_day() {
+    let mut proto =
+        SystemPrototype::deploy(ieee118_like(), PrototypeConfig::default()).unwrap();
+    for frame in 0..3u32 {
+        let report = proto.run_frame(frame as f64 * 8.0 * 3600.0).unwrap();
+        assert!(report.vm_rmse < 1e-2, "frame {frame}: vm rmse {}", report.vm_rmse);
+        assert!(report.va_rmse < 1e-2, "frame {frame}: va rmse {}", report.va_rmse);
+        assert!(report.step1_imbalance <= 1.10, "frame {frame}");
+        assert_eq!(report.buses_per_cluster.iter().sum::<usize>(), 118);
+    }
+}
+
+#[test]
+fn hierarchical_and_decentralized_agree_on_accuracy() {
+    let run = |mode| {
+        let config = PrototypeConfig { mode, ..Default::default() };
+        let mut proto = SystemPrototype::deploy(ieee118_like(), config).unwrap();
+        proto.run_frame(0.0).unwrap()
+    };
+    let p2p = run(CoordinationMode::Decentralized);
+    let hier = run(CoordinationMode::Hierarchical);
+    // Same algorithm, different transport topology: accuracy must match to
+    // within noise realization differences.
+    assert!((p2p.va_rmse - hier.va_rmse).abs() < 5e-3);
+    // The star ships everything twice (up + filtered down), so it moves
+    // at least as many bytes as the peer-to-peer exchange.
+    assert!(hier.exchanged_bytes >= p2p.exchanged_bytes);
+}
+
+#[test]
+fn dse_overhead_vs_centralized_is_low() {
+    // The paper's headline: distributing SE adds little overhead relative
+    // to the centralized solution while exchanging only pseudo
+    // measurements.
+    let net = ieee118_like();
+    let pf = pgse::powerflow::solve(&net, &pgse::powerflow::PfOptions::default()).unwrap();
+    let opts = DseOptions::default();
+    let report = pgse::dse::run_dse(&net, &pf, &opts).unwrap();
+    let (central, central_time) = run_centralized(&net, &pf, &opts).unwrap();
+
+    let central_err = {
+        let s: f64 = central.va.iter().zip(&pf.va).map(|(p, q)| (p - q) * (p - q)).sum();
+        (s / pf.va.len() as f64).sqrt()
+    };
+    assert!(report.va_rmse(&pf.va) < 6.0 * central_err + 1e-4);
+    // Per-subsystem problems are ~9x smaller; total distributed compute
+    // time should not exceed a few times the centralized solve.
+    let dse_time = report.step1_time + report.step2_time;
+    assert!(
+        dse_time < central_time * 20,
+        "dse {dse_time:?} vs central {central_time:?}"
+    );
+}
+
+#[test]
+fn prototype_scales_to_more_clusters() {
+    let net = synthetic_grid(&SyntheticSpec {
+        n_areas: 12,
+        buses_per_area: (8, 14),
+        extra_edges: 6,
+        ties_per_edge: 2,
+        seed: 77,
+    });
+    let config = PrototypeConfig { n_clusters: 4, ..Default::default() };
+    let mut proto = SystemPrototype::deploy(net, config).unwrap();
+    let report = proto.run_frame(0.0).unwrap();
+    assert_eq!(report.step1_assignment.len(), 12);
+    assert!(report.step1_assignment.iter().all(|&c| c < 4));
+    assert!(report.vm_rmse < 2e-2, "vm rmse {}", report.vm_rmse);
+}
+
+#[test]
+fn frame_reports_serialize_for_the_harness() {
+    let mut proto =
+        SystemPrototype::deploy(ieee118_like(), PrototypeConfig::default()).unwrap();
+    let report = proto.run_frame(0.0).unwrap();
+    let json = report.to_json();
+    assert!(json.contains("\"step1_imbalance\""));
+    assert!(json.contains("\"vm_rmse\""));
+}
