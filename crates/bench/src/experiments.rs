@@ -222,9 +222,9 @@ pub fn naive_three_regions(net: &Network) -> Vec<usize> {
     let mut assigned = seeds.len();
     while assigned < n {
         let mut progress = false;
-        for r in 0..3 {
+        for (r, frontier) in frontiers.iter_mut().enumerate() {
             let mut next = Vec::new();
-            for &v in &frontiers[r] {
+            for &v in frontier.iter() {
                 for &w in &adj[v] {
                     if region[w] == usize::MAX {
                         region[w] = r;
@@ -234,13 +234,13 @@ pub fn naive_three_regions(net: &Network) -> Vec<usize> {
                     }
                 }
             }
-            frontiers[r] = next;
+            *frontier = next;
         }
         if !progress {
             // Disconnected leftovers go to region 0.
-            for v in 0..n {
-                if region[v] == usize::MAX {
-                    region[v] = 0;
+            for slot in region.iter_mut() {
+                if *slot == usize::MAX {
+                    *slot = 0;
                     assigned += 1;
                 }
             }

@@ -11,8 +11,23 @@
 //! frames, and hands the extracted payloads to the compute side.
 
 use std::net::TcpListener;
+use std::time::{Duration, Instant};
 
-use pgse_medici::{EndpointRegistry, MwClient, MwError};
+use pgse_medici::{EndpointRegistry, MwClient, MwConfig, MwError};
+
+/// What a deadline-bounded collection actually gathered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectOutcome {
+    /// Intact frames added to the buffer.
+    pub received: usize,
+    /// Connections that delivered a corrupt/truncated frame.
+    pub corrupt: usize,
+    /// Frames discarded as duplicates of an already-received source
+    /// (only counted by [`InterfaceLayer::collect_distinct`]).
+    pub duplicate: usize,
+    /// True when the round deadline expired before `n` frames arrived.
+    pub timed_out: bool,
+}
 
 /// The interface layer of one cluster's master node.
 pub struct InterfaceLayer {
@@ -33,10 +48,23 @@ impl InterfaceLayer {
     /// # Errors
     /// [`MwError`] when the endpoint cannot be bound.
     pub fn deploy(registry: &EndpointRegistry, inbox_url: &str) -> Result<Self, MwError> {
+        Self::deploy_with(registry, inbox_url, MwConfig::default())
+    }
+
+    /// [`InterfaceLayer::deploy`] with explicit middleware deadlines and
+    /// retry policy for this layer's client.
+    ///
+    /// # Errors
+    /// [`MwError`] when the endpoint cannot be bound.
+    pub fn deploy_with(
+        registry: &EndpointRegistry,
+        inbox_url: &str,
+        config: MwConfig,
+    ) -> Result<Self, MwError> {
         let listener = registry.bind(inbox_url)?;
         Ok(InterfaceLayer {
             inbox_url: inbox_url.to_string(),
-            client: MwClient::new(registry.clone()),
+            client: MwClient::with_config(registry.clone(), config),
             listener,
             buffer: Vec::new(),
         })
@@ -59,13 +87,98 @@ impl InterfaceLayer {
     /// Blocks until `n` frames have arrived in the local data buffer.
     ///
     /// # Errors
-    /// [`MwError::Io`] on socket failure.
+    /// [`MwError::Timeout`] when nothing arrives within the default
+    /// middleware deadline, [`MwError::Io`] on socket failure.
     pub fn collect(&mut self, n: usize) -> Result<(), MwError> {
         while self.buffer.len() < n {
             let frame = MwClient::recv_on(&self.listener)?;
             self.buffer.push(frame);
         }
         Ok(())
+    }
+
+    /// Collects up to `n` frames within one round `deadline`, tolerating
+    /// loss: corrupt frames are counted and skipped, and an expired
+    /// deadline ends the wait instead of failing it. This is the
+    /// fault-tolerant exchange path — the caller decides how to proceed
+    /// with whatever arrived.
+    pub fn collect_deadline(&mut self, n: usize, deadline: Duration) -> CollectOutcome {
+        let start = Instant::now();
+        let mut outcome = CollectOutcome::default();
+        while outcome.received < n {
+            let remaining = deadline.saturating_sub(start.elapsed());
+            if remaining.is_zero() {
+                outcome.timed_out = true;
+                break;
+            }
+            match MwClient::recv_deadline_on(&self.listener, remaining) {
+                Ok(frame) => {
+                    self.buffer.push(frame);
+                    outcome.received += 1;
+                }
+                Err(MwError::Timeout { .. }) => {
+                    outcome.timed_out = true;
+                    break;
+                }
+                // A connection that died mid-frame (truncation, reset):
+                // skip it and keep waiting for the rest of the round.
+                Err(_) => outcome.corrupt += 1,
+            }
+        }
+        outcome
+    }
+
+    /// Like [`InterfaceLayer::collect_deadline`], but counts a frame only
+    /// when `key` maps it to a source not seen before in this call:
+    /// duplicated deliveries (a fault-injection mode) are discarded instead
+    /// of masking a still-missing source, and frames `key` rejects
+    /// (`None`) are counted corrupt. Collection ends once `n` distinct
+    /// sources arrived or the deadline expires.
+    pub fn collect_distinct(
+        &mut self,
+        n: usize,
+        deadline: Duration,
+        key: &dyn Fn(&[u8]) -> Option<u64>,
+    ) -> CollectOutcome {
+        let start = Instant::now();
+        let mut outcome = CollectOutcome::default();
+        let mut seen: Vec<u64> = Vec::new();
+        while outcome.received < n {
+            let remaining = deadline.saturating_sub(start.elapsed());
+            if remaining.is_zero() {
+                outcome.timed_out = true;
+                break;
+            }
+            match MwClient::recv_deadline_on(&self.listener, remaining) {
+                Ok(frame) => match key(&frame) {
+                    Some(k) if !seen.contains(&k) => {
+                        seen.push(k);
+                        self.buffer.push(frame);
+                        outcome.received += 1;
+                    }
+                    Some(_) => outcome.duplicate += 1,
+                    None => outcome.corrupt += 1,
+                },
+                Err(MwError::Timeout { .. }) => {
+                    outcome.timed_out = true;
+                    break;
+                }
+                Err(_) => outcome.corrupt += 1,
+            }
+        }
+        outcome
+    }
+
+    /// Consumes and discards frames still pending on the inbox until
+    /// `grace` passes with nothing arriving. Used after a fault-injected
+    /// round so stragglers (late duplicates) cannot leak into the next
+    /// round's collection.
+    pub fn drain_pending(&mut self, grace: Duration) -> usize {
+        let mut drained = 0;
+        while MwClient::recv_deadline_on(&self.listener, grace).is_ok() {
+            drained += 1;
+        }
+        drained
     }
 
     /// The data processor: drains the buffer, extracting each frame through
@@ -129,6 +242,82 @@ mod tests {
             s.split(',').map(|v| v.parse::<i32>().unwrap()).collect::<Vec<_>>()
         });
         assert_eq!(parsed, vec![vec![12, 34]]);
+    }
+
+    #[test]
+    fn collect_deadline_returns_partial_on_timeout() {
+        let registry = EndpointRegistry::new();
+        let mut hub = InterfaceLayer::deploy(&registry, "tcp://hub:2").unwrap();
+        let peer = InterfaceLayer::deploy(&registry, "tcp://peer:2").unwrap();
+        peer.send("tcp://hub:2", b"only one").unwrap();
+        // Expect 3 frames but only one was ever sent: the round must end at
+        // the deadline with the single frame buffered.
+        let start = Instant::now();
+        let outcome = hub.collect_deadline(3, Duration::from_millis(120));
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(outcome.received, 1);
+        assert!(outcome.timed_out);
+        assert_eq!(hub.buffered(), 1);
+    }
+
+    #[test]
+    fn collect_deadline_skips_corrupt_frames() {
+        let registry = EndpointRegistry::new();
+        let mut hub = InterfaceLayer::deploy(&registry, "tcp://hub:3").unwrap();
+        let addr = registry.resolve("tcp://hub:3").unwrap();
+        let peer = InterfaceLayer::deploy(&registry, "tcp://peer:3").unwrap();
+        let t = std::thread::spawn(move || {
+            use std::io::Write;
+            // A truncated frame (claims 100 bytes, sends 4, closes)…
+            let mut bad = std::net::TcpStream::connect(addr).unwrap();
+            bad.write_all(&100u64.to_be_bytes()).unwrap();
+            bad.write_all(b"oops").unwrap();
+            drop(bad);
+            // …followed by a good one.
+            peer.send("tcp://hub:3", b"good frame").unwrap();
+        });
+        let outcome = hub.collect_deadline(1, Duration::from_secs(5));
+        t.join().unwrap();
+        assert_eq!(outcome.received, 1);
+        assert_eq!(outcome.corrupt, 1);
+        assert!(!outcome.timed_out);
+        let got = hub.process(|f| f.to_vec());
+        assert_eq!(got, vec![b"good frame".to_vec()]);
+    }
+
+    #[test]
+    fn collect_distinct_discards_duplicates() {
+        let registry = EndpointRegistry::new();
+        let mut hub = InterfaceLayer::deploy(&registry, "tcp://hub:4").unwrap();
+        let peer = InterfaceLayer::deploy(&registry, "tcp://peer:4").unwrap();
+        // Source 7 delivered twice (a duplication fault), then source 9.
+        peer.send("tcp://hub:4", &[7u8]).unwrap();
+        peer.send("tcp://hub:4", &[7u8]).unwrap();
+        peer.send("tcp://hub:4", &[9u8]).unwrap();
+        let outcome = hub.collect_distinct(2, Duration::from_secs(5), &|f| {
+            f.first().map(|&b| u64::from(b))
+        });
+        assert_eq!(outcome.received, 2);
+        assert_eq!(outcome.duplicate, 1);
+        assert_eq!(outcome.corrupt, 0);
+        assert!(!outcome.timed_out);
+        assert_eq!(hub.process(|f| f.to_vec()), vec![vec![7u8], vec![9u8]]);
+    }
+
+    #[test]
+    fn drain_pending_clears_stragglers() {
+        let registry = EndpointRegistry::new();
+        let mut hub = InterfaceLayer::deploy(&registry, "tcp://hub:5").unwrap();
+        let peer = InterfaceLayer::deploy(&registry, "tcp://peer:5").unwrap();
+        peer.send("tcp://hub:5", b"stale").unwrap();
+        peer.send("tcp://hub:5", b"stale").unwrap();
+        assert_eq!(hub.drain_pending(Duration::from_millis(100)), 2);
+        assert_eq!(hub.buffered(), 0);
+        // Inbox is now clean: a fresh collect sees only new data.
+        peer.send("tcp://hub:5", b"fresh").unwrap();
+        let outcome = hub.collect_deadline(1, Duration::from_secs(5));
+        assert_eq!(outcome.received, 1);
+        assert_eq!(hub.process(|f| f.to_vec()), vec![b"fresh".to_vec()]);
     }
 
     #[test]

@@ -18,5 +18,5 @@ pub mod interface;
 pub mod redistribution;
 
 pub use fleet::{ClusterFleet, HpcCluster};
-pub use interface::InterfaceLayer;
+pub use interface::{CollectOutcome, InterfaceLayer};
 pub use redistribution::{plan_redistribution, DataMove, RedistributionPlan};

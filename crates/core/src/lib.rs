@@ -27,6 +27,6 @@ pub mod config;
 pub mod prototype;
 pub mod report;
 
-pub use config::{CoordinationMode, PrototypeConfig};
+pub use config::{ChaosSpec, CoordinationMode, PrototypeConfig};
 pub use prototype::SystemPrototype;
 pub use report::FrameReport;

@@ -42,6 +42,15 @@ pub struct FrameReport {
     pub exchange_time: Duration,
     /// Wall time of Step 2 across the fleet.
     pub step2_time: Duration,
+    /// Directed exchanges `(from_area, to_area)` whose pseudo measurements
+    /// never reached the destination this frame (dropped, truncated, dead
+    /// pipeline, or past the round deadline).
+    pub missed_exchanges: Vec<(usize, usize)>,
+    /// Areas that received *no* neighbour data and fell back to their
+    /// Step-1 solution.
+    pub degraded_areas: Vec<usize>,
+    /// Frames that arrived corrupt (truncated mid-body or unparseable).
+    pub corrupt_frames: u64,
     /// RMS voltage-magnitude error of the aggregated estimate vs truth.
     pub vm_rmse: f64,
     /// RMS angle error (radians) vs truth.
@@ -54,6 +63,13 @@ impl FrameReport {
     /// Total wall time of the frame's estimation pipeline.
     pub fn total_time(&self) -> Duration {
         self.step1_time + self.exchange_time + self.step2_time
+    }
+
+    /// Whether every exchange arrived intact and on time.
+    pub fn exchange_healthy(&self) -> bool {
+        self.missed_exchanges.is_empty()
+            && self.degraded_areas.is_empty()
+            && self.corrupt_frames == 0
     }
 
     /// Pretty JSON for the experiment log.

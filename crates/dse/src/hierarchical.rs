@@ -214,6 +214,7 @@ mod tests {
     use pgse_grid::cases::ieee118_like;
     use pgse_powerflow::{solve, PfOptions};
 
+    #[allow(clippy::type_complexity)]
     fn setup() -> (
         Network,
         PfSolution,

@@ -37,4 +37,7 @@ pub use decomposition::{AreaInfo, Decomposition, DecompositionOptions};
 pub use estimator::{AreaEstimator, AreaSolution};
 pub use hierarchical::{reconcile_hierarchy, Coordinator};
 pub use pseudo::PseudoMeasurement;
-pub use runner::{run_centralized, run_dse, DseOptions, DseReport};
+pub use runner::{
+    run_centralized, run_dse, run_dse_degraded, DegradationDelta, DropPlan, DseOptions,
+    DseReport, MissedExchange,
+};

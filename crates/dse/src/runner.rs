@@ -46,6 +46,27 @@ impl Default for DseOptions {
     }
 }
 
+/// One neighbour batch that failed to arrive in time for Step 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissedExchange {
+    /// Exchange round (0-based).
+    pub round: usize,
+    /// Area whose pseudo measurements were lost.
+    pub from_area: usize,
+    /// Area that proceeded without them.
+    pub to_area: usize,
+}
+
+/// Accuracy penalty of a degraded run relative to a healthy one, both
+/// scored against the same reference profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationDelta {
+    /// `degraded vm RMSE − healthy vm RMSE` (p.u.).
+    pub vm: f64,
+    /// `degraded va RMSE − healthy va RMSE` (radians).
+    pub va: f64,
+}
+
 /// The outcome of one DSE cycle.
 #[derive(Debug, Clone)]
 pub struct DseReport {
@@ -66,6 +87,13 @@ pub struct DseReport {
     pub exchanged_bytes: u64,
     /// Step-1 Gauss–Newton iteration counts per area (feeds `Ni` fitting).
     pub step1_iterations: Vec<usize>,
+    /// Neighbour batches that never arrived, in `(round, from, to)` order.
+    /// Empty on a healthy run.
+    pub missed_exchanges: Vec<MissedExchange>,
+    /// Areas that ran at least one Step-2 round on an empty inbox and
+    /// therefore kept their Step-1 solution for that round (sorted,
+    /// deduplicated).
+    pub degraded_areas: Vec<usize>,
 }
 
 impl DseReport {
@@ -77,6 +105,54 @@ impl DseReport {
     /// RMS angle error against a reference profile (radians).
     pub fn va_rmse(&self, truth: &[f64]) -> f64 {
         rmse(&self.va, truth)
+    }
+
+    /// Accuracy delta of `self` (typically a degraded run) versus
+    /// `healthy`, both measured against `truth_vm`/`truth_va`.
+    pub fn degradation_vs(
+        &self,
+        healthy: &DseReport,
+        truth_vm: &[f64],
+        truth_va: &[f64],
+    ) -> DegradationDelta {
+        DegradationDelta {
+            vm: self.vm_rmse(truth_vm) - healthy.vm_rmse(truth_vm),
+            va: self.va_rmse(truth_va) - healthy.va_rmse(truth_va),
+        }
+    }
+}
+
+/// Deterministic, stateless exchange-loss model: whether the batch
+/// `from → to` of a given round is lost depends only on `(seed, round,
+/// from, to)` — the same plan always kills the same exchanges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropPlan {
+    /// Seed decorrelating different plans.
+    pub seed: u64,
+    /// Per-exchange loss probability in `[0, 1]`.
+    pub drop_prob: f64,
+}
+
+impl DropPlan {
+    /// True when the `from → to` exchange of `round` is lost.
+    pub fn drops(&self, round: usize, from: usize, to: usize) -> bool {
+        if self.drop_prob <= 0.0 {
+            return false;
+        }
+        if self.drop_prob >= 1.0 {
+            return true;
+        }
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((round as u64) << 42)
+            .wrapping_add((from as u64) << 21)
+            .wrapping_add(to as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < self.drop_prob
     }
 }
 
@@ -114,12 +190,47 @@ pub fn run_dse(net: &Network, pf: &PfSolution, opts: &DseOptions) -> Result<DseR
     run_dse_with(&decomp, &estimators, opts)
 }
 
+/// [`run_dse`] under an exchange-loss model: lost neighbour batches are
+/// recorded as [`MissedExchange`]s and the affected areas degrade
+/// gracefully (an empty inbox keeps the area's current solution for that
+/// round) instead of failing the cycle.
+///
+/// # Errors
+/// Propagates the first WLS failure of any area.
+pub fn run_dse_degraded(
+    net: &Network,
+    pf: &PfSolution,
+    opts: &DseOptions,
+    plan: &DropPlan,
+) -> Result<DseReport, WlsError> {
+    let decomp = decompose(net, &opts.decomposition);
+    let estimators: Vec<AreaEstimator> = decomp
+        .areas
+        .iter()
+        .map(|a| AreaEstimator::new(a.clone(), net, pf, opts.wls))
+        .collect();
+    run_dse_filtered(&decomp, &estimators, opts, &|round, from, to| {
+        !plan.drops(round, from, to)
+    })
+}
+
 /// Same as [`run_dse`] but with pre-built estimators (reused across time
 /// frames, as a deployed system would).
 pub fn run_dse_with(
     decomp: &Decomposition,
     estimators: &[AreaEstimator],
     opts: &DseOptions,
+) -> Result<DseReport, WlsError> {
+    run_dse_filtered(decomp, estimators, opts, &|_, _, _| true)
+}
+
+/// The general cycle: `delivered(round, from, to)` decides whether a
+/// neighbour batch reaches its destination.
+fn run_dse_filtered(
+    decomp: &Decomposition,
+    estimators: &[AreaEstimator],
+    opts: &DseOptions,
+    delivered: &(dyn Fn(usize, usize, usize) -> bool + Sync),
 ) -> Result<DseReport, WlsError> {
     // Step 1: every subsystem independently (parallel across areas — each
     // "cluster" works at once).
@@ -140,16 +251,31 @@ pub fn run_dse_with(
     let t1 = std::time::Instant::now();
     let mut current = step1.clone();
     let mut exchanged_bytes = 0u64;
+    let mut missed_exchanges = Vec::new();
+    let mut degraded_areas = Vec::new();
     for round in 0..rounds {
         let pseudo: Vec<Vec<PseudoMeasurement>> = estimators
             .iter()
             .zip(&current)
             .map(|(e, s)| e.export_pseudo(s))
             .collect();
-        // Account the wire volume: each area sends its batch to every
-        // neighbour (bidirectional exchange, paper §IV-A).
-        for (info, batch) in decomp.areas.iter().zip(&pseudo) {
-            exchanged_bytes += (to_wire(batch).len() * info.neighbors.len()) as u64;
+        // Account the wire volume of the batches that actually went out:
+        // each area sends its batch to every reachable neighbour
+        // (bidirectional exchange, paper §IV-A).
+        for (from, (info, batch)) in decomp.areas.iter().zip(&pseudo).enumerate() {
+            let reached = info
+                .neighbors
+                .iter()
+                .filter(|&&to| delivered(round, from, to))
+                .count();
+            exchanged_bytes += (to_wire(batch).len() * reached) as u64;
+        }
+        for (to, e) in estimators.iter().enumerate() {
+            for &from in &e.info.neighbors {
+                if !delivered(round, from, to) {
+                    missed_exchanges.push(MissedExchange { round, from_area: from, to_area: to });
+                }
+            }
         }
         current = estimators
             .par_iter()
@@ -159,8 +285,15 @@ pub fn run_dse_with(
                     .info
                     .neighbors
                     .iter()
+                    .filter(|&&nb| delivered(round, nb, a))
                     .flat_map(|&nb| pseudo[nb].iter().copied())
                     .collect();
+                if inbox.is_empty() {
+                    // Graceful degradation: with no boundary information
+                    // this round, the area proceeds on its own solution
+                    // rather than failing the cycle.
+                    return Ok(current[a].clone());
+                }
                 e.step2(
                     &current[a],
                     &inbox,
@@ -170,8 +303,17 @@ pub fn run_dse_with(
                 )
             })
             .collect::<Result<_, _>>()?;
+        for (a, e) in estimators.iter().enumerate() {
+            let all_lost =
+                e.info.neighbors.iter().all(|&nb| !delivered(round, nb, a));
+            if all_lost && !e.info.neighbors.is_empty() {
+                degraded_areas.push(a);
+            }
+        }
     }
     let step2_time = t1.elapsed();
+    degraded_areas.sort_unstable();
+    degraded_areas.dedup();
 
     let (vm, va) = aggregate(decomp, &current);
     let step1_iterations = step1.iter().map(|s| s.iterations).collect();
@@ -184,6 +326,8 @@ pub fn run_dse_with(
         step2_time,
         exchanged_bytes,
         step1_iterations,
+        missed_exchanges,
+        degraded_areas,
     })
 }
 
@@ -327,5 +471,74 @@ mod tests {
         let b = run_dse(&net, &pf, &DseOptions::default()).unwrap();
         assert_eq!(a.vm, b.vm);
         assert_eq!(a.va, b.va);
+        assert!(a.missed_exchanges.is_empty());
+        assert!(a.degraded_areas.is_empty());
+    }
+
+    #[test]
+    fn lossless_plan_matches_healthy_run() {
+        let (net, pf) = setup();
+        let opts = DseOptions::default();
+        let healthy = run_dse(&net, &pf, &opts).unwrap();
+        let plan = DropPlan { seed: 3, drop_prob: 0.0 };
+        let degraded = run_dse_degraded(&net, &pf, &opts, &plan).unwrap();
+        assert_eq!(healthy.vm, degraded.vm);
+        assert_eq!(healthy.va, degraded.va);
+        assert!(degraded.missed_exchanges.is_empty());
+    }
+
+    #[test]
+    fn losses_are_recorded_and_bounded_in_accuracy() {
+        let (net, pf) = setup();
+        let opts = DseOptions::default();
+        let healthy = run_dse(&net, &pf, &opts).unwrap();
+        let plan = DropPlan { seed: 11, drop_prob: 0.4 };
+        let degraded = run_dse_degraded(&net, &pf, &opts, &plan).unwrap();
+        assert!(!degraded.missed_exchanges.is_empty());
+        assert!(degraded.exchanged_bytes < healthy.exchanged_bytes);
+        // Degradation is graceful: the estimate stays usable (Step 1 alone
+        // already bounds the error) even with 40% of exchanges lost.
+        let delta = degraded.degradation_vs(&healthy, &pf.vm, &pf.va);
+        assert!(delta.vm.abs() < 5e-3, "vm delta {}", delta.vm);
+        assert!(delta.va.abs() < 5e-3, "va delta {}", delta.va);
+        assert!(degraded.vm_rmse(&pf.vm) < 1e-2);
+    }
+
+    #[test]
+    fn total_blackout_falls_back_to_step1() {
+        let (net, pf) = setup();
+        let opts = DseOptions::default();
+        let plan = DropPlan { seed: 0, drop_prob: 1.0 };
+        let degraded = run_dse_degraded(&net, &pf, &opts, &plan).unwrap();
+        // Every area lost every neighbour: all are degraded and the final
+        // solution is exactly Step 1.
+        assert_eq!(degraded.degraded_areas, (0..degraded.step1.len()).collect::<Vec<_>>());
+        let (vm1, _) = aggregate(
+            &decompose(&net, &opts.decomposition),
+            &degraded.step1,
+        );
+        assert_eq!(degraded.vm, vm1);
+        assert_eq!(degraded.exchanged_bytes, 0);
+    }
+
+    #[test]
+    fn drop_plan_is_deterministic() {
+        let (net, pf) = setup();
+        let opts = DseOptions::default();
+        let plan = DropPlan { seed: 42, drop_prob: 0.3 };
+        let a = run_dse_degraded(&net, &pf, &opts, &plan).unwrap();
+        let b = run_dse_degraded(&net, &pf, &opts, &plan).unwrap();
+        assert_eq!(a.missed_exchanges, b.missed_exchanges);
+        assert_eq!(a.degraded_areas, b.degraded_areas);
+        assert_eq!(a.vm, b.vm);
+        // A different seed kills a different set of exchanges.
+        let c = run_dse_degraded(
+            &net,
+            &pf,
+            &opts,
+            &DropPlan { seed: 43, drop_prob: 0.3 },
+        )
+        .unwrap();
+        assert_ne!(a.missed_exchanges, c.missed_exchanges);
     }
 }

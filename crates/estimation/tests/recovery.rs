@@ -82,17 +82,17 @@ fn estimates_are_unbiased_across_realizations() {
     for seed in 0..reps {
         let set = plan.generate(&net, &pf, 1.0, 500 + seed);
         let out = est.estimate(&set).unwrap();
-        for i in 0..n {
-            mean_vm[i] += out.vm[i] / reps as f64;
+        for (m, v) in mean_vm.iter_mut().zip(&out.vm) {
+            *m += v / reps as f64;
         }
     }
     // The mean estimate converges on the truth (bias ≪ single-scan error).
-    for i in 0..n {
+    for (i, (m, t)) in mean_vm.iter().zip(&pf.vm).enumerate() {
         assert!(
-            (mean_vm[i] - pf.vm[i]).abs() < 2e-3,
+            (m - t).abs() < 2e-3,
             "bus {i}: mean {} vs truth {}",
-            mean_vm[i],
-            pf.vm[i]
+            m,
+            t
         );
     }
 }

@@ -59,9 +59,9 @@ pub fn build(plan: &AreaPlan) -> Network {
 
     // Buses with loads; generators assigned afterwards.
     let mut buses: Vec<Bus> = Vec::with_capacity(n);
-    for a in 0..n_areas {
-        for local in 0..plan.bus_counts[a] {
-            let idx = offsets[a] + local;
+    for (a, (&base, &count)) in offsets.iter().zip(&plan.bus_counts).enumerate() {
+        for local in 0..count {
+            let idx = base + local;
             let pd_mw = rng.gen_range(plan.load_mw.0..plan.load_mw.1);
             // Power factor ≈ 0.95 lagging.
             let qd_mw = pd_mw * 0.33;
@@ -99,9 +99,7 @@ pub fn build(plan: &AreaPlan) -> Network {
     // electrical diameter of large areas small — without them a 30-bus
     // ring drops too much voltage along its circumference and the power
     // flow of big interconnections collapses.
-    for a in 0..n_areas {
-        let k = plan.bus_counts[a];
-        let base = offsets[a];
+    for (&base, &k) in offsets.iter().zip(&plan.bus_counts) {
         for local in 0..k {
             let f = base + local;
             let t = base + (local + 1) % k;

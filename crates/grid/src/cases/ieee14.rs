@@ -11,6 +11,8 @@ use crate::model::{Branch, Bus, BusKind, Network};
 /// Builds the IEEE 14-bus network (all buses in area 0).
 pub fn ieee14() -> Network {
     // (id, kind, Pd MW, Qd MVAr, Gs MW, Bs MVAr, Vm setpoint, Pg MW)
+    // The tuple shape mirrors the source data table column-for-column.
+    #[allow(clippy::type_complexity)]
     #[rustfmt::skip]
     let bus_rows: [(usize, BusKind, f64, f64, f64, f64, f64, f64); 14] = [
         ( 1, BusKind::Slack,  0.0,  0.0, 0.0,  0.0, 1.060, 232.4),

@@ -5,24 +5,44 @@
 //! it"; the state-estimation code only names the destination estimator and
 //! the data. Here the client resolves the logical URL through the registry
 //! and speaks the EOF frame protocol.
+//!
+//! Every blocking operation is bounded: connects, writes, accept waits and
+//! reads all honour the [`MwConfig`] deadline, and transient send failures
+//! are retried on the deterministic [`RetryPolicy`] backoff schedule. A
+//! dead destination therefore costs a bounded number of fast failures —
+//! never a hang.
 
 use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
 
 use crate::endpoint::EndpointRegistry;
 use crate::framing::{read_frame, read_frame_discard, write_frame, write_frame_synthetic};
+use crate::retry::{stable_key, MwConfig};
 use crate::throttle::Throttle;
 use crate::MwError;
+
+/// Deadline used by the legacy no-deadline receive entry points.
+pub const DEFAULT_RECV_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Granularity of the bounded accept poll.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
 
 /// A middleware client bound to a deployment registry.
 #[derive(Debug, Clone)]
 pub struct MwClient {
     registry: EndpointRegistry,
+    config: MwConfig,
 }
 
 impl MwClient {
-    /// Creates a client over `registry`.
+    /// Creates a client over `registry` with the default [`MwConfig`].
     pub fn new(registry: EndpointRegistry) -> Self {
-        MwClient { registry }
+        MwClient { registry, config: MwConfig::default() }
+    }
+
+    /// Creates a client with explicit deadlines and retry policy.
+    pub fn with_config(registry: EndpointRegistry, config: MwConfig) -> Self {
+        MwClient { registry, config }
     }
 
     /// The registry this client resolves against.
@@ -30,21 +50,55 @@ impl MwClient {
         &self.registry
     }
 
+    /// The client's deadline/retry configuration.
+    pub fn config(&self) -> &MwConfig {
+        &self.config
+    }
+
     /// Sends one frame to the endpoint named by `url` (paper:
-    /// `MW_Client_Send`).
+    /// `MW_Client_Send`), retrying transient socket failures on the
+    /// configured backoff schedule.
     ///
     /// # Errors
-    /// [`MwError`] on resolution or socket failure.
+    /// [`MwError::BadUrl`]/[`MwError::UnknownEndpoint`] immediately (a
+    /// naming failure cannot heal by retrying); [`MwError::Exhausted`]
+    /// once every attempt failed.
     pub fn send(&self, url: &str, body: &[u8]) -> Result<(), MwError> {
+        // Resolve per attempt: a restarted endpoint re-registers under a
+        // new socket address, and a retry should pick that up.
+        let key = stable_key(url);
+        let mut last: Option<MwError> = None;
+        for attempt in 0..self.config.retry.max_attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.config.retry.backoff(attempt - 1, key));
+            }
+            match self.try_send_once(url, body) {
+                Ok(()) => return Ok(()),
+                Err(e @ (MwError::BadUrl(_) | MwError::UnknownEndpoint(_))) => return Err(e),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(MwError::Exhausted {
+            url: url.to_string(),
+            attempts: self.config.retry.max_attempts,
+            last: Box::new(last.expect("at least one attempt ran")),
+        })
+    }
+
+    fn try_send_once(&self, url: &str, body: &[u8]) -> Result<(), MwError> {
         let addr = self.registry.resolve(url)?;
-        let mut conn = TcpStream::connect(addr)?;
-        write_frame(&mut conn, body)?;
+        let mut conn = TcpStream::connect_timeout(&addr, self.config.op_deadline)
+            .map_err(map_op_timeout("connect", self.config.op_deadline))?;
+        conn.set_write_timeout(Some(self.config.op_deadline))?;
+        write_frame(&mut conn, body)
+            .map_err(map_op_timeout("write", self.config.op_deadline))?;
         Ok(())
     }
 
     /// Sends a synthetic frame of `len` bytes, optionally paced at
     /// `link_rate` bytes/second (the simulated-LAN path of the
-    /// measurement harness).
+    /// measurement harness). Not retried: a half-sent synthetic stream is
+    /// only used by the single-shot measurement harness.
     pub fn send_synthetic(
         &self,
         url: &str,
@@ -52,7 +106,9 @@ impl MwClient {
         link_rate: Option<f64>,
     ) -> Result<(), MwError> {
         let addr = self.registry.resolve(url)?;
-        let mut conn = TcpStream::connect(addr)?;
+        let mut conn = TcpStream::connect_timeout(&addr, self.config.op_deadline)
+            .map_err(map_op_timeout("connect", self.config.op_deadline))?;
+        conn.set_write_timeout(Some(self.config.op_deadline))?;
         let mut throttle = link_rate.map(Throttle::new);
         write_frame_synthetic(&mut conn, len, |n| {
             if let Some(t) = throttle.as_mut() {
@@ -63,26 +119,91 @@ impl MwClient {
     }
 
     /// Blocks for one inbound frame on `listener` (paper:
-    /// `MW_Client_Recv`).
+    /// `MW_Client_Recv`), waiting at most [`DEFAULT_RECV_DEADLINE`].
     ///
     /// # Errors
+    /// [`MwError::Timeout`] when nothing arrives in time,
     /// [`MwError::Io`] on socket failure.
     pub fn recv_on(listener: &TcpListener) -> Result<Vec<u8>, MwError> {
-        let (mut conn, _) = listener.accept()?;
-        Ok(read_frame(&mut conn)?)
+        Self::recv_deadline_on(listener, DEFAULT_RECV_DEADLINE)
+    }
+
+    /// Blocks for one inbound frame, giving up after `deadline`.
+    ///
+    /// The deadline covers the whole operation: the accept wait and the
+    /// frame read share one budget, so a peer that connects and then
+    /// stalls mid-frame still cannot hold the receiver past `deadline`.
+    pub fn recv_deadline_on(
+        listener: &TcpListener,
+        deadline: Duration,
+    ) -> Result<Vec<u8>, MwError> {
+        let start = Instant::now();
+        let mut conn = accept_deadline(listener, deadline)?;
+        let remaining = deadline.saturating_sub(start.elapsed()).max(ACCEPT_POLL);
+        conn.set_read_timeout(Some(remaining))?;
+        read_frame(&mut conn).map_err(map_op_timeout("read", deadline))
     }
 
     /// Receives one frame and discards the body, returning its length
-    /// (benchmark receivers).
+    /// (benchmark receivers). Bounded by [`DEFAULT_RECV_DEADLINE`].
     pub fn recv_discard_on(listener: &TcpListener) -> Result<u64, MwError> {
-        let (mut conn, _) = listener.accept()?;
-        Ok(read_frame_discard(&mut conn)?)
+        let deadline = DEFAULT_RECV_DEADLINE;
+        let start = Instant::now();
+        let mut conn = accept_deadline(listener, deadline)?;
+        let remaining = deadline.saturating_sub(start.elapsed()).max(ACCEPT_POLL);
+        conn.set_read_timeout(Some(remaining))?;
+        read_frame_discard(&mut conn).map_err(map_op_timeout("read", deadline))
+    }
+}
+
+/// Accepts one connection within `deadline` by polling a non-blocking
+/// listener (the listener is left non-blocking). The accepted stream is
+/// switched back to blocking mode.
+pub(crate) fn accept_deadline(
+    listener: &TcpListener,
+    deadline: Duration,
+) -> Result<TcpStream, MwError> {
+    listener.set_nonblocking(true)?;
+    let start = Instant::now();
+    loop {
+        match listener.accept() {
+            Ok((conn, _)) => {
+                conn.set_nonblocking(false)?;
+                return Ok(conn);
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if start.elapsed() >= deadline {
+                    return Err(MwError::Timeout { what: "accept", after: deadline });
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Maps a socket-timeout `io::Error` (`WouldBlock`/`TimedOut`, the kinds
+/// read/write return when an OS deadline expires) to [`MwError::Timeout`].
+fn map_op_timeout(
+    what: &'static str,
+    after: Duration,
+) -> impl Fn(std::io::Error) -> MwError {
+    move |e| {
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            MwError::Timeout { what, after }
+        } else {
+            MwError::Io(e)
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::retry::RetryPolicy;
 
     #[test]
     fn direct_send_recv_roundtrip() {
@@ -124,5 +245,89 @@ mod tests {
         client.send_synthetic("tcp://sink:2", 2_000_000, Some(10.0e6)).unwrap();
         rx.join().unwrap();
         assert!(start.elapsed().as_secs_f64() >= 0.15);
+    }
+
+    #[test]
+    fn recv_deadline_times_out_with_no_sender() {
+        let registry = EndpointRegistry::new();
+        let listener = registry.bind("tcp://lonely:1").unwrap();
+        let start = Instant::now();
+        let err = MwClient::recv_deadline_on(&listener, Duration::from_millis(50)).unwrap_err();
+        assert!(err.is_timeout(), "{err}");
+        let waited = start.elapsed();
+        assert!(waited >= Duration::from_millis(50));
+        assert!(waited < Duration::from_secs(5), "deadline overshot: {waited:?}");
+    }
+
+    #[test]
+    fn recv_deadline_bounds_a_stalled_sender() {
+        // Peer connects, sends a frame header promising bytes, then stalls.
+        let registry = EndpointRegistry::new();
+        let listener = registry.bind("tcp://stalled:1").unwrap();
+        let addr = registry.resolve("tcp://stalled:1").unwrap();
+        let stall = std::thread::spawn(move || {
+            use std::io::Write;
+            let mut conn = TcpStream::connect(addr).unwrap();
+            conn.write_all(&100u64.to_be_bytes()).unwrap();
+            conn.write_all(b"partial").unwrap();
+            std::thread::sleep(Duration::from_millis(400));
+        });
+        let start = Instant::now();
+        let err = MwClient::recv_deadline_on(&listener, Duration::from_millis(80)).unwrap_err();
+        assert!(err.is_timeout(), "{err}");
+        assert!(start.elapsed() < Duration::from_millis(350));
+        stall.join().unwrap();
+    }
+
+    #[test]
+    fn dead_endpoint_send_exhausts_quickly_not_hangs() {
+        let registry = EndpointRegistry::new();
+        // Bind then drop the listener: the name resolves but connects are
+        // refused — the "dead pipeline" failure mode.
+        drop(registry.bind("tcp://dead:1").unwrap());
+        let config = MwConfig {
+            op_deadline: Duration::from_millis(200),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_delay: Duration::from_millis(5),
+                max_delay: Duration::from_millis(20),
+                jitter: 0.2,
+            },
+        };
+        let client = MwClient::with_config(registry, config);
+        let start = Instant::now();
+        let err = client.send("tcp://dead:1", b"doomed").unwrap_err();
+        match err {
+            MwError::Exhausted { attempts, .. } => assert_eq!(attempts, 3),
+            other => panic!("expected Exhausted, got {other}"),
+        }
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn retry_recovers_when_endpoint_comes_back() {
+        let registry = EndpointRegistry::new();
+        let listener = registry.bind("tcp://flaky:1").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener); // now refusing connections…
+        let registry2 = registry.clone();
+        let reviver = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            // …until the endpoint restarts on the same address.
+            let listener = TcpListener::bind(addr).unwrap();
+            MwClient::recv_on(&listener).unwrap()
+        });
+        let config = MwConfig {
+            op_deadline: Duration::from_millis(500),
+            retry: RetryPolicy {
+                max_attempts: 10,
+                base_delay: Duration::from_millis(20),
+                max_delay: Duration::from_millis(50),
+                jitter: 0.0,
+            },
+        };
+        let client = MwClient::with_config(registry2, config);
+        client.send("tcp://flaky:1", b"eventually").unwrap();
+        assert_eq!(reviver.join().unwrap(), b"eventually");
     }
 }

@@ -41,6 +41,11 @@ impl EndpointUrl {
             return Err(MwError::BadUrl(url.to_string()));
         }
         let port: u16 = port.parse().map_err(|_| MwError::BadUrl(url.to_string()))?;
+        if port == 0 {
+            // Port 0 is "any ephemeral port" to the OS — never a routable
+            // logical endpoint name.
+            return Err(MwError::BadUrl(url.to_string()));
+        }
         Ok(EndpointUrl { host: host.to_string(), port })
     }
 

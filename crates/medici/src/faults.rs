@@ -1,0 +1,426 @@
+//! Deterministic fault injection for middleware chaos tests.
+//!
+//! A [`FaultProxy`] registers itself under a public endpoint URL and
+//! forwards each arriving frame to a target endpoint, injecting faults —
+//! drop, delay, truncation, duplication — drawn from a PRNG seeded by
+//! `plan.seed ^ hash(public_url)`. The same plan against the same traffic
+//! order therefore injects the *same fault sequence in every run*, which is
+//! what lets the fault-tolerance suite assert exact degraded behaviour
+//! instead of flaky statistics.
+//!
+//! [`FaultProxy::deploy_dead`] models the harshest failure: an endpoint
+//! that is registered (resolvable) but refuses every connection, as a
+//! crashed pipeline host would.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::client::accept_deadline;
+use crate::endpoint::EndpointRegistry;
+use crate::framing::{read_frame, write_frame};
+use crate::retry::stable_key;
+use crate::MwError;
+
+/// Poll granularity of the proxy accept loop.
+const POLL: Duration = Duration::from_millis(1);
+
+/// Fault probabilities and parameters for one proxied endpoint.
+///
+/// Probabilities are evaluated per frame in a fixed order — drop,
+/// truncate, delay, duplicate — and at most one fault is injected per
+/// frame (the first whose draw hits).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the per-proxy fault stream (combined with the public URL).
+    pub seed: u64,
+    /// Probability a frame is silently discarded.
+    pub drop_prob: f64,
+    /// Probability a frame is truncated: the full-length prefix is sent,
+    /// the body is cut short and the connection closed, so the receiver
+    /// sees a mid-frame EOF (a crashed sender).
+    pub truncate_prob: f64,
+    /// Probability a frame is delayed by [`FaultPlan::delay`] before
+    /// delivery.
+    pub delay_prob: f64,
+    /// Delay applied to delayed frames.
+    pub delay: Duration,
+    /// Probability a frame is delivered twice (a retransmit race).
+    pub duplicate_prob: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_prob: 0.0,
+            truncate_prob: 0.0,
+            delay_prob: 0.0,
+            delay: Duration::from_millis(25),
+            duplicate_prob: 0.0,
+        }
+    }
+}
+
+/// What the proxy did to one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Forwarded untouched.
+    Delivered,
+    /// Discarded.
+    Dropped,
+    /// Forwarded with a cut-short body and a closed connection.
+    Truncated,
+    /// Forwarded after the configured delay.
+    Delayed,
+    /// Forwarded twice.
+    Duplicated,
+}
+
+/// The per-frame fault record of a proxy.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames that arrived at the proxy.
+    pub frames: u64,
+    /// Action taken for each frame, in arrival order.
+    pub injected: Vec<FaultKind>,
+}
+
+impl FaultStats {
+    /// Number of frames that were not delivered intact (dropped or
+    /// truncated).
+    pub fn lost(&self) -> u64 {
+        self.injected
+            .iter()
+            .filter(|k| matches!(k, FaultKind::Dropped | FaultKind::Truncated))
+            .count() as u64
+    }
+}
+
+/// Deploys fault-injecting proxies (see module docs).
+#[derive(Debug)]
+pub struct FaultProxy;
+
+impl FaultProxy {
+    /// Binds `public_url`, forwarding each frame to `target_url` under
+    /// `plan`. Returns the handle controlling the proxy thread.
+    ///
+    /// # Errors
+    /// [`MwError`] when either URL is malformed or the bind fails.
+    pub fn deploy(
+        registry: &EndpointRegistry,
+        public_url: &str,
+        target_url: &str,
+        plan: FaultPlan,
+    ) -> Result<FaultProxyHandle, MwError> {
+        let listener = registry.bind(public_url)?;
+        listener.set_nonblocking(true)?;
+        let rng = StdRng::seed_from_u64(plan.seed ^ stable_key(public_url));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(Mutex::new(FaultStats::default()));
+        let registry = registry.clone();
+        let target = target_url.to_string();
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || {
+                proxy_loop(listener, registry, target, plan, rng, stop, stats);
+            })
+        };
+        Ok(FaultProxyHandle { stop, thread: Some(thread), stats })
+    }
+
+    /// Registers `public_url` as a dead endpoint: the name resolves, but
+    /// every connection is refused (the listener is bound and immediately
+    /// dropped). Models a crashed pipeline host.
+    ///
+    /// # Errors
+    /// [`MwError`] when the URL is malformed or the bind fails.
+    pub fn deploy_dead(registry: &EndpointRegistry, public_url: &str) -> Result<(), MwError> {
+        drop(registry.bind(public_url)?);
+        Ok(())
+    }
+}
+
+/// A running fault proxy; dropping it (or calling
+/// [`FaultProxyHandle::stop`]) shuts the proxy down.
+#[derive(Debug)]
+pub struct FaultProxyHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    stats: Arc<Mutex<FaultStats>>,
+}
+
+impl FaultProxyHandle {
+    /// Snapshot of the per-frame fault record.
+    pub fn stats(&self) -> FaultStats {
+        self.stats.lock().clone()
+    }
+
+    /// Stops the proxy thread and waits for it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FaultProxyHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Accept loop: one connection at a time, frames in arrival order, one
+/// fault decision per frame.
+fn proxy_loop(
+    listener: std::net::TcpListener,
+    registry: EndpointRegistry,
+    target: String,
+    plan: FaultPlan,
+    mut rng: StdRng,
+    stop: Arc<AtomicBool>,
+    stats: Arc<Mutex<FaultStats>>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        let mut conn = match accept_deadline(&listener, POLL) {
+            Ok(c) => c,
+            Err(MwError::Timeout { .. }) => continue,
+            Err(_) => break,
+        };
+        if conn.set_read_timeout(Some(Duration::from_secs(30))).is_err() {
+            continue;
+        }
+        while let Ok(body) = read_frame(&mut conn) {
+            let kind = decide(&plan, &mut rng);
+            apply(&registry, &target, &body, kind, &plan);
+            let mut s = stats.lock();
+            s.frames += 1;
+            s.injected.push(kind);
+        }
+    }
+}
+
+/// Draws the fault decision for one frame. All four draws happen
+/// unconditionally so the stream position after a frame never depends on
+/// which branch was taken.
+fn decide(plan: &FaultPlan, rng: &mut StdRng) -> FaultKind {
+    let drop_hit = rng.gen_bool(plan.drop_prob.clamp(0.0, 1.0));
+    let trunc_hit = rng.gen_bool(plan.truncate_prob.clamp(0.0, 1.0));
+    let delay_hit = rng.gen_bool(plan.delay_prob.clamp(0.0, 1.0));
+    let dup_hit = rng.gen_bool(plan.duplicate_prob.clamp(0.0, 1.0));
+    if drop_hit {
+        FaultKind::Dropped
+    } else if trunc_hit {
+        FaultKind::Truncated
+    } else if delay_hit {
+        FaultKind::Delayed
+    } else if dup_hit {
+        FaultKind::Duplicated
+    } else {
+        FaultKind::Delivered
+    }
+}
+
+/// Applies the decided fault. Delivery failures are ignored: the proxy
+/// models a lossy link, and the downstream deadline machinery is what
+/// turns loss into a reported missed exchange.
+fn apply(
+    registry: &EndpointRegistry,
+    target: &str,
+    body: &[u8],
+    kind: FaultKind,
+    plan: &FaultPlan,
+) {
+    match kind {
+        FaultKind::Dropped => {}
+        FaultKind::Delivered => {
+            let _ = deliver(registry, target, body);
+        }
+        FaultKind::Delayed => {
+            std::thread::sleep(plan.delay);
+            let _ = deliver(registry, target, body);
+        }
+        FaultKind::Duplicated => {
+            let _ = deliver(registry, target, body);
+            let _ = deliver(registry, target, body);
+        }
+        FaultKind::Truncated => {
+            let _ = deliver_truncated(registry, target, body);
+        }
+    }
+}
+
+fn deliver(registry: &EndpointRegistry, target: &str, body: &[u8]) -> Result<(), MwError> {
+    let addr = registry.resolve(target)?;
+    let mut out = std::net::TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    out.set_write_timeout(Some(Duration::from_secs(5)))?;
+    write_frame(&mut out, body)?;
+    Ok(())
+}
+
+/// Sends the full-length prefix but only half the body, then closes — the
+/// receiver observes a mid-frame EOF.
+fn deliver_truncated(
+    registry: &EndpointRegistry,
+    target: &str,
+    body: &[u8],
+) -> Result<(), MwError> {
+    use std::io::Write;
+    let addr = registry.resolve(target)?;
+    let mut out = std::net::TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    out.set_write_timeout(Some(Duration::from_secs(5)))?;
+    out.write_all(&(body.len() as u64).to_be_bytes())?;
+    out.write_all(&body[..body.len() / 2])?;
+    out.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::MwClient;
+    use std::time::Instant;
+
+    fn proxied_pair(plan: FaultPlan) -> (EndpointRegistry, std::net::TcpListener, FaultProxyHandle) {
+        let registry = EndpointRegistry::new();
+        let dst = registry.bind("tcp://target:1").unwrap();
+        let proxy =
+            FaultProxy::deploy(&registry, "tcp://proxy:1", "tcp://target:1", plan).unwrap();
+        (registry, dst, proxy)
+    }
+
+    #[test]
+    fn clean_plan_forwards_everything() {
+        let (registry, dst, proxy) = proxied_pair(FaultPlan::default());
+        let client = MwClient::new(registry);
+        for i in 0..5u8 {
+            client.send("tcp://proxy:1", &[i; 16]).unwrap();
+            let got = MwClient::recv_deadline_on(&dst, Duration::from_secs(5)).unwrap();
+            assert_eq!(got, [i; 16]);
+        }
+        let stats = proxy.stats();
+        assert_eq!(stats.frames, 5);
+        assert!(stats.injected.iter().all(|k| *k == FaultKind::Delivered));
+        proxy.stop();
+    }
+
+    #[test]
+    fn certain_drop_loses_the_frame() {
+        let plan = FaultPlan { drop_prob: 1.0, ..FaultPlan::default() };
+        let (registry, dst, proxy) = proxied_pair(plan);
+        let client = MwClient::new(registry);
+        client.send("tcp://proxy:1", b"doomed").unwrap();
+        let err = MwClient::recv_deadline_on(&dst, Duration::from_millis(150)).unwrap_err();
+        assert!(err.is_timeout());
+        let stats = proxy.stats();
+        assert_eq!(stats.injected, vec![FaultKind::Dropped]);
+        assert_eq!(stats.lost(), 1);
+        proxy.stop();
+    }
+
+    #[test]
+    fn truncation_surfaces_as_receive_error_not_hang() {
+        let plan = FaultPlan { truncate_prob: 1.0, ..FaultPlan::default() };
+        let (registry, dst, proxy) = proxied_pair(plan);
+        let client = MwClient::new(registry);
+        client.send("tcp://proxy:1", &[9u8; 512]).unwrap();
+        let start = Instant::now();
+        // Mid-frame EOF → read error; the receive returns, it never hangs.
+        let err = MwClient::recv_deadline_on(&dst, Duration::from_secs(2)).unwrap_err();
+        assert!(matches!(err, MwError::Io(_) | MwError::Timeout { .. }), "{err}");
+        assert!(start.elapsed() < Duration::from_secs(2));
+        assert_eq!(proxy.stats().injected, vec![FaultKind::Truncated]);
+        proxy.stop();
+    }
+
+    #[test]
+    fn duplicate_delivers_twice() {
+        let plan = FaultPlan { duplicate_prob: 1.0, ..FaultPlan::default() };
+        let (registry, dst, proxy) = proxied_pair(plan);
+        let client = MwClient::new(registry);
+        client.send("tcp://proxy:1", b"twin").unwrap();
+        let a = MwClient::recv_deadline_on(&dst, Duration::from_secs(5)).unwrap();
+        let b = MwClient::recv_deadline_on(&dst, Duration::from_secs(5)).unwrap();
+        assert_eq!(a, b"twin");
+        assert_eq!(b, b"twin");
+        proxy.stop();
+    }
+
+    #[test]
+    fn delay_postpones_delivery() {
+        let plan = FaultPlan {
+            delay_prob: 1.0,
+            delay: Duration::from_millis(120),
+            ..FaultPlan::default()
+        };
+        let (registry, dst, proxy) = proxied_pair(plan);
+        let client = MwClient::new(registry);
+        let start = Instant::now();
+        client.send("tcp://proxy:1", b"late").unwrap();
+        let got = MwClient::recv_deadline_on(&dst, Duration::from_secs(5)).unwrap();
+        assert_eq!(got, b"late");
+        assert!(start.elapsed() >= Duration::from_millis(120));
+        proxy.stop();
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let plan = FaultPlan {
+            seed: 7,
+            drop_prob: 0.3,
+            truncate_prob: 0.2,
+            delay_prob: 0.2,
+            delay: Duration::from_millis(1),
+            duplicate_prob: 0.2,
+        };
+        let run = || {
+            let (registry, dst, proxy) = proxied_pair(plan);
+            let client = MwClient::new(registry);
+            // Keep the receiver draining so delivered frames don't pile up.
+            let drain = std::thread::spawn(move || {
+                while MwClient::recv_deadline_on(&dst, Duration::from_millis(300)).is_ok() {}
+            });
+            for i in 0..30u8 {
+                client.send("tcp://proxy:1", &[i; 32]).unwrap();
+            }
+            // Wait until the proxy has decided every frame.
+            for _ in 0..500 {
+                if proxy.stats().frames == 30 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            drain.join().unwrap();
+            let stats = proxy.stats();
+            proxy.stop();
+            stats
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first.frames, 30);
+        assert_eq!(first.injected, second.injected);
+        // The mixed plan should actually exercise several kinds.
+        assert!(first.injected.iter().any(|k| *k != FaultKind::Delivered));
+    }
+
+    #[test]
+    fn dead_endpoint_refuses_connections_fast() {
+        let registry = EndpointRegistry::new();
+        FaultProxy::deploy_dead(&registry, "tcp://crashed:1").unwrap();
+        let client = MwClient::new(registry);
+        let start = Instant::now();
+        let err = client.send("tcp://crashed:1", b"anyone there?").unwrap_err();
+        assert!(matches!(err, MwError::Exhausted { .. }), "{err}");
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+}

@@ -11,6 +11,10 @@ use std::io::{Read, Write};
 /// Chunk size used by the streaming send/receive paths.
 pub const CHUNK: usize = 1 << 22; // 4 MiB
 
+/// Largest frame [`read_frame`] will buffer. A corrupted length prefix
+/// must surface as an error, not as a multi-exabyte allocation.
+pub const MAX_FRAME: u64 = 1 << 30; // 1 GiB
+
 /// Writes one frame: 8-byte length prefix + body.
 pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> std::io::Result<()> {
     w.write_all(&(body.len() as u64).to_be_bytes())?;
@@ -18,17 +22,42 @@ pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> std::io::Result<()> {
     w.flush()
 }
 
-/// Reads one frame into memory.
+/// Reads one frame into memory, rejecting frames above [`MAX_FRAME`].
 ///
 /// # Errors
 /// Propagates socket errors; an unexpected EOF mid-frame surfaces as
-/// `ErrorKind::UnexpectedEof`.
+/// `ErrorKind::UnexpectedEof`, an implausible length prefix as
+/// `ErrorKind::InvalidData`.
 pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Vec<u8>> {
+    read_frame_limited(r, MAX_FRAME)
+}
+
+/// [`read_frame`] with an explicit size cap.
+///
+/// # Errors
+/// `ErrorKind::InvalidData` when the length prefix exceeds `max_len`;
+/// otherwise as [`read_frame`].
+pub fn read_frame_limited<R: Read>(r: &mut R, max_len: u64) -> std::io::Result<Vec<u8>> {
     let mut len_buf = [0u8; 8];
     r.read_exact(&mut len_buf)?;
-    let len = u64::from_be_bytes(len_buf) as usize;
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
+    let len = u64::from_be_bytes(len_buf);
+    if len > max_len {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {max_len}"),
+        ));
+    }
+    // Grow incrementally: a corrupted-but-under-cap prefix on a short
+    // stream fails at EOF without first allocating the full claimed size.
+    let mut body = Vec::new();
+    let mut remaining = len as usize;
+    let mut chunk = vec![0u8; CHUNK.min(remaining.max(1))];
+    while remaining > 0 {
+        let n = remaining.min(CHUNK);
+        r.read_exact(&mut chunk[..n])?;
+        body.extend_from_slice(&chunk[..n]);
+        remaining -= n;
+    }
     Ok(body)
 }
 
@@ -108,6 +137,33 @@ mod tests {
         buf.truncate(buf.len() - 3);
         let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_invalid_data() {
+        // A frame claiming 2^62 bytes must be rejected before allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(1u64 << 62).to_be_bytes());
+        buf.extend_from_slice(b"whatever");
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn under_cap_prefix_on_short_stream_is_eof() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1_000_000u64.to_be_bytes());
+        buf.extend_from_slice(b"only a little data");
+        let err = read_frame_limited(&mut Cursor::new(&buf), MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn explicit_cap_is_honoured() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[7u8; 64]).unwrap();
+        assert!(read_frame_limited(&mut Cursor::new(&buf), 32).is_err());
+        assert_eq!(read_frame_limited(&mut Cursor::new(&buf), 64).unwrap().len(), 64);
     }
 
     #[test]

@@ -22,18 +22,24 @@
 //! * [`throttle`] — token-bucket pacing (relay rate / simulated LAN);
 //! * [`pipeline`] — `MifPipeline` mirroring the paper's Fig. 7 API;
 //! * [`client`] — `MwClient::{send, recv}` used by estimators (Fig. 6);
-//! * [`measure`] — the timing harness behind Tables III/IV and Fig. 8.
+//! * [`measure`] — the timing harness behind Tables III/IV and Fig. 8;
+//! * [`retry`] — deadlines and deterministic bounded backoff;
+//! * [`faults`] — the seeded fault-injection proxy for chaos testing.
 
 pub mod client;
 pub mod endpoint;
+pub mod faults;
 pub mod framing;
 pub mod measure;
 pub mod pipeline;
+pub mod retry;
 pub mod throttle;
 
 pub use client::MwClient;
 pub use endpoint::{EndpointRegistry, EndpointUrl};
+pub use faults::{FaultKind, FaultPlan, FaultProxy, FaultProxyHandle, FaultStats};
 pub use pipeline::{EndpointProtocol, MifPipeline, PipelineHandle, SeComponent};
+pub use retry::{MwConfig, RetryPolicy};
 pub use throttle::Throttle;
 
 /// Middleware error type.
@@ -45,6 +51,34 @@ pub enum MwError {
     UnknownEndpoint(String),
     /// Underlying socket failure.
     Io(std::io::Error),
+    /// A blocking operation exceeded its deadline.
+    Timeout {
+        /// What was being waited on (e.g. `"accept"`, `"read"`).
+        what: &'static str,
+        /// The deadline that expired.
+        after: std::time::Duration,
+    },
+    /// All retry attempts failed.
+    Exhausted {
+        /// Endpoint the operation targeted.
+        url: String,
+        /// Attempts made (including the first).
+        attempts: u32,
+        /// The error of the final attempt.
+        last: Box<MwError>,
+    },
+}
+
+impl MwError {
+    /// True for [`MwError::Timeout`] (including one wrapped by
+    /// [`MwError::Exhausted`]).
+    pub fn is_timeout(&self) -> bool {
+        match self {
+            MwError::Timeout { .. } => true,
+            MwError::Exhausted { last, .. } => last.is_timeout(),
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for MwError {
@@ -53,6 +87,12 @@ impl std::fmt::Display for MwError {
             MwError::BadUrl(u) => write!(f, "malformed endpoint url: {u}"),
             MwError::UnknownEndpoint(u) => write!(f, "unknown endpoint: {u}"),
             MwError::Io(e) => write!(f, "io error: {e}"),
+            MwError::Timeout { what, after } => {
+                write!(f, "{what} exceeded its {after:?} deadline")
+            }
+            MwError::Exhausted { url, attempts, last } => {
+                write!(f, "{url}: gave up after {attempts} attempts (last: {last})")
+            }
         }
     }
 }

@@ -22,6 +22,11 @@ use crate::framing::read_frame;
 /// Relay pacing granularity: small enough that the token bucket shapes the
 /// stream the receiver sees, large enough to keep syscall overhead low.
 const RELAY_CHUNK: usize = 1 << 20; // 1 MiB
+
+/// Default bound on each router socket operation (read wait, connect,
+/// write); see [`MifPipeline::set_io_deadline`].
+pub const DEFAULT_IO_DEADLINE: Duration = Duration::from_secs(30);
+use crate::retry::{stable_key, RetryPolicy};
 use crate::throttle::Throttle;
 use crate::MwError;
 
@@ -72,16 +77,33 @@ pub struct RelayStats {
     pub frames: u64,
     /// Payload bytes forwarded.
     pub bytes: u64,
-    /// Frames dropped because the outbound endpoint failed.
+    /// Frames dropped because the outbound endpoint failed every attempt.
     pub dropped: u64,
+    /// Forward attempts beyond the first (transient failures that were
+    /// retried).
+    pub retries: u64,
 }
 
 /// A MeDICi pipeline under construction.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MifPipeline {
     connector: Option<EndpointProtocol>,
     components: Vec<SeComponent>,
     relay_rate: Option<f64>,
+    io_deadline: Duration,
+    retry: RetryPolicy,
+}
+
+impl Default for MifPipeline {
+    fn default() -> Self {
+        MifPipeline {
+            connector: None,
+            components: Vec::new(),
+            relay_rate: None,
+            io_deadline: DEFAULT_IO_DEADLINE,
+            retry: RetryPolicy::default(),
+        }
+    }
 }
 
 impl MifPipeline {
@@ -106,6 +128,23 @@ impl MifPipeline {
     /// unthrottled). The paper's measured middleware relays at ≈ 0.4 GB/s.
     pub fn set_relay_rate(&mut self, bytes_per_sec: f64) -> &mut Self {
         self.relay_rate = Some(bytes_per_sec);
+        self
+    }
+
+    /// Bounds every router socket operation (inbound read wait, outbound
+    /// connect and write) by `deadline`. Default:
+    /// [`DEFAULT_IO_DEADLINE`]. A stalled or dead peer can then delay a
+    /// router by at most one deadline per frame, never hang it.
+    pub fn set_io_deadline(&mut self, deadline: Duration) -> &mut Self {
+        self.io_deadline = deadline;
+        self
+    }
+
+    /// Sets the bounded-retry schedule for forwarding failures (default:
+    /// [`RetryPolicy::default`]). A frame is counted as `dropped` only
+    /// after every attempt failed.
+    pub fn set_retry(&mut self, retry: RetryPolicy) -> &mut Self {
+        self.retry = retry;
         self
     }
 
@@ -136,9 +175,13 @@ impl MifPipeline {
             let registry = registry.clone();
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
-            let relay_rate = self.relay_rate;
+            let cfg = RouterConfig {
+                relay_rate: self.relay_rate,
+                io_deadline: self.io_deadline,
+                retry: self.retry,
+            };
             threads.push(std::thread::spawn(move || {
-                router_loop(listener, registry, out_url, relay_rate, stop, stats);
+                router_loop(listener, registry, out_url, cfg, stop, stats);
             }));
         }
         Ok(PipelineHandle { stop, threads, stats })
@@ -179,35 +222,51 @@ impl Drop for PipelineHandle {
     }
 }
 
+/// Per-router configuration snapshot.
+#[derive(Debug, Clone, Copy)]
+struct RouterConfig {
+    relay_rate: Option<f64>,
+    io_deadline: Duration,
+    retry: RetryPolicy,
+}
+
 /// Accept loop of one component: store each inbound frame, forward it to
-/// the outbound endpoint at the relay rate.
+/// the outbound endpoint at the relay rate. All socket waits are bounded
+/// by the configured IO deadline.
 fn router_loop(
     listener: std::net::TcpListener,
     registry: EndpointRegistry,
     out_url: String,
-    relay_rate: Option<f64>,
+    cfg: RouterConfig,
     stop: Arc<AtomicBool>,
     stats: Arc<Mutex<RelayStats>>,
 ) {
+    let retry_key = stable_key(&out_url);
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((mut conn, _)) => {
-                if conn.set_nonblocking(false).is_err() {
+                if conn.set_nonblocking(false).is_err()
+                    || conn.set_read_timeout(Some(cfg.io_deadline)).is_err()
+                {
                     continue;
                 }
-                // A connection may carry several frames; relay until EOF.
-                loop {
-                    let body = match read_frame(&mut conn) {
-                        Ok(b) => b,
-                        Err(_) => break,
-                    };
-                    let ok = forward(&registry, &out_url, &body, relay_rate);
+                // A connection may carry several frames; relay until EOF
+                // (or until the sender stalls past the IO deadline).
+                while let Ok(body) = read_frame(&mut conn) {
+                    let retried = forward_with_retry(
+                        &registry, &out_url, &body, &cfg, retry_key, &stop,
+                    );
                     let mut s = stats.lock();
-                    if ok {
-                        s.frames += 1;
-                        s.bytes += body.len() as u64;
-                    } else {
-                        s.dropped += 1;
+                    match retried {
+                        Some(extra_attempts) => {
+                            s.frames += 1;
+                            s.bytes += body.len() as u64;
+                            s.retries += u64::from(extra_attempts);
+                        }
+                        None => {
+                            s.dropped += 1;
+                            s.retries += u64::from(cfg.retry.max_attempts.saturating_sub(1));
+                        }
                     }
                 }
             }
@@ -219,21 +278,49 @@ fn router_loop(
     }
 }
 
+/// Forwards one frame under the retry policy. Returns `Some(retries)` (the
+/// number of attempts beyond the first) on delivery, `None` when every
+/// attempt failed or the pipeline is stopping.
+fn forward_with_retry(
+    registry: &EndpointRegistry,
+    out_url: &str,
+    body: &[u8],
+    cfg: &RouterConfig,
+    retry_key: u64,
+    stop: &AtomicBool,
+) -> Option<u32> {
+    for attempt in 0..cfg.retry.max_attempts {
+        if attempt > 0 {
+            std::thread::sleep(cfg.retry.backoff(attempt - 1, retry_key));
+            if stop.load(Ordering::SeqCst) {
+                return None;
+            }
+        }
+        if forward(registry, out_url, body, cfg) {
+            return Some(attempt);
+        }
+    }
+    None
+}
+
 /// Forwards one stored frame to the outbound endpoint, paced at the relay
 /// rate. Returns false when delivery failed.
 fn forward(
     registry: &EndpointRegistry,
     out_url: &str,
     body: &[u8],
-    relay_rate: Option<f64>,
+    cfg: &RouterConfig,
 ) -> bool {
     let Ok(addr) = registry.resolve(out_url) else {
         return false;
     };
-    let Ok(mut out) = TcpStream::connect(addr) else {
+    let Ok(mut out) = TcpStream::connect_timeout(&addr, cfg.io_deadline) else {
         return false;
     };
-    let mut throttle = relay_rate.map(Throttle::new);
+    if out.set_write_timeout(Some(cfg.io_deadline)).is_err() {
+        return false;
+    }
+    let mut throttle = cfg.relay_rate.map(Throttle::new);
     let write = (|| -> std::io::Result<()> {
         out.write_all(&(body.len() as u64).to_be_bytes())?;
         // Pace-then-send: the relay may not emit a chunk before its
@@ -341,6 +428,43 @@ mod tests {
         }
         assert_eq!(handle.stats().dropped, 1);
         assert_eq!(handle.stats().frames, 0);
+        handle.stop();
+    }
+
+    #[test]
+    fn forward_retry_recovers_late_destination() {
+        let registry = EndpointRegistry::new();
+        let mut pipeline = MifPipeline::new();
+        pipeline.add_mif_connector(EndpointProtocol::Tcp);
+        let mut se = SeComponent::new("SE");
+        se.set_in_name_endp("tcp://in:9");
+        se.set_out_hal_endp("tcp://late:9");
+        pipeline.add_mif_component(se);
+        pipeline.set_retry(RetryPolicy {
+            max_attempts: 20,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(40),
+            jitter: 0.0,
+        });
+        let handle = pipeline.start(&registry).unwrap();
+        let client = MwClient::new(registry.clone());
+        // Send while the destination does not exist yet…
+        client.send("tcp://in:9", b"patience").unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        // …then bring it up; a later forward attempt must deliver.
+        let dst = registry.bind("tcp://late:9").unwrap();
+        let got = MwClient::recv_deadline_on(&dst, Duration::from_secs(5)).unwrap();
+        assert_eq!(got, b"patience");
+        for _ in 0..200 {
+            if handle.stats().frames == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.frames, 1);
+        assert!(stats.retries > 0, "delivery should have required retries");
+        assert_eq!(stats.dropped, 0);
         handle.stop();
     }
 

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use pgse_medici::framing::{read_frame, write_frame};
+use pgse_medici::framing::{read_frame, read_frame_limited, write_frame, MAX_FRAME};
 use pgse_medici::EndpointUrl;
 
 proptest! {
@@ -44,6 +44,27 @@ proptest! {
     }
 
     #[test]
+    fn oversized_headers_error_not_allocate(extra in 1u64..=1_000_000, body in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // A header claiming more than the frame cap must be rejected
+        // before any body is read — regardless of what follows it.
+        let mut buf = (MAX_FRAME + extra).to_be_bytes().to_vec();
+        buf.extend_from_slice(&body);
+        prop_assert!(read_frame(&mut std::io::Cursor::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn limited_reads_enforce_the_caller_cap(body in proptest::collection::vec(any::<u8>(), 0..512), cap in 0u64..512) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &body).unwrap();
+        let got = read_frame_limited(&mut std::io::Cursor::new(&buf), cap);
+        if (body.len() as u64) <= cap {
+            prop_assert_eq!(got.unwrap(), body);
+        } else {
+            prop_assert!(got.is_err());
+        }
+    }
+
+    #[test]
     fn endpoint_urls_roundtrip(host in "[a-z][a-z0-9.-]{0,30}", port in 1u16..) {
         let url = format!("tcp://{host}:{port}");
         let parsed = EndpointUrl::parse(&url).unwrap();
@@ -56,5 +77,15 @@ proptest! {
     fn garbage_urls_error_not_panic(s in ".{0,60}") {
         // Parsing must be total: any input either parses or errors.
         let _ = EndpointUrl::parse(&s);
+    }
+
+    #[test]
+    fn urls_without_scheme_or_port_are_rejected(host in "[a-z][a-z0-9.-]{0,30}", port in 1u16..) {
+        // Each mandatory element removed in turn must fail the parse.
+        prop_assert!(EndpointUrl::parse(&format!("{host}:{port}")).is_err());
+        prop_assert!(EndpointUrl::parse(&format!("tcp://{host}")).is_err());
+        prop_assert!(EndpointUrl::parse(&format!("tcp://:{port}")).is_err());
+        prop_assert!(EndpointUrl::parse(&format!("tcp://{host}:0")).is_err());
+        prop_assert!(EndpointUrl::parse(&format!("tcp://{host}:{port}x")).is_err());
     }
 }

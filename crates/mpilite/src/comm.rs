@@ -113,9 +113,9 @@ impl Communicator {
         if self.rank == root {
             let mut out = vec![Vec::new(); self.size];
             out[root] = data;
-            for src in 0..self.size {
+            for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    out[src] = self.recv(src, TAG)?;
+                    *slot = self.recv(src, TAG)?;
                 }
             }
             Ok(Some(out))

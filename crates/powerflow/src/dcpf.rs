@@ -29,9 +29,9 @@ pub fn solve_dc(net: &Network) -> Result<DcSolution, PfError> {
     // Reduced susceptance Laplacian (slack grounded).
     let mut pos = vec![usize::MAX; n];
     let mut k = 0usize;
-    for i in 0..n {
+    for (i, p) in pos.iter_mut().enumerate() {
         if i != slack {
-            pos[i] = k;
+            *p = k;
             k += 1;
         }
     }

@@ -25,9 +25,9 @@ pub fn solve_fast_decoupled(net: &Network, opts: &PfOptions) -> Result<PfSolutio
 
     let mut th_pos = vec![usize::MAX; n];
     let mut nth = 0usize;
-    for i in 0..n {
+    for (i, p) in th_pos.iter_mut().enumerate() {
         if i != slack {
-            th_pos[i] = nth;
+            *p = nth;
             nth += 1;
         }
     }

@@ -82,9 +82,9 @@ pub fn solve(net: &Network, opts: &PfOptions) -> Result<PfSolution, PfError> {
     let mut th_pos = vec![usize::MAX; n];
     let mut v_pos = vec![usize::MAX; n];
     let mut nth = 0usize;
-    for i in 0..n {
+    for (i, p) in th_pos.iter_mut().enumerate() {
         if i != slack {
-            th_pos[i] = nth;
+            *p = nth;
             nth += 1;
         }
     }

@@ -137,6 +137,8 @@ impl Mul<f64> for Cplx {
 
 impl Div for Cplx {
     type Output = Cplx;
+    // Complex division *is* multiplication by the reciprocal.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Cplx) -> Cplx {
         self * rhs.recip()

@@ -1,0 +1,220 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's `harness = false` benches
+//! use (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`) as a minimal
+//! wall-clock harness: each benchmark runs a short warm-up plus a
+//! bounded number of timed samples and prints mean time per iteration
+//! (and throughput when configured). No statistics, reports, or
+//! command-line handling.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier so the optimizer cannot elide benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Measured quantity per iteration, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: u32,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `body` for a warm-up pass plus `samples` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        black_box(body()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = u64::from(self.samples);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u32,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u32;
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs benchmark `id` with body `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: self.sample_size, elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Runs benchmark `id`, passing `input` to the body.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: self.sample_size, elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is per-benchmark).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        if b.iters == 0 {
+            println!("{}/{}: no iterations recorded", self.name, id.id);
+            return;
+        }
+        let per_iter = b.elapsed / b.iters as u32;
+        let mut line = format!(
+            "{}/{}: {:?}/iter over {} iters",
+            self.name, id.id, per_iter, b.iters
+        );
+        if let Some(Throughput::Bytes(bytes)) = self.throughput {
+            let secs = per_iter.as_secs_f64();
+            if secs > 0.0 {
+                line.push_str(&format!(" ({:.1} MiB/s)", bytes as f64 / secs / (1 << 20) as f64));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Kept for API parity; command-line options are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_bodies() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(1024));
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| runs += 1);
+        });
+        group.bench_with_input(BenchmarkId::new("with", 7), &5u32, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        group.finish();
+        // warm-up + 3 samples
+        assert_eq!(runs, 4);
+    }
+}

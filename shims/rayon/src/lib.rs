@@ -1,0 +1,166 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The workspace builds in a container without crates.io access, so this
+//! shim provides the `par_iter`/`into_par_iter`/`par_iter_mut` entry points
+//! over plain sequential `std` iterators: every adapter (`map`, `zip`,
+//! `enumerate`, `sum`, `collect`, `for_each`, …) is then the std one.
+//! Cluster-level concurrency in this repo comes from `std::thread::scope`
+//! (see `pgse-cluster`), so dropping intra-area data parallelism keeps all
+//! observable behaviour; only single-process throughput changes.
+
+/// The conventional import surface.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+/// `collection.into_par_iter()` — sequential here.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Returns the (sequential) iterator.
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {}
+
+/// `collection.par_iter()` — sequential here.
+pub trait IntoParallelRefIterator<'a> {
+    /// Iterator type produced.
+    type Iter: Iterator;
+    /// Returns the (sequential) borrowing iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `collection.par_iter_mut()` — sequential here.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Iterator type produced.
+    type Iter: Iterator;
+    /// Returns the (sequential) mutably-borrowing iterator.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, C: ?Sized + 'a> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoIterator,
+{
+    type Iter = <&'a mut C as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Runs the two closures (sequentially) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by the shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`]; configuration is recorded but jobs run on
+/// the calling thread.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the requested worker count.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Accepts (and ignores) a thread-name function.
+    pub fn thread_name<F>(self, _f: F) -> Self
+    where
+        F: FnMut(usize) -> String,
+    {
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    /// Never fails in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads.max(1) })
+    }
+}
+
+/// A "pool" that executes installed jobs on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` (on the calling thread).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        op()
+    }
+
+    /// The configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1, 2, 3];
+        let s: i32 = v.par_iter().map(|x| x * 2).sum();
+        assert_eq!(s, 12);
+        let t: i64 = (0..1000).into_par_iter().map(|i: i64| i).sum();
+        assert_eq!(t, 499_500);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn pool_installs() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.install(|| 41 + 1), 42);
+    }
+}

@@ -1,0 +1,324 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Instead of serde's visitor-based zero-copy architecture, this shim uses
+//! a concrete [`Content`] tree as the data model: `Serialize` lowers a
+//! value into a `Content`, `Deserialize` rebuilds it from one. The
+//! companion `serde_json` shim prints/parses `Content` as JSON, and the
+//! `serde_derive` shim generates the two impls for structs and enums. The
+//! JSON shapes match upstream serde conventions (externally tagged enums,
+//! `Duration` as `{secs, nanos}`) so documents stay interchangeable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data-model tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Map with string keys, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+pub type DeError = String;
+
+impl Content {
+    /// The map entries, when this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, when this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a required field in a struct's map representation.
+///
+/// # Errors
+/// When the field is absent.
+pub fn content_get<'a>(map: &'a [(String, Content)], field: &str) -> Result<&'a Content, DeError> {
+    map.iter()
+        .find(|(k, _)| k == field)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field `{field}`"))
+}
+
+/// Lowers a value into the data model.
+pub trait Serialize {
+    /// The value as a [`Content`] tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Rebuilds a value from the data model.
+pub trait Deserialize: Sized {
+    /// Parses the value out of a [`Content`] tree.
+    ///
+    /// # Errors
+    /// A description of the first shape mismatch encountered.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+macro_rules! serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v: u64 = match *c {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    Content::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                        v as u64
+                    }
+                    ref other => return Err(format!("expected unsigned integer, got {other:?}")),
+                };
+                <$t>::try_from(v).map_err(|_| format!("integer {v} out of range"))
+            }
+        }
+    )*};
+}
+serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v: i64 = match *c {
+                    Content::I64(v) => v,
+                    Content::U64(v) if v <= i64::MAX as u64 => v as i64,
+                    Content::F64(v) if v.fract() == 0.0
+                        && v >= i64::MIN as f64 && v <= i64::MAX as f64 => v as i64,
+                    ref other => return Err(format!("expected integer, got {other:?}")),
+                };
+                <$t>::try_from(v).map_err(|_| format!("integer {v} out of range"))
+            }
+        }
+    )*};
+}
+serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match *c {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            Content::Null => Ok(f64::NAN),
+            ref other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| format!("expected sequence, got {c:?}"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+macro_rules! serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let seq = c.as_seq().ok_or_else(|| format!("expected tuple seq, got {c:?}"))?;
+                const LEN: usize = [$($n),+].len();
+                if seq.len() != LEN {
+                    return Err(format!("expected tuple of {LEN}, got {} elements", seq.len()));
+                }
+                Ok(($($t::from_content(&seq[$n])?,)+))
+            }
+        }
+    )*};
+}
+serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for std::time::Duration {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("secs".to_string(), Content::U64(self.as_secs())),
+            ("nanos".to_string(), Content::U64(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let map = c.as_map().ok_or_else(|| format!("expected duration map, got {c:?}"))?;
+        let secs = u64::from_content(content_get(map, "secs")?)?;
+        let nanos = u32::from_content(content_get(map, "nanos")?)?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-7i64).to_content()).unwrap(), -7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert_eq!(String::from_content(&"hi".to_content()).unwrap(), "hi");
+        assert_eq!(
+            Vec::<u32>::from_content(&vec![1u32, 2, 3].to_content()).unwrap(),
+            vec![1, 2, 3]
+        );
+        let pair = (3usize, 4usize);
+        assert_eq!(<(usize, usize)>::from_content(&pair.to_content()).unwrap(), pair);
+    }
+
+    #[test]
+    fn duration_uses_serde_shape() {
+        let d = std::time::Duration::new(3, 500);
+        let c = d.to_content();
+        let map = c.as_map().unwrap();
+        assert_eq!(map[0].0, "secs");
+        assert_eq!(std::time::Duration::from_content(&c).unwrap(), d);
+    }
+
+    #[test]
+    fn missing_field_is_reported() {
+        let map = vec![("a".to_string(), Content::U64(1))];
+        assert!(content_get(&map, "b").unwrap_err().contains("missing field `b`"));
+    }
+}
