@@ -36,6 +36,33 @@ fn main() {
     }
 
     println!("# Reproduction harness — Distributing Power Grid State Estimation on HPC Clusters\n");
+
+    // Every experiment runs under the bench recorder: the harness's own
+    // per-stage breakdown lands in target/obs/BENCH_OBS.json.
+    let rec = pgse_obs::Recorder::new("bench");
+    pgse_obs::with_recorder(&rec, || run_experiments(&exp, scale));
+    let report = pgse_obs::ObsReport::from_scopes(vec![rec.snapshot()]);
+    let stages = report.stage_totals();
+    if !stages.is_empty() {
+        println!("## Observability: per-stage totals\n");
+        for (stage, stat) in stages {
+            println!(
+                "  {:<22} × {:>5}  {:>12.3} ms",
+                stage,
+                stat.count,
+                stat.wall_nanos as f64 / 1e6
+            );
+        }
+        println!();
+    }
+    if std::fs::create_dir_all("target/obs").is_ok()
+        && std::fs::write("target/obs/BENCH_OBS.json", report.to_json()).is_ok()
+    {
+        println!("ObsReport JSON written to target/obs/BENCH_OBS.json");
+    }
+}
+
+fn run_experiments(exp: &str, scale: f64) {
     let want = |name: &str| exp == "all" || exp == name;
 
     if want("table1") {

@@ -13,7 +13,7 @@
 use std::net::TcpListener;
 use std::time::{Duration, Instant};
 
-use pgse_medici::{EndpointRegistry, MwClient, MwConfig, MwError};
+use pgse_medici::{Delivery, EndpointRegistry, MwClient, MwConfig, MwError};
 
 /// What a deadline-bounded collection actually gathered.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -76,11 +76,12 @@ impl InterfaceLayer {
     }
 
     /// Sends `payload` toward `url` through the middleware (the
-    /// `MW_Client_Send` of Fig. 6).
+    /// `MW_Client_Send` of Fig. 6), returning the delivery receipt so the
+    /// caller can account for the attempts spent.
     ///
     /// # Errors
     /// [`MwError`] on resolution or socket failure.
-    pub fn send(&self, url: &str, payload: &[u8]) -> Result<(), MwError> {
+    pub fn send(&self, url: &str, payload: &[u8]) -> Result<Delivery, MwError> {
         self.client.send(url, payload)
     }
 
@@ -103,6 +104,7 @@ impl InterfaceLayer {
     /// fault-tolerant exchange path — the caller decides how to proceed
     /// with whatever arrived.
     pub fn collect_deadline(&mut self, n: usize, deadline: Duration) -> CollectOutcome {
+        let mut sp = pgse_obs::span("inbox.collect");
         let start = Instant::now();
         let mut outcome = CollectOutcome::default();
         while outcome.received < n {
@@ -125,6 +127,7 @@ impl InterfaceLayer {
                 Err(_) => outcome.corrupt += 1,
             }
         }
+        Self::account(&mut sp, n, &outcome);
         outcome
     }
 
@@ -140,6 +143,7 @@ impl InterfaceLayer {
         deadline: Duration,
         key: &dyn Fn(&[u8]) -> Option<u64>,
     ) -> CollectOutcome {
+        let mut sp = pgse_obs::span("inbox.collect");
         let start = Instant::now();
         let mut outcome = CollectOutcome::default();
         let mut seen: Vec<u64> = Vec::new();
@@ -166,7 +170,27 @@ impl InterfaceLayer {
                 Err(_) => outcome.corrupt += 1,
             }
         }
+        Self::account(&mut sp, n, &outcome);
         outcome
+    }
+
+    /// Records one collection round on the active trace. Only *distinct*
+    /// received frames feed `exchange.frames`: duplicates discarded by
+    /// [`InterfaceLayer::collect_distinct`] land in `exchange.duplicates`
+    /// and must never inflate the received count, otherwise a duplicated
+    /// delivery would mask a still-missing source in the report.
+    fn account(sp: &mut pgse_obs::SpanGuard, expected: usize, outcome: &CollectOutcome) {
+        sp.record("expected", expected as u64);
+        sp.record("received", outcome.received as u64);
+        sp.record("corrupt", outcome.corrupt as u64);
+        sp.record("duplicate", outcome.duplicate as u64);
+        sp.record("timed_out", outcome.timed_out);
+        pgse_obs::counter_add("exchange.frames", outcome.received as u64);
+        pgse_obs::counter_add("exchange.corrupt", outcome.corrupt as u64);
+        pgse_obs::counter_add("exchange.duplicates", outcome.duplicate as u64);
+        if outcome.timed_out {
+            pgse_obs::counter_add("exchange.timeouts", 1);
+        }
     }
 
     /// Consumes and discards frames still pending on the inbox until
@@ -174,10 +198,13 @@ impl InterfaceLayer {
     /// round so stragglers (late duplicates) cannot leak into the next
     /// round's collection.
     pub fn drain_pending(&mut self, grace: Duration) -> usize {
-        let mut drained = 0;
+        let mut sp = pgse_obs::span("inbox.drain");
+        let mut drained: usize = 0;
         while MwClient::recv_deadline_on(&self.listener, grace).is_ok() {
             drained += 1;
         }
+        sp.record("drained", drained as u64);
+        pgse_obs::counter_add("exchange.drained", drained as u64);
         drained
     }
 
@@ -325,5 +352,65 @@ mod tests {
         let registry = EndpointRegistry::new();
         let layer = InterfaceLayer::deploy(&registry, "tcp://only:1").unwrap();
         assert!(layer.send("tcp://missing:1", b"x").is_err());
+    }
+
+    #[test]
+    fn send_returns_the_delivery_receipt() {
+        let registry = EndpointRegistry::new();
+        let mut a = InterfaceLayer::deploy(&registry, "tcp://recv:9").unwrap();
+        let b = InterfaceLayer::deploy(&registry, "tcp://send:9").unwrap();
+        let receipt = b.send("tcp://recv:9", b"one shot").unwrap();
+        assert_eq!(receipt.attempts, 1);
+        a.collect(1).unwrap();
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate_exchange_counters() {
+        let rec = pgse_obs::Recorder::new("inbox");
+        let registry = EndpointRegistry::new();
+        let mut hub = InterfaceLayer::deploy(&registry, "tcp://hub:6").unwrap();
+        let peer = InterfaceLayer::deploy(&registry, "tcp://peer:6").unwrap();
+        // Source 3 delivered three times (duplication fault), source 4 once.
+        for src in [3u8, 3, 3, 4] {
+            peer.send("tcp://hub:6", &[src]).unwrap();
+        }
+        let outcome = pgse_obs::with_recorder(&rec, || {
+            hub.collect_distinct(2, Duration::from_secs(5), &|f| {
+                f.first().map(|&b| u64::from(b))
+            })
+        });
+        assert_eq!((outcome.received, outcome.duplicate), (2, 2));
+        let snap = rec.snapshot();
+        // Distinct sources only: the duplicated deliveries are accounted
+        // separately and never reach `exchange.frames`.
+        assert_eq!(snap.metrics.counter("exchange.frames"), 2);
+        assert_eq!(snap.metrics.counter("exchange.duplicates"), 2);
+        assert_eq!(snap.metrics.counter("exchange.timeouts"), 0);
+        let span = &snap.spans[0];
+        assert_eq!(span.name, "inbox.collect");
+        assert_eq!(span.field_u64("received"), Some(2));
+        assert_eq!(span.field_u64("duplicate"), Some(2));
+    }
+
+    #[test]
+    fn drain_is_accounted_separately_from_received_frames() {
+        let rec = pgse_obs::Recorder::new("inbox");
+        let registry = EndpointRegistry::new();
+        let mut hub = InterfaceLayer::deploy(&registry, "tcp://hub:7").unwrap();
+        let peer = InterfaceLayer::deploy(&registry, "tcp://peer:7").unwrap();
+        peer.send("tcp://hub:7", b"wanted").unwrap();
+        peer.send("tcp://hub:7", b"straggler").unwrap();
+        pgse_obs::with_recorder(&rec, || {
+            let outcome = hub.collect_deadline(1, Duration::from_secs(5));
+            assert_eq!(outcome.received, 1);
+            assert_eq!(hub.drain_pending(Duration::from_millis(100)), 1);
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.metrics.counter("exchange.frames"), 1);
+        assert_eq!(snap.metrics.counter("exchange.drained"), 1);
+        assert_eq!(
+            snap.spans.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            vec!["inbox.collect", "inbox.drain"]
+        );
     }
 }

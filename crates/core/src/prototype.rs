@@ -11,8 +11,8 @@ use pgse_estimation::measurement::MeasurementSet;
 use pgse_estimation::wls::WlsError;
 use pgse_grid::Network;
 use pgse_medici::{
-    EndpointProtocol, EndpointRegistry, FaultProxy, FaultProxyHandle, FaultStats, MifPipeline,
-    MwClient, PipelineHandle, SeComponent,
+    EndpointProtocol, EndpointRegistry, FaultKind, FaultProxy, FaultProxyHandle, FaultStats,
+    MifPipeline, MwClient, PipelineHandle, SeComponent,
 };
 use pgse_partition::weights::{step1_graph, step2_graph, SubsystemProfile};
 use pgse_partition::{partition_kway, repartition, Partition};
@@ -70,6 +70,15 @@ pub struct SystemPrototype {
     profiles: Vec<SubsystemProfile>,
     prev_assignment: Option<Partition>,
     frame: u64,
+    /// Frame-scope recorder: the main-thread pipeline (frame spans,
+    /// middleware sends, telemetry generation).
+    obs_frame: pgse_obs::Recorder,
+    /// One recorder per area, installed on whichever fleet/collector
+    /// thread works that area — keeps the trace deterministic regardless
+    /// of thread scheduling.
+    obs_areas: Vec<pgse_obs::Recorder>,
+    /// Recorder for the coordinator's inbox (hierarchical mode only).
+    obs_coordinator: pgse_obs::Recorder,
 }
 
 impl SystemPrototype {
@@ -199,6 +208,8 @@ impl SystemPrototype {
             })
             .collect();
 
+        let obs_areas =
+            (0..decomp.n_areas()).map(|a| pgse_obs::Recorder::new(&format!("area{a}"))).collect();
         Ok(SystemPrototype {
             config,
             net,
@@ -214,6 +225,9 @@ impl SystemPrototype {
             profiles,
             prev_assignment: None,
             frame: 0,
+            obs_frame: pgse_obs::Recorder::new("frame"),
+            obs_areas,
+            obs_coordinator: pgse_obs::Recorder::new("coordinator"),
         })
     }
 
@@ -256,7 +270,16 @@ impl SystemPrototype {
     /// # Errors
     /// [`PrototypeError::Wls`] when any estimator fails.
     pub fn run_frame(&mut self, dt_seconds: f64) -> Result<FrameReport, PrototypeError> {
+        // Install the frame recorder for the whole main-thread pipeline:
+        // everything the frame does on this thread (telemetry generation,
+        // middleware sends, stage spans) lands in the `frame` scope.
+        let rec = self.obs_frame.clone();
+        pgse_obs::with_recorder(&rec, || self.run_frame_inner(dt_seconds))
+    }
+
+    fn run_frame_inner(&mut self, dt_seconds: f64) -> Result<FrameReport, PrototypeError> {
         self.frame += 1;
+        let mut frame_span = pgse_obs::span_at("frame", self.frame);
         let frame_seed = self.config.noise.seed ^ self.frame.wrapping_mul(0xa076_1d64_78bd_642f);
         let x = self.config.noise.level(dt_seconds);
         let k = self.fleet.len();
@@ -270,18 +293,21 @@ impl SystemPrototype {
 
         // Step 1 on the fleet: each cluster estimates its assigned
         // subsystems concurrently.
+        let step1_span = pgse_obs::span("frame.step1");
         let sets: Vec<MeasurementSet> = self
             .estimators
             .iter()
             .map(|e| e.generate_telemetry(x, frame_seed))
             .collect();
         let t0 = Instant::now();
-        let step1 = self.run_on_fleet(&p1, |area| {
+        let step1 = self.run_on_fleet("area.step1", &p1, |area| {
             self.estimators[area].step1(&sets[area])
         })?;
         let step1_time = t0.elapsed();
+        drop(step1_span);
 
         // Exchange through the middleware.
+        let mut exchange_span = pgse_obs::span("frame.exchange");
         let t1 = Instant::now();
         let relayed_before = self.relayed_frames();
         let pseudo: Vec<Vec<PseudoMeasurement>> = self
@@ -305,6 +331,13 @@ impl SystemPrototype {
                 inboxes[a].is_empty() && !self.decomp.areas[a].neighbors.is_empty()
             })
             .collect();
+        exchange_span.record("bytes", exchanged_bytes);
+        exchange_span.record("missed", faults.missed.len() as u64);
+        exchange_span.record("degraded", degraded_areas.len() as u64);
+        drop(exchange_span);
+        pgse_obs::counter_add("exchange.bytes", exchanged_bytes);
+        pgse_obs::counter_add("exchange.missed", faults.missed.len() as u64);
+        pgse_obs::counter_add("exchange.degraded", degraded_areas.len() as u64);
 
         // Mapping for Step 2: minimize communication, keep balance, avoid
         // needless migration; then account the forced data redistribution.
@@ -315,8 +348,9 @@ impl SystemPrototype {
             plan_redistribution(&p1.assignment, &p2.assignment, &area_bytes);
 
         // Step 2 on the fleet under the new mapping.
+        let step2_span = pgse_obs::span("frame.step2");
         let t2 = Instant::now();
-        let step2 = self.run_on_fleet(&p2, |area| {
+        let step2 = self.run_on_fleet("area.step2", &p2, |area| {
             if degraded_areas.contains(&area) {
                 // No neighbour data arrived: keep the Step-1 solution
                 // rather than re-estimating against an empty exchange.
@@ -331,6 +365,7 @@ impl SystemPrototype {
             )
         })?;
         let step2_time = t2.elapsed();
+        drop(step2_span);
 
         // Final step: aggregate.
         let (vm, va) = aggregate(&self.decomp, &step2);
@@ -364,6 +399,8 @@ impl SystemPrototype {
             missed_exchanges: faults.missed,
             degraded_areas,
             corrupt_frames: faults.corrupt,
+            duplicate_frames: faults.duplicates,
+            late_frames: faults.late,
             step1_time,
             exchange_time,
             step2_time,
@@ -371,15 +408,57 @@ impl SystemPrototype {
             va_rmse,
             buses_per_cluster,
         };
+        frame_span.record("vm_rmse", report.vm_rmse);
+        frame_span.record("healthy", report.exchange_healthy());
         self.prev_assignment = Some(p1);
         Ok(report)
     }
 
+    /// The merged observability report over every scope the prototype
+    /// records: the `frame` pipeline, one `area{i}` scope per subsystem,
+    /// the `coordinator` (hierarchical mode), and — on chaos runs — a
+    /// `faults` scope folding the proxies' injection ground truth into
+    /// counters. Call after the proxies settle (see
+    /// [`SystemPrototype::fault_stats`]); the deterministic export of the
+    /// result is byte-identical across same-seed runs.
+    pub fn obs_report(&self) -> pgse_obs::ObsReport {
+        let mut scopes = vec![self.obs_frame.snapshot()];
+        scopes.extend(self.obs_areas.iter().map(pgse_obs::Recorder::snapshot));
+        if self.coordinator.is_some() {
+            scopes.push(self.obs_coordinator.snapshot());
+        }
+        if !self.proxies.is_empty() {
+            let rec = pgse_obs::Recorder::new("faults");
+            for stats in self.fault_stats() {
+                for kind in [
+                    FaultKind::Dropped,
+                    FaultKind::Truncated,
+                    FaultKind::Delayed,
+                    FaultKind::Duplicated,
+                ] {
+                    rec.counter_add(
+                        &format!("faults.injected.{}", kind.label()),
+                        stats.count_of(kind),
+                    );
+                }
+                rec.counter_add("faults.injected.total", stats.injected_faults());
+                // Arrival totals trail the wire — volatile, like the relay
+                // counters.
+                rec.counter_add("volatile.faults.frames", stats.frames);
+            }
+            scopes.push(rec.snapshot());
+        }
+        pgse_obs::ObsReport::from_scopes(scopes)
+    }
+
     /// Runs `job(area)` for every area, grouped by the mapping: each
     /// cluster processes its subsystems on its own pool, all clusters
-    /// concurrently.
+    /// concurrently. Each area's work runs under that area's recorder
+    /// inside a `stage` span stamped with the frame index, so the trace is
+    /// identical no matter which cluster thread executed the area.
     fn run_on_fleet<F>(
         &self,
+        stage: &'static str,
         mapping: &Partition,
         job: F,
     ) -> Result<Vec<AreaSolution>, PrototypeError>
@@ -388,15 +467,26 @@ impl SystemPrototype {
     {
         let k = self.fleet.len();
         let job = &job;
+        let frame = self.frame;
         let per_cluster: Vec<Result<Vec<(usize, AreaSolution)>, WlsError>> = self.fleet.run_all(
             (0..k)
                 .map(|c| {
                     let areas = mapping.part(c);
+                    let obs = self.obs_areas.clone();
                     Box::new(move || {
                         use rayon::prelude::*;
                         areas
                             .par_iter()
-                            .map(|&a| job(a).map(|s| (a, s)))
+                            .map(|&a| {
+                                pgse_obs::with_recorder(&obs[a], || {
+                                    let mut sp = pgse_obs::span_at(stage, frame);
+                                    let r = job(a);
+                                    if let Ok(sol) = &r {
+                                        sp.record("iterations", sol.iterations as u64);
+                                    }
+                                    r.map(|s| (a, s))
+                                })
+                            })
                             .collect::<Result<Vec<_>, _>>()
                     })
                         as Box<dyn FnOnce() -> Result<Vec<(usize, AreaSolution)>, WlsError> + Send>
@@ -428,24 +518,30 @@ impl SystemPrototype {
         let mut faults = ExchangeFaults::default();
         let expected: Vec<usize> =
             self.decomp.areas.iter().map(|a| a.neighbors.len()).collect();
-        let inbox_frames: Vec<(Vec<Vec<u8>>, pgse_cluster::CollectOutcome)> =
+        let obs = self.obs_areas.clone();
+        let inbox_frames: Vec<(Vec<Vec<u8>>, pgse_cluster::CollectOutcome, usize)> =
             std::thread::scope(|scope| {
                 // Collectors first (they block on their listeners)…
                 let collectors: Vec<_> = self
                     .inboxes
                     .iter_mut()
                     .zip(&expected)
-                    .map(|(layer, &n)| {
+                    .zip(&obs)
+                    .map(|((layer, &n), rec)| {
                         scope.spawn(move || {
-                            let outcome = layer.collect_distinct(n, deadline, &|f| {
-                                from_wire(f)
-                                    .ok()
-                                    .and_then(|b| b.first().map(|p| p.from_area as u64))
-                            });
-                            if chaotic {
-                                layer.drain_pending(STRAGGLER_GRACE);
-                            }
-                            (layer.process(|f| f.to_vec()), outcome)
+                            pgse_obs::with_recorder(rec, || {
+                                let outcome = layer.collect_distinct(n, deadline, &|f| {
+                                    from_wire(f)
+                                        .ok()
+                                        .and_then(|b| b.first().map(|p| p.from_area as u64))
+                                });
+                                let late = if chaotic {
+                                    layer.drain_pending(STRAGGLER_GRACE)
+                                } else {
+                                    0
+                                };
+                                (layer.process(|f| f.to_vec()), outcome, late)
+                            })
                         })
                     })
                     .collect();
@@ -468,19 +564,26 @@ impl SystemPrototype {
                     .collect()
             });
         let mut inboxes = Vec::with_capacity(inbox_frames.len());
-        for (a, (frames, outcome)) in inbox_frames.into_iter().enumerate() {
+        for (a, (frames, outcome, late)) in inbox_frames.into_iter().enumerate() {
             faults.corrupt += outcome.corrupt as u64;
-            let mut seen: Vec<usize> = Vec::new();
-            let mut batches: Vec<PseudoMeasurement> = Vec::new();
-            for f in &frames {
-                // collect_distinct already vetted these, so they parse.
-                if let Ok(batch) = from_wire(f) {
-                    if let Some(from) = batch.first().map(|p| p.from_area) {
-                        seen.push(from);
-                        batches.extend(batch);
-                    }
-                }
-            }
+            faults.duplicates += outcome.duplicate as u64;
+            faults.late += late as u64;
+            // collect_distinct already vetted these, so they parse. Sort
+            // the batches by source area: network arrival order is
+            // timing-dependent, and the inbox order feeds Step-2 numerics
+            // — canonical order keeps same-seed runs bit-identical.
+            let mut parsed: Vec<(usize, Vec<PseudoMeasurement>)> = frames
+                .iter()
+                .filter_map(|f| {
+                    let b = from_wire(f).ok()?;
+                    let from = b.first()?.from_area;
+                    Some((from, b))
+                })
+                .collect();
+            parsed.sort_by_key(|&(from, _)| from);
+            let seen: Vec<usize> = parsed.iter().map(|&(from, _)| from).collect();
+            let batches: Vec<PseudoMeasurement> =
+                parsed.into_iter().flat_map(|(_, b)| b).collect();
             for &nb in &self.decomp.areas[a].neighbors {
                 if !seen.contains(&nb) {
                     faults.missed.push((nb, a));
@@ -507,14 +610,17 @@ impl SystemPrototype {
 
         // Up: every area → coordinator.
         let coordinator = self.coordinator.as_mut().expect("hierarchical mode");
+        let coord_rec = self.obs_coordinator.clone();
         let (up_frames, up_outcome) = std::thread::scope(|scope| {
             let collector = scope.spawn(|| {
-                let outcome = coordinator.collect_distinct(n_areas, deadline, &|f| {
-                    from_wire(f)
-                        .ok()
-                        .and_then(|b| b.first().map(|p| p.from_area as u64))
-                });
-                (coordinator.process(|f| f.to_vec()), outcome)
+                pgse_obs::with_recorder(&coord_rec, || {
+                    let outcome = coordinator.collect_distinct(n_areas, deadline, &|f| {
+                        from_wire(f)
+                            .ok()
+                            .and_then(|b| b.first().map(|p| p.from_area as u64))
+                    });
+                    (coordinator.process(|f| f.to_vec()), outcome)
+                })
             });
             for (src, batch) in pseudo.iter().enumerate() {
                 let wire = to_wire(batch);
@@ -525,6 +631,7 @@ impl SystemPrototype {
             collector.join().expect("coordinator panicked")
         });
         faults.corrupt += up_outcome.corrupt as u64;
+        faults.duplicates += up_outcome.duplicate as u64;
         // The coordinator re-indexes arrivals by source area; an uplink
         // that never arrived is a missed exchange toward every neighbour
         // that needed the data.
@@ -555,15 +662,19 @@ impl SystemPrototype {
                 to_wire(&inbox)
             })
             .collect();
+        let obs = self.obs_areas.clone();
         let inbox_frames: Vec<(Vec<Vec<u8>>, pgse_cluster::CollectOutcome)> =
             std::thread::scope(|scope| {
                 let collectors: Vec<_> = self
                     .inboxes
                     .iter_mut()
-                    .map(|layer| {
+                    .zip(&obs)
+                    .map(|(layer, rec)| {
                         scope.spawn(move || {
-                            let outcome = layer.collect_deadline(1, deadline);
-                            (layer.process(|f| f.to_vec()), outcome)
+                            pgse_obs::with_recorder(rec, || {
+                                let outcome = layer.collect_deadline(1, deadline);
+                                (layer.process(|f| f.to_vec()), outcome)
+                            })
                         })
                     })
                     .collect();
@@ -607,6 +718,10 @@ struct ExchangeFaults {
     missed: Vec<(usize, usize)>,
     /// Frames that arrived corrupt or unparseable.
     corrupt: u64,
+    /// Duplicate deliveries discarded during collection.
+    duplicates: u64,
+    /// Stragglers drained after the round's collection ended.
+    late: u64,
 }
 
 fn rmse(a: &[f64], b: &[f64]) -> f64 {
@@ -702,6 +817,55 @@ mod tests {
         let b = run(42);
         assert_eq!(a, b, "same seed must reproduce the same missed exchanges");
         assert!(!a.is_empty(), "40% drops over 24 edges should lose something");
+    }
+
+    #[test]
+    fn duplicated_deliveries_never_double_count() {
+        let config = PrototypeConfig {
+            chaos: Some(ChaosSpec { seed: 7, duplicate_prob: 1.0, ..Default::default() }),
+            exchange_deadline: Duration::from_millis(800),
+            ..Default::default()
+        };
+        let mut proto = SystemPrototype::deploy(ieee118_like(), config).unwrap();
+        let report = proto.run_frame(0.0).unwrap();
+        // Every frame is delivered twice, yet collection counts distinct
+        // sources only: the round is complete and healthy, with the extra
+        // copies accounted as duplicates or drained stragglers — never as
+        // received, missed or corrupt exchanges.
+        assert!(report.exchange_healthy(), "missed {:?}", report.missed_exchanges);
+        assert!(
+            report.duplicate_frames + report.late_frames > 0,
+            "duplicated deliveries must surface in the accounting"
+        );
+        assert_eq!(report.corrupt_frames, 0);
+        assert!(report.vm_rmse < 1e-2);
+        // The trace agrees with the report's split.
+        let obs = proto.obs_report();
+        assert_eq!(
+            obs.total_counter("exchange.duplicates") + obs.total_counter("exchange.drained"),
+            report.duplicate_frames + report.late_frames
+        );
+        assert_eq!(obs.total_counter("exchange.frames"), 24);
+    }
+
+    #[test]
+    fn obs_report_covers_every_scope() {
+        let mut proto = deploy(CoordinationMode::Decentralized);
+        proto.run_frame(0.0).unwrap();
+        let obs = proto.obs_report();
+        let scopes: Vec<&str> = obs.scopes.iter().map(|s| s.scope.as_str()).collect();
+        assert!(scopes.contains(&"frame"));
+        for a in 0..9 {
+            assert!(scopes.contains(&format!("area{a}").as_str()), "{scopes:?}");
+        }
+        // Healthy decentralized run: no faults scope, no coordinator.
+        assert!(!scopes.contains(&"faults"));
+        assert!(!scopes.contains(&"coordinator"));
+        assert_eq!(obs.spans_named("frame").len(), 1);
+        assert_eq!(obs.spans_named("area.step1").len(), 9);
+        assert_eq!(obs.spans_named("area.step2").len(), 9);
+        assert_eq!(obs.counter("frame", "mw.send.ok"), 24);
+        assert_eq!(obs.counter("frame", "exchange.missed"), 0);
     }
 
     #[test]

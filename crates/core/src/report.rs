@@ -51,6 +51,13 @@ pub struct FrameReport {
     pub degraded_areas: Vec<usize>,
     /// Frames that arrived corrupt (truncated mid-body or unparseable).
     pub corrupt_frames: u64,
+    /// Duplicate deliveries discarded during collection (a duplication
+    /// fault or retransmit race). Discarded duplicates never count toward
+    /// the received frames, so they cannot mask a still-missing source.
+    pub duplicate_frames: u64,
+    /// Straggler frames that arrived after their round's collection ended
+    /// and were drained before the next round.
+    pub late_frames: u64,
     /// RMS voltage-magnitude error of the aggregated estimate vs truth.
     pub vm_rmse: f64,
     /// RMS angle error (radians) vs truth.
@@ -65,7 +72,10 @@ impl FrameReport {
         self.step1_time + self.exchange_time + self.step2_time
     }
 
-    /// Whether every exchange arrived intact and on time.
+    /// Whether every exchange arrived intact and on time. Discarded
+    /// duplicates and drained stragglers do *not* make a round unhealthy:
+    /// every distinct source still arrived, and the double-count
+    /// accounting keeps them out of the received totals.
     pub fn exchange_healthy(&self) -> bool {
         self.missed_exchanges.is_empty()
             && self.degraded_areas.is_empty()

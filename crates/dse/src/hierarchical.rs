@@ -114,6 +114,9 @@ impl Coordinator {
         noise_level: f64,
         seed: u64,
     ) -> Result<Vec<(usize, f64, f64)>, WlsError> {
+        let mut sp = pgse_obs::span("hier.reconcile");
+        sp.record("uploads", uploads.len());
+        pgse_obs::counter_add("hier.reconciles", 1);
         let mut set = MeasurementSet::new();
         // Subsystem solutions at boundary buses anchor the solve.
         for batch in uploads {

@@ -234,7 +234,9 @@ fn run_dse_filtered(
 ) -> Result<DseReport, WlsError> {
     // Step 1: every subsystem independently (parallel across areas — each
     // "cluster" works at once).
+    pgse_obs::counter_add("dse.cycles", 1);
     let t0 = std::time::Instant::now();
+    let step1_span = pgse_obs::span("dse.step1");
     let sets: Vec<_> = estimators
         .iter()
         .map(|e| e.generate_telemetry(opts.noise_level, opts.seed))
@@ -244,6 +246,7 @@ fn run_dse_filtered(
         .zip(&sets)
         .map(|(e, s)| e.step1(s))
         .collect::<Result<_, _>>()?;
+    drop(step1_span);
     let step1_time = t0.elapsed();
 
     // Exchange + Step 2, up to `rounds` times (bounded by the diameter).
@@ -254,6 +257,9 @@ fn run_dse_filtered(
     let mut missed_exchanges = Vec::new();
     let mut degraded_areas = Vec::new();
     for round in 0..rounds {
+        let mut round_span = pgse_obs::span_at("dse.round", round as u64);
+        let bytes_before = exchanged_bytes;
+        let missed_before = missed_exchanges.len();
         let pseudo: Vec<Vec<PseudoMeasurement>> = estimators
             .iter()
             .zip(&current)
@@ -310,6 +316,11 @@ fn run_dse_filtered(
                 degraded_areas.push(a);
             }
         }
+        let round_missed = (missed_exchanges.len() - missed_before) as u64;
+        round_span.record("exchanged_bytes", exchanged_bytes - bytes_before);
+        round_span.record("missed", round_missed);
+        pgse_obs::counter_add("dse.exchange.bytes", exchanged_bytes - bytes_before);
+        pgse_obs::counter_add("dse.exchange.missed", round_missed);
     }
     let step2_time = t1.elapsed();
     degraded_areas.sort_unstable();

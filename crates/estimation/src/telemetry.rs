@@ -10,6 +10,14 @@
 //! method estimates the noise level `x = f(δt)` for each time frame and
 //! predicts Gauss–Newton iterations as `Ni = g1·x + g2`. [`NoiseProcess`]
 //! implements `f` as a diurnal profile plus seeded per-frame jitter.
+//!
+//! **Observability note:** this module *generates* telemetry (synthetic
+//! measurements); it is no longer the place where run-time measurements of
+//! the pipeline itself accumulate. Execution metrics — scan counts, noise
+//! gauges, solver iterations, stage timings — are recorded through
+//! `pgse-obs` ([`pgse_obs::counter_add`] / [`pgse_obs::gauge_set`] /
+//! [`pgse_obs::span`]) and exported in the `ObsReport`; [`TelemetryPlan::
+//! generate`] publishes its scan size and noise level there.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -138,6 +146,8 @@ impl TelemetryPlan {
         seed: u64,
     ) -> MeasurementSet {
         assert!(noise_level > 0.0, "noise level must be positive");
+        pgse_obs::counter_add("telemetry.scans", 1);
+        pgse_obs::gauge_set("telemetry.noise_level", noise_level);
         let mut rng = StdRng::seed_from_u64(seed);
         // Box–Muller standard normal.
         let mut gauss = move || {

@@ -144,7 +144,10 @@ impl WlsEstimator {
     /// [`StateSpace::full`]; otherwise use a slack-referenced space.
     pub fn new(net: Network, space: StateSpace, opts: WlsOptions) -> Self {
         assert_eq!(space.n_buses(), net.n_buses(), "state space size mismatch");
-        let ybus = Ybus::new(&net);
+        let ybus = {
+            let _sp = pgse_obs::span("wls.ybus");
+            Ybus::new(&net)
+        };
         WlsEstimator { net, ybus, space, opts }
     }
 
@@ -187,12 +190,18 @@ impl WlsEstimator {
         let z = set.values();
         let w = set.weights();
 
+        let mut est_span = pgse_obs::span("wls.estimate");
         let mut solver_iterations = Vec::new();
         let mut last_step = f64::INFINITY;
         for iter in 1..=self.opts.max_iter {
-            let h = evaluate_h(&self.net, &self.ybus, set, &vm, &va);
+            let mut iter_span = pgse_obs::span_at("wls.iteration", iter as u64);
+            let (h, jac) = {
+                let _sp = pgse_obs::span("wls.jacobian");
+                let h = evaluate_h(&self.net, &self.ybus, set, &vm, &va);
+                let jac = assemble_jacobian(&self.net, &self.ybus, set, &self.space, &vm, &va);
+                (h, jac)
+            };
             let r: Vec<f64> = z.iter().zip(&h).map(|(zi, hi)| zi - hi).collect();
-            let jac = assemble_jacobian(&self.net, &self.ybus, set, &self.space, &vm, &va);
             if iter == 1 {
                 // Structural observability: every state variable must be
                 // touched by at least one measurement, or the gain matrix is
@@ -214,8 +223,12 @@ impl WlsEstimator {
             let mut rhs = vec![0.0; self.space.dim()];
             jac.spmv_transpose(&wr, &mut rhs);
             // Gain matrix G = Hᵀ W H.
-            let gain = jac.ata_weighted(&w);
+            let gain = {
+                let _sp = pgse_obs::span("wls.gain");
+                jac.ata_weighted(&w)
+            };
 
+            let solve_span = pgse_obs::span("wls.gain_solve");
             let (dx, inner) = match self.opts.solver {
                 GainSolver::Cholesky => {
                     let chol = EnvelopeCholesky::factor(&gain).map_err(|e| match e {
@@ -239,10 +252,16 @@ impl WlsEstimator {
                     (out.x, out.iterations)
                 }
             };
+            drop(solve_span);
             solver_iterations.push(inner);
+            iter_span.record("solver_iterations", inner);
             self.space.apply_update(&dx, &mut vm, &mut va);
             last_step = dx.iter().fold(0.0f64, |m, v| m.max(v.abs()));
             if last_step <= self.opts.tol {
+                drop(iter_span);
+                est_span.record("iterations", iter);
+                est_span.record("converged", true);
+                pgse_obs::counter_add("wls.gn_iterations", iter as u64);
                 let h = evaluate_h(&self.net, &self.ybus, set, &vm, &va);
                 let residuals: Vec<f64> = z.iter().zip(&h).map(|(zi, hi)| zi - hi).collect();
                 let objective = residuals.iter().zip(&w).map(|(ri, wi)| ri * ri * wi).sum();
@@ -256,6 +275,9 @@ impl WlsEstimator {
                 });
             }
         }
+        est_span.record("iterations", self.opts.max_iter);
+        est_span.record("converged", false);
+        pgse_obs::counter_add("wls.gn_iterations", self.opts.max_iter as u64);
         Err(WlsError::DidNotConverge { iterations: self.opts.max_iter, last_step })
     }
 }

@@ -27,6 +27,13 @@ pub const DEFAULT_RECV_DEADLINE: Duration = Duration::from_secs(30);
 /// Granularity of the bounded accept poll.
 const ACCEPT_POLL: Duration = Duration::from_millis(1);
 
+/// Receipt of a successful [`MwClient::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Attempts used (1 = the first try succeeded).
+    pub attempts: u32,
+}
+
 /// A middleware client bound to a deployment registry.
 #[derive(Debug, Clone)]
 pub struct MwClient {
@@ -57,30 +64,51 @@ impl MwClient {
 
     /// Sends one frame to the endpoint named by `url` (paper:
     /// `MW_Client_Send`), retrying transient socket failures on the
-    /// configured backoff schedule.
+    /// configured backoff schedule. The send is traced as a `mw.send` span
+    /// whose `backoff_nanos` field carries the deterministic schedule the
+    /// retries slept — recomputable from
+    /// [`crate::retry::RetryPolicy::schedule`].
     ///
     /// # Errors
     /// [`MwError::BadUrl`]/[`MwError::UnknownEndpoint`] immediately (a
     /// naming failure cannot heal by retrying); [`MwError::Exhausted`]
     /// once every attempt failed.
-    pub fn send(&self, url: &str, body: &[u8]) -> Result<(), MwError> {
+    pub fn send(&self, url: &str, body: &[u8]) -> Result<Delivery, MwError> {
         // Resolve per attempt: a restarted endpoint re-registers under a
         // new socket address, and a retry should pick that up.
         let key = stable_key(url);
+        let mut sp = pgse_obs::span("mw.send");
+        sp.record("url", url);
         let mut last: Option<MwError> = None;
+        let mut backoffs: Vec<u64> = Vec::new();
         for attempt in 0..self.config.retry.max_attempts {
             if attempt > 0 {
-                std::thread::sleep(self.config.retry.backoff(attempt - 1, key));
+                let delay = self.config.retry.backoff(attempt - 1, key);
+                backoffs.push(delay.as_nanos() as u64);
+                std::thread::sleep(delay);
             }
             match self.try_send_once(url, body) {
-                Ok(()) => return Ok(()),
-                Err(e @ (MwError::BadUrl(_) | MwError::UnknownEndpoint(_))) => return Err(e),
+                Ok(()) => {
+                    finish_send_span(&mut sp, attempt + 1, true, &backoffs);
+                    pgse_obs::counter_add("mw.send.ok", 1);
+                    pgse_obs::counter_add("mw.retry.attempts", u64::from(attempt));
+                    return Ok(Delivery { attempts: attempt + 1 });
+                }
+                Err(e @ (MwError::BadUrl(_) | MwError::UnknownEndpoint(_))) => {
+                    finish_send_span(&mut sp, attempt + 1, false, &backoffs);
+                    pgse_obs::counter_add("mw.send.rejected", 1);
+                    return Err(e);
+                }
                 Err(e) => last = Some(e),
             }
         }
+        let attempts = self.config.retry.max_attempts;
+        finish_send_span(&mut sp, attempts, false, &backoffs);
+        pgse_obs::counter_add("mw.send.exhausted", 1);
+        pgse_obs::counter_add("mw.retry.attempts", u64::from(attempts.saturating_sub(1)));
         Err(MwError::Exhausted {
             url: url.to_string(),
-            attempts: self.config.retry.max_attempts,
+            attempts,
             last: Box::new(last.expect("at least one attempt ran")),
         })
     }
@@ -153,6 +181,19 @@ impl MwClient {
         let remaining = deadline.saturating_sub(start.elapsed()).max(ACCEPT_POLL);
         conn.set_read_timeout(Some(remaining))?;
         read_frame_discard(&mut conn).map_err(map_op_timeout("read", deadline))
+    }
+}
+
+/// Stamps the terminal fields of a `mw.send` span: attempts, outcome, and
+/// the deterministic backoff schedule actually slept (comma-joined
+/// nanoseconds; omitted when the first try resolved the send).
+fn finish_send_span(sp: &mut pgse_obs::SpanGuard, attempts: u32, ok: bool, backoffs: &[u64]) {
+    sp.record("attempts", attempts);
+    sp.record("ok", ok);
+    if !backoffs.is_empty() {
+        let joined =
+            backoffs.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        sp.record("backoff_nanos", joined);
     }
 }
 
@@ -302,6 +343,53 @@ mod tests {
             other => panic!("expected Exhausted, got {other}"),
         }
         assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn exhausted_send_traces_the_deterministic_backoff_schedule() {
+        let registry = EndpointRegistry::new();
+        drop(registry.bind("tcp://dead:2").unwrap());
+        let config = MwConfig {
+            op_deadline: Duration::from_millis(200),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_delay: Duration::from_millis(2),
+                max_delay: Duration::from_millis(10),
+                jitter: 0.2,
+            },
+        };
+        let client = MwClient::with_config(registry, config);
+        let rec = pgse_obs::Recorder::new("t");
+        pgse_obs::with_recorder(&rec, || {
+            client.send("tcp://dead:2", b"doomed").unwrap_err();
+        });
+        let snap = rec.snapshot();
+        let sp = snap.spans.iter().find(|s| s.name == "mw.send").unwrap();
+        assert_eq!(sp.field_u64("attempts"), Some(3));
+        let expect = config
+            .retry
+            .schedule(stable_key("tcp://dead:2"))
+            .iter()
+            .map(|d| (d.as_nanos() as u64).to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        assert_eq!(
+            sp.field("backoff_nanos").and_then(|v| v.as_str()),
+            Some(expect.as_str())
+        );
+        assert_eq!(snap.metrics.counter("mw.send.exhausted"), 1);
+        assert_eq!(snap.metrics.counter("mw.retry.attempts"), 2);
+    }
+
+    #[test]
+    fn successful_send_reports_attempts_used() {
+        let registry = EndpointRegistry::new();
+        let listener = registry.bind("tcp://receipt:1").unwrap();
+        let client = MwClient::new(registry);
+        let rx = std::thread::spawn(move || MwClient::recv_on(&listener).unwrap());
+        let receipt = client.send("tcp://receipt:1", b"x").unwrap();
+        assert_eq!(receipt.attempts, 1);
+        rx.join().unwrap();
     }
 
     #[test]

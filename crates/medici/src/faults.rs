@@ -81,6 +81,20 @@ pub enum FaultKind {
     Duplicated,
 }
 
+impl FaultKind {
+    /// Stable metric label — the suffix of the `faults.injected.<label>`
+    /// counters the prototype folds proxy stats into.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Delivered => "delivered",
+            FaultKind::Dropped => "dropped",
+            FaultKind::Truncated => "truncated",
+            FaultKind::Delayed => "delayed",
+            FaultKind::Duplicated => "duplicated",
+        }
+    }
+}
+
 /// The per-frame fault record of a proxy.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct FaultStats {
@@ -98,6 +112,17 @@ impl FaultStats {
             .iter()
             .filter(|k| matches!(k, FaultKind::Dropped | FaultKind::Truncated))
             .count() as u64
+    }
+
+    /// Number of frames that had a fault injected (everything except a
+    /// clean delivery).
+    pub fn injected_faults(&self) -> u64 {
+        self.injected.iter().filter(|k| **k != FaultKind::Delivered).count() as u64
+    }
+
+    /// How many frames received one specific treatment.
+    pub fn count_of(&self, kind: FaultKind) -> u64 {
+        self.injected.iter().filter(|k| **k == kind).count() as u64
     }
 }
 
@@ -411,6 +436,25 @@ mod tests {
         assert_eq!(first.injected, second.injected);
         // The mixed plan should actually exercise several kinds.
         assert!(first.injected.iter().any(|k| *k != FaultKind::Delivered));
+    }
+
+    #[test]
+    fn stats_count_injected_faults_per_kind() {
+        let stats = FaultStats {
+            frames: 5,
+            injected: vec![
+                FaultKind::Delivered,
+                FaultKind::Dropped,
+                FaultKind::Truncated,
+                FaultKind::Delivered,
+                FaultKind::Dropped,
+            ],
+        };
+        assert_eq!(stats.injected_faults(), 3);
+        assert_eq!(stats.count_of(FaultKind::Dropped), 2);
+        assert_eq!(stats.count_of(FaultKind::Delivered), 2);
+        assert_eq!(stats.count_of(FaultKind::Delayed), 0);
+        assert_eq!(FaultKind::Truncated.label(), "truncated");
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod pipeline;
 pub mod retry;
 pub mod throttle;
 
-pub use client::MwClient;
+pub use client::{Delivery, MwClient};
 pub use endpoint::{EndpointRegistry, EndpointUrl};
 pub use faults::{FaultKind, FaultPlan, FaultProxy, FaultProxyHandle, FaultStats};
 pub use pipeline::{EndpointProtocol, MifPipeline, PipelineHandle, SeComponent};

@@ -6,6 +6,14 @@
 //! absolute middleware overhead. Two deployments are measured: within one
 //! workstation (loopback at memory speed) and across a LAN (modelled by a
 //! sender-side token bucket at the paper's measured ≈115 MB/s).
+//!
+//! **Observability note:** this module keeps its bespoke stopwatch structs
+//! ([`TransferTiming`], [`OverheadRow`]) because the §V-B experiment needs
+//! raw `Duration`s, but it is *not* the pattern for new timing code —
+//! pipeline-wide timings live in `pgse-obs` spans and land in the
+//! `ObsReport` (see DESIGN.md §8). Each measurement here also opens an
+//! `mw.measure.*` span so the harness runs show up in the per-stage
+//! breakdown.
 
 use std::time::{Duration, Instant};
 
@@ -36,6 +44,8 @@ impl TransferTiming {
 /// Panics on socket failures (the harness runs on loopback; failures are
 /// programming errors, not expected conditions).
 pub fn measure_direct(size: u64, link_rate: Option<f64>) -> TransferTiming {
+    let mut sp = pgse_obs::span("mw.measure.direct");
+    sp.record("bytes", size);
     let registry = EndpointRegistry::new();
     let listener = registry.bind("tcp://destination-se:7000").expect("bind");
     let client = MwClient::new(registry);
@@ -59,6 +69,8 @@ pub fn measure_via_middleware(
     relay_rate: f64,
     link_rate: Option<f64>,
 ) -> TransferTiming {
+    let mut sp = pgse_obs::span("mw.measure.middleware");
+    sp.record("bytes", size);
     let registry = EndpointRegistry::new();
     let dst = registry.bind("tcp://destination-se:7000").expect("bind dst");
     let mut pipeline = MifPipeline::new();

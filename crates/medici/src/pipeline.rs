@@ -92,6 +92,7 @@ pub struct MifPipeline {
     relay_rate: Option<f64>,
     io_deadline: Duration,
     retry: RetryPolicy,
+    recorder: Option<pgse_obs::Recorder>,
 }
 
 impl Default for MifPipeline {
@@ -102,6 +103,7 @@ impl Default for MifPipeline {
             relay_rate: None,
             io_deadline: DEFAULT_IO_DEADLINE,
             retry: RetryPolicy::default(),
+            recorder: None,
         }
     }
 }
@@ -148,6 +150,16 @@ impl MifPipeline {
         self
     }
 
+    /// Mirrors the relay counters into an observability recorder under the
+    /// `volatile.mw.relay.*` namespace. Router threads race delivery, so
+    /// these counters can trail the wire by a few frames — which is exactly
+    /// why they are `volatile.*` and excluded from the deterministic
+    /// export.
+    pub fn set_recorder(&mut self, recorder: pgse_obs::Recorder) -> &mut Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Starts the pipeline: binds every component's inbound endpoint in
     /// `registry` and spawns its router thread.
     ///
@@ -180,8 +192,9 @@ impl MifPipeline {
                 io_deadline: self.io_deadline,
                 retry: self.retry,
             };
+            let recorder = self.recorder.clone();
             threads.push(std::thread::spawn(move || {
-                router_loop(listener, registry, out_url, cfg, stop, stats);
+                router_loop(listener, registry, out_url, cfg, stop, stats, recorder);
             }));
         }
         Ok(PipelineHandle { stop, threads, stats })
@@ -240,6 +253,7 @@ fn router_loop(
     cfg: RouterConfig,
     stop: Arc<AtomicBool>,
     stats: Arc<Mutex<RelayStats>>,
+    recorder: Option<pgse_obs::Recorder>,
 ) {
     let retry_key = stable_key(&out_url);
     while !stop.load(Ordering::SeqCst) {
@@ -262,10 +276,24 @@ fn router_loop(
                             s.frames += 1;
                             s.bytes += body.len() as u64;
                             s.retries += u64::from(extra_attempts);
+                            if let Some(rec) = &recorder {
+                                rec.counter_add("volatile.mw.relay.frames", 1);
+                                rec.counter_add(
+                                    "volatile.mw.relay.bytes",
+                                    body.len() as u64,
+                                );
+                                rec.counter_add(
+                                    "volatile.mw.relay.retries",
+                                    u64::from(extra_attempts),
+                                );
+                            }
                         }
                         None => {
                             s.dropped += 1;
                             s.retries += u64::from(cfg.retry.max_attempts.saturating_sub(1));
+                            if let Some(rec) = &recorder {
+                                rec.counter_add("volatile.mw.relay.dropped", 1);
+                            }
                         }
                     }
                 }
@@ -465,6 +493,35 @@ mod tests {
         assert_eq!(stats.frames, 1);
         assert!(stats.retries > 0, "delivery should have required retries");
         assert_eq!(stats.dropped, 0);
+        handle.stop();
+    }
+
+    #[test]
+    fn recorder_mirrors_relay_counters_in_volatile_namespace() {
+        let registry = EndpointRegistry::new();
+        let dst = registry.bind("tcp://dst:5").unwrap();
+        let rec = pgse_obs::Recorder::new("relay");
+        let mut pipeline = MifPipeline::new();
+        pipeline.add_mif_connector(EndpointProtocol::Tcp);
+        let mut se = SeComponent::new("SE");
+        se.set_in_name_endp("tcp://in:5");
+        se.set_out_hal_endp("tcp://dst:5");
+        pipeline.add_mif_component(se);
+        pipeline.set_recorder(rec.clone());
+        let handle = pipeline.start(&registry).unwrap();
+        let client = MwClient::new(registry.clone());
+        let receiver = std::thread::spawn(move || MwClient::recv_on(&dst).unwrap());
+        client.send("tcp://in:5", b"mirrored").unwrap();
+        receiver.join().unwrap();
+        for _ in 0..200 {
+            if rec.snapshot().metrics.counter("volatile.mw.relay.frames") == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let metrics = rec.snapshot().metrics;
+        assert_eq!(metrics.counter("volatile.mw.relay.frames"), 1);
+        assert_eq!(metrics.counter("volatile.mw.relay.bytes"), 8);
         handle.stop();
     }
 

@@ -55,6 +55,15 @@ impl RetryPolicy {
         let factor = 1.0 + self.jitter.clamp(0.0, 1.0) * (2.0 * unit - 1.0);
         exp.mul_f64(factor.max(0.0))
     }
+
+    /// The full deterministic backoff schedule for the operation keyed by
+    /// `key`: the delay slept after each failed attempt, in order. A send
+    /// that exhausts its attempts sleeps exactly these
+    /// `max_attempts - 1` delays — the sequence `mw.send` spans expose as
+    /// `backoff_nanos`.
+    pub fn schedule(&self, key: u64) -> Vec<Duration> {
+        (0..self.max_attempts.saturating_sub(1)).map(|a| self.backoff(a, key)).collect()
+    }
 }
 
 /// Deadlines and retry configuration for one middleware client or
@@ -127,6 +136,18 @@ mod tests {
             let base = p.base_delay.as_secs_f64();
             assert!(d >= base * 0.8 - 1e-9 && d <= base * 1.2 + 1e-9, "{d}");
         }
+    }
+
+    #[test]
+    fn schedule_lists_every_backoff_in_order() {
+        let p = RetryPolicy::default();
+        let key = stable_key("tcp://pipe-0-1.dse.pnl.gov:6789");
+        let sched = p.schedule(key);
+        assert_eq!(sched.len(), (p.max_attempts - 1) as usize);
+        for (a, d) in sched.iter().enumerate() {
+            assert_eq!(*d, p.backoff(a as u32, key));
+        }
+        assert!(RetryPolicy::none().schedule(key).is_empty());
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Property tests for the metrics algebra.
+//!
+//! Pins the invariants the pipeline's aggregation relies on: snapshot
+//! merge is associative and commutative (so folding per-area/per-thread
+//! snapshots is order-independent), histogram bucket counts are monotone
+//! under observation, and quantile estimates respect bucket bounds.
+//!
+//! Observations are integer-valued (`u8 as f64`) so floating-point sums
+//! are exact and the associativity assertions compare equal bit-for-bit.
+
+use pgse_obs::{Histogram, MetricsSnapshot};
+use proptest::prelude::*;
+
+const NAMES: [&str; 3] = ["pcg.iterations", "exchange.bytes", "volatile.relay"];
+
+/// Interprets a byte script as a sequence of metric operations. Chunks of
+/// three bytes: (op kind, metric name, integer value).
+fn build(script: &[u8]) -> MetricsSnapshot {
+    let mut m = MetricsSnapshot::new();
+    for ch in script.chunks_exact(3) {
+        let name = NAMES[(ch[1] % NAMES.len() as u8) as usize];
+        match ch[0] % 3 {
+            0 => m.counter_add(name, u64::from(ch[2])),
+            1 => m.gauge_set(name, f64::from(ch[2])),
+            _ => m.observe(name, f64::from(ch[2])),
+        }
+    }
+    m
+}
+
+fn merged(a: &MetricsSnapshot, b: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_associative(
+        a in collection::vec(any::<u8>(), 0..60),
+        b in collection::vec(any::<u8>(), 0..60),
+        c in collection::vec(any::<u8>(), 0..60),
+    ) {
+        let (a, b, c) = (build(&a), build(&b), build(&c));
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in collection::vec(any::<u8>(), 0..60),
+        b in collection::vec(any::<u8>(), 0..60),
+    ) {
+        let (a, b) = (build(&a), build(&b));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity(a in collection::vec(any::<u8>(), 0..60)) {
+        let a = build(&a);
+        prop_assert_eq!(merged(&a, &MetricsSnapshot::new()), a.clone());
+        prop_assert_eq!(merged(&MetricsSnapshot::new(), &a), a);
+    }
+
+    #[test]
+    fn bucket_counts_never_decrease(values in collection::vec(any::<u8>(), 1..80)) {
+        // Bounds chosen so u8 observations also exercise the overflow slot.
+        let mut h = Histogram::new(&[4.0, 16.0, 64.0]);
+        for &v in &values {
+            let before = h.counts().to_vec();
+            let count_before = h.count;
+            h.observe(f64::from(v));
+            for (now, was) in h.counts().iter().zip(&before) {
+                prop_assert!(now >= was);
+            }
+            prop_assert_eq!(h.count, count_before + 1);
+            prop_assert_eq!(h.counts().iter().sum::<u64>(), h.count);
+        }
+    }
+
+    #[test]
+    fn quantile_estimates_respect_bucket_bounds(
+        values in collection::vec(any::<u8>(), 1..80),
+        qs in collection::vec(0.01f64..1.0, 1..6),
+    ) {
+        let mut h = Histogram::new(&[4.0, 16.0, 64.0]);
+        let mut sorted: Vec<f64> = values.iter().map(|&v| f64::from(v)).collect();
+        for &v in &sorted {
+            h.observe(v);
+        }
+        sorted.sort_by(f64::total_cmp);
+        for &q in &qs {
+            let est = h.quantile(q).unwrap();
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            // The estimate never undershoots the true quantile, and it is
+            // exactly the upper bound of the true quantile's bucket (the
+            // observed max for the overflow bucket).
+            prop_assert!(est >= truth);
+            let bucket = h.bucket_index(truth);
+            if bucket < h.bounds().len() {
+                prop_assert_eq!(est, h.bounds()[bucket]);
+            } else {
+                prop_assert_eq!(est, h.max);
+            }
+        }
+    }
+}

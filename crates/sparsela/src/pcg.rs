@@ -227,6 +227,25 @@ impl Ic0Factor {
 /// # Errors
 /// [`LaError::DidNotConverge`] when `opts.max_iter` is exhausted.
 pub fn pcg(a: &Csr, b: &[f64], m: &Preconditioner, opts: &CgOptions) -> LaResult<CgOutcome> {
+    let mut sp = pgse_obs::span("pcg.solve");
+    let out = pcg_inner(a, b, m, opts);
+    let (iterations, converged) = match &out {
+        Ok(o) => (o.iterations, true),
+        Err(LaError::DidNotConverge { iterations, .. }) => (*iterations, false),
+        Err(_) => (0, false),
+    };
+    sp.record("iterations", iterations);
+    sp.record("converged", converged);
+    pgse_obs::counter_add("pcg.solves", 1);
+    pgse_obs::counter_add("pcg.iterations", iterations as u64);
+    pgse_obs::observe("pcg.iterations.per_solve", iterations as f64);
+    if !converged {
+        pgse_obs::counter_add("pcg.failures", 1);
+    }
+    out
+}
+
+fn pcg_inner(a: &Csr, b: &[f64], m: &Preconditioner, opts: &CgOptions) -> LaResult<CgOutcome> {
     assert_eq!(a.nrows(), a.ncols(), "pcg: square only");
     assert_eq!(b.len(), a.nrows(), "pcg: rhs length");
     let n = b.len();
@@ -404,6 +423,22 @@ mod tests {
             pcg(&a, &b, &Preconditioner::Identity, &opts),
             Err(LaError::DidNotConverge { .. })
         ));
+    }
+
+    #[test]
+    fn solve_records_span_and_iteration_counters() {
+        let rec = pgse_obs::Recorder::new("t");
+        let a = laplacian2d(6);
+        let b = vec![1.0; 36];
+        let out = pgse_obs::with_recorder(&rec, || {
+            pcg(&a, &b, &Preconditioner::Identity, &CgOptions::default()).unwrap()
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.metrics.counter("pcg.solves"), 1);
+        assert_eq!(snap.metrics.counter("pcg.iterations"), out.iterations as u64);
+        let sp = snap.spans.iter().find(|s| s.name == "pcg.solve").unwrap();
+        assert_eq!(sp.field_u64("iterations"), Some(out.iterations as u64));
+        assert_eq!(sp.field("converged"), Some(&pgse_obs::FieldValue::Bool(true)));
     }
 
     #[test]

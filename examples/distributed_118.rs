@@ -75,4 +75,39 @@ fn main() {
             report.step1_time, report.step2_time, report.vm_rmse, report.va_rmse
         );
     }
+
+    // Machine-readable run breakdown: the ObsReport aggregates every
+    // scope's spans and counters across the four frames.
+    let obs = prototype.obs_report();
+    println!("observability: per-stage totals over 4 frames");
+    for (stage, stat) in obs.stage_totals() {
+        println!(
+            "  {:<16} × {:>3}  {:>10.3} ms",
+            stage,
+            stat.count,
+            stat.wall_nanos as f64 / 1e6
+        );
+    }
+    println!("observability: per-area PCG iterations / middleware retries");
+    for scope in &obs.scopes {
+        if !scope.scope.starts_with("area") {
+            continue;
+        }
+        println!(
+            "  {:<8} pcg iters {:>5} over {:>2} solves | retries {}",
+            scope.scope,
+            scope.metrics.counter("pcg.iterations"),
+            scope.metrics.counter("pcg.solves"),
+            scope.metrics.counter("mw.retry.attempts"),
+        );
+    }
+    println!(
+        "  frame    sends ok {} | retries {} | missed {}",
+        obs.counter("frame", "mw.send.ok"),
+        obs.counter("frame", "mw.retry.attempts"),
+        obs.counter("frame", "exchange.missed"),
+    );
+    std::fs::create_dir_all("target/obs").expect("create target/obs");
+    std::fs::write("target/obs/distributed_118.json", obs.to_json()).expect("write report");
+    println!("\nfull ObsReport JSON written to target/obs/distributed_118.json");
 }

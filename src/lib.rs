@@ -18,6 +18,7 @@
 //! | mini-MPI | [`mpilite`] | ranked collectives + row-distributed PCG |
 //! | clusters | [`cluster`] | the Nwiceb/Catamount/Chinook fleet, interface layer |
 //! | contingency | [`contingency`] | N-1 analysis with counter-based dynamic load balancing |
+//! | observability | [`obs`] | deterministic tracing + mergeable metrics, [`obs::ObsReport`] JSON |
 //! | prototype | [`core`] | the per-time-frame system architecture (Fig. 1) |
 //!
 //! ## Quickstart
@@ -44,6 +45,7 @@ pub use pgse_estimation as estimation;
 pub use pgse_grid as grid;
 pub use pgse_medici as medici;
 pub use pgse_mpilite as mpilite;
+pub use pgse_obs as obs;
 pub use pgse_partition as partition;
 pub use pgse_powerflow as powerflow;
 pub use pgse_sparsela as sparsela;

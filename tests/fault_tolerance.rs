@@ -136,6 +136,107 @@ fn same_seed_reproduces_the_same_missed_exchanges() {
     assert_ne!(a, c, "different seeds should not share a fault sequence");
 }
 
+/// Waits until every live fault proxy has accounted its round's frame, so
+/// the injection ground truth folded into `obs_report()` is settled (the
+/// proxies relay asynchronously and may trail `run_frame` by a moment).
+fn settle_proxies(proto: &SystemPrototype) {
+    let expected = proto.fault_stats().len() as u64;
+    for _ in 0..400 {
+        if proto.fault_stats().iter().map(|s| s.frames).sum::<u64>() >= expected {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("fault proxies never settled");
+}
+
+#[test]
+fn trace_counts_exactly_the_injected_faults() {
+    let config = chaos_config(
+        ChaosSpec { seed: 1234, drop_prob: 0.35, ..Default::default() },
+        Duration::from_millis(600),
+    );
+    let mut proto = SystemPrototype::deploy(ieee118_like(), config).unwrap();
+    let report = proto.run_frame(0.0).unwrap();
+    settle_proxies(&proto);
+    let obs = proto.obs_report();
+    // Drop-only chaos: the trace's injected-fault count must equal the
+    // report's missed exchanges exactly — each dropped frame is one
+    // missing source at one destination, and nothing else goes wrong.
+    let dropped = obs.counter("faults", "faults.injected.dropped");
+    assert_eq!(dropped, report.missed_exchanges.len() as u64);
+    assert_eq!(obs.counter("faults", "faults.injected.total"), dropped);
+    assert_eq!(obs.counter("faults", "faults.injected.truncated"), 0);
+    assert_eq!(obs.counter("faults", "faults.injected.duplicated"), 0);
+    assert!(dropped > 0, "35% drops over 24 edges should lose something");
+    // The surviving frames all arrived: received + dropped covers every
+    // send the middleware accepted.
+    assert_eq!(obs.total_counter("exchange.frames") + dropped, 24);
+}
+
+#[test]
+fn retry_spans_carry_the_deterministic_backoff_schedule() {
+    use pgse::medici::retry::stable_key;
+
+    let config = chaos_config(
+        ChaosSpec { dead: vec![(0, 1)], ..Default::default() },
+        Duration::from_millis(800),
+    );
+    let retry = config.middleware.retry;
+    let mut proto = SystemPrototype::deploy(ieee118_like(), config).unwrap();
+    proto.run_frame(0.0).unwrap();
+    let obs = proto.obs_report();
+    // Exactly one send exhausted its attempts: the dead 0→1 pipeline.
+    let exhausted: Vec<_> = obs
+        .spans_named("mw.send")
+        .into_iter()
+        .filter(|(_, sp)| sp.field_bool("ok") == Some(false))
+        .collect();
+    assert_eq!(exhausted.len(), 1, "only the dead edge may fail");
+    let (scope, sp) = exhausted[0];
+    assert_eq!(scope, "frame");
+    let url = sp.field_str("url").unwrap();
+    assert_eq!(url, "tcp://pipe-0-1.dse.pnl.gov:6789");
+    assert_eq!(sp.field_u64("attempts"), Some(u64::from(retry.max_attempts)));
+    // The backoffs slept are exactly the policy's deterministic schedule
+    // for this endpoint's stable key.
+    let want = retry
+        .schedule(stable_key(url))
+        .iter()
+        .map(|d| d.as_nanos().to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    assert_eq!(sp.field_str("backoff_nanos"), Some(want.as_str()));
+    assert_eq!(obs.counter("frame", "mw.send.exhausted"), 1);
+    assert_eq!(
+        obs.counter("frame", "mw.retry.attempts"),
+        u64::from(retry.max_attempts - 1)
+    );
+}
+
+#[test]
+fn same_seed_chaos_yields_a_byte_identical_obs_report() {
+    let run = || {
+        let config = chaos_config(
+            ChaosSpec {
+                seed: 77,
+                drop_prob: 0.3,
+                dead: vec![(2, 3)],
+                ..Default::default()
+            },
+            Duration::from_millis(600),
+        );
+        let mut proto = SystemPrototype::deploy(ieee118_like(), config).unwrap();
+        proto.run_frame(0.0).unwrap();
+        settle_proxies(&proto);
+        proto.obs_report().to_json_deterministic()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same-seed chaos must export a byte-identical trace");
+    assert!(a.contains("faults.injected.dropped"));
+}
+
 #[test]
 fn dse_runner_reports_degradation_against_healthy_baseline() {
     // Algorithm-level counterpart of the prototype tests: the dse crate's
