@@ -4,20 +4,21 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use pgse_medici::measure::{measure_direct, measure_via_middleware};
+use pgse_medici::measure::OverheadProbe;
 use pgse_medici::throttle::PAPER_RELAY_RATE;
 
 fn bench_transfers(c: &mut Criterion) {
     let mut group = c.benchmark_group("transfer");
     group.sample_size(10);
+    let probe = OverheadProbe::new();
     for mb in [1u64, 4, 16] {
         let size = mb * 1_000_000;
         group.throughput(Throughput::Bytes(size));
         group.bench_with_input(BenchmarkId::new("direct_tcp", mb), &size, |b, &s| {
-            b.iter(|| measure_direct(s, None))
+            b.iter(|| probe.direct_nanos(s, None))
         });
         group.bench_with_input(BenchmarkId::new("via_medici", mb), &size, |b, &s| {
-            b.iter(|| measure_via_middleware(s, PAPER_RELAY_RATE, None))
+            b.iter(|| probe.middleware_nanos(s, PAPER_RELAY_RATE, None))
         });
     }
     group.finish();

@@ -12,7 +12,7 @@ use pgse_estimation::wls::{WlsEstimator, WlsOptions};
 use pgse_grid::cases::ieee118::{SUBSYSTEM_BUS_COUNTS, SUBSYSTEM_EDGES};
 use pgse_grid::cases::{ieee118_like, ieee14};
 use pgse_grid::Network;
-use pgse_medici::measure::{measure_overhead, OverheadRow};
+use pgse_medici::measure::{OverheadProbe, OverheadReport};
 use pgse_medici::throttle::{PAPER_LAN_RATE, PAPER_RELAY_RATE};
 use pgse_partition::kway::KwayOptions;
 use pgse_partition::repartition::{repartition, RepartitionOptions};
@@ -258,7 +258,7 @@ pub fn payload_sizes(scale: f64) -> Vec<u64> {
 }
 
 /// Table III: direct TCP vs via-MeDICi within one workstation.
-pub fn exp_table3(scale: f64) -> (String, Vec<OverheadRow>) {
+pub fn exp_table3(scale: f64) -> (String, Vec<OverheadReport>) {
     run_comm_table(
         "Table III — communication within a Linux workstation",
         "T1 (direct TCP)",
@@ -269,7 +269,7 @@ pub fn exp_table3(scale: f64) -> (String, Vec<OverheadRow>) {
 }
 
 /// Table IV: direct TCP vs via-MeDICi across the (simulated) LAN.
-pub fn exp_table4(scale: f64) -> (String, Vec<OverheadRow>) {
+pub fn exp_table4(scale: f64) -> (String, Vec<OverheadReport>) {
     run_comm_table(
         "Table IV — communication across the LAN (~115 MB/s, as measured in the paper)",
         "T3 (direct TCP)",
@@ -285,7 +285,7 @@ fn run_comm_table(
     mw_label: &str,
     scale: f64,
     link_rate: Option<f64>,
-) -> (String, Vec<OverheadRow>) {
+) -> (String, Vec<OverheadReport>) {
     let mut out = String::new();
     let _ = writeln!(out, "## {title}\n");
     if (scale - 1.0).abs() > 1e-9 {
@@ -299,15 +299,16 @@ fn run_comm_table(
         out,
         "----------+------------------+------------------+--------------+-------------------"
     );
+    let probe = OverheadProbe::new();
     let mut rows = Vec::new();
     for size in payload_sizes(scale) {
-        let row = measure_overhead(size, PAPER_RELAY_RATE, link_rate);
+        let row = probe.measure(size, PAPER_RELAY_RATE, link_rate);
         let _ = writeln!(
             out,
             "{:>7.0} MB | {:>14.6} s | {:>14.6} s | {:>12.6} | {:>8.2} GB/s",
             size as f64 / 1e6,
-            row.direct.as_secs_f64(),
-            row.middleware.as_secs_f64(),
+            row.direct().as_secs_f64(),
+            row.middleware().as_secs_f64(),
             row.overhead().as_secs_f64(),
             row.relay_rate() / 1e9
         );
@@ -322,7 +323,7 @@ fn run_comm_table(
 
 /// Fig. 8: overhead vs payload size — verifies the linear trend the paper
 /// plots (least-squares slope ≈ 1/relay-rate, high R²).
-pub fn exp_fig8(local: &[OverheadRow], lan: &[OverheadRow]) -> String {
+pub fn exp_fig8(local: &[OverheadReport], lan: &[OverheadReport]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "## Fig. 8 — middleware overhead vs data size (linear trend)\n");
     for (name, rows) in [("within workstation", local), ("across LAN", lan)] {

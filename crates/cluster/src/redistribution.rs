@@ -126,6 +126,46 @@ mod tests {
     }
 
     #[test]
+    fn table1_remapping_accounting_is_exact() {
+        // The paper's Figs. 4→5 re-mapping on the Table I decomposition
+        // graph, priced with per-area raw-scan sizes derived from the
+        // Table I bus counts (1 kB of raw telemetry per bus).
+        use pgse_grid::cases::ieee118::SUBSYSTEM_BUS_COUNTS;
+        let area_bytes: Vec<u64> =
+            SUBSYSTEM_BUS_COUNTS.iter().map(|&n| n as u64 * 1_000).collect();
+        let step1 = [2usize, 1, 1, 2, 0, 1, 0, 2, 0];
+        let mut step2 = step1;
+        step2[3] = 0; // subsystem 4: Chinook → Nwiceb
+        step2[4] = 2; // subsystem 5: Nwiceb → Chinook
+        let plan = plan_redistribution(&step1, &step2, &area_bytes);
+
+        // Hand-computed: exactly subsystems 4 and 5 move (13 buses each in
+        // Table I), so 2 migrations shipping 13 kB + 13 kB = 26 kB.
+        assert_eq!(plan.migrations(), 2);
+        assert_eq!(SUBSYSTEM_BUS_COUNTS[3], 13);
+        assert_eq!(SUBSYSTEM_BUS_COUNTS[4], 13);
+        assert_eq!(plan.total_bytes(), 26_000);
+        assert_eq!(
+            plan.moves,
+            vec![
+                DataMove { area: 3, from_cluster: 2, to_cluster: 0, bytes: 13_000 },
+                DataMove { area: 4, from_cluster: 0, to_cluster: 2, bytes: 13_000 },
+            ]
+        );
+        // The two moves ride *different* directed links (2→0 and 0→2), so
+        // they overlap: the plan costs one 13 kB transfer, not two.
+        let t = plan.estimated_time(13_000.0);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9, "{t:?}");
+
+        // Sanity: areas that stay put ship nothing.
+        for (a, (f, t)) in step1.iter().zip(&step2).enumerate() {
+            if f == t {
+                assert!(plan.moves.iter().all(|m| m.area != a));
+            }
+        }
+    }
+
+    #[test]
     fn bytes_follow_the_moving_area() {
         let plan = plan_redistribution(&[0, 0], &[0, 1], &[111, 222]);
         assert_eq!(plan.moves, vec![DataMove { area: 1, from_cluster: 0, to_cluster: 1, bytes: 222 }]);

@@ -3,7 +3,7 @@
 use pgse_estimation::jacobian::StateSpace;
 use pgse_estimation::measurement::{FlowSide, Measurement, MeasurementKind, MeasurementSet};
 use pgse_estimation::telemetry::{SigmaSet, TelemetryPlan};
-use pgse_estimation::wls::{WlsError, WlsEstimator, WlsOptions};
+use pgse_estimation::wls::{SolveCache, WlsError, WlsEstimator, WlsOptions};
 use pgse_grid::{Branch, Network, Ybus};
 use pgse_powerflow::equations::{branch_flows, bus_injections};
 use pgse_powerflow::{PfSolution, BranchFlow};
@@ -177,6 +177,26 @@ impl AreaEstimator {
         })
     }
 
+    /// [`AreaEstimator::step1`] with cross-frame structure reuse and a
+    /// warm start from the previous frame's Step-1 solution — the
+    /// streaming service's hot path.
+    ///
+    /// # Errors
+    /// Propagates WLS failures (unobservable area, solver breakdown).
+    pub fn step1_cached(
+        &self,
+        set: &MeasurementSet,
+        cache: &mut SolveCache,
+    ) -> Result<AreaSolution, WlsError> {
+        let est = self.step1_est.estimate_cached(set, None, cache)?;
+        Ok(AreaSolution {
+            vm: est.vm,
+            va: est.va,
+            iterations: est.iterations,
+            objective: est.objective,
+        })
+    }
+
     /// Exports the boundary/sensitive solutions as pseudo measurements.
     pub fn export_pseudo(&self, sol: &AreaSolution) -> Vec<PseudoMeasurement> {
         self.info
@@ -208,6 +228,44 @@ impl AreaEstimator {
         noise_level: f64,
         seed: u64,
     ) -> Result<AreaSolution, WlsError> {
+        let (set, vm0, va0) =
+            self.step2_inputs(step1, neighbor_pseudo, local_set, noise_level, seed);
+        let est = self.step2_est.estimate_from(&set, Some((&vm0, &va0)))?;
+        Ok(self.merge_step2(step1, &est.vm, &est.va, est.iterations, est.objective))
+    }
+
+    /// [`AreaEstimator::step2`] with cross-frame structure reuse. The warm
+    /// start still comes from Step 1 + pseudo values (fresher than the
+    /// previous frame's extended state); only the symbolic structures are
+    /// carried across frames.
+    ///
+    /// # Errors
+    /// Propagates WLS failures.
+    pub fn step2_cached(
+        &self,
+        step1: &AreaSolution,
+        neighbor_pseudo: &[PseudoMeasurement],
+        local_set: &MeasurementSet,
+        noise_level: f64,
+        seed: u64,
+        cache: &mut SolveCache,
+    ) -> Result<AreaSolution, WlsError> {
+        let (set, vm0, va0) =
+            self.step2_inputs(step1, neighbor_pseudo, local_set, noise_level, seed);
+        let est = self.step2_est.estimate_cached(&set, Some((&vm0, &va0)), cache)?;
+        Ok(self.merge_step2(step1, &est.vm, &est.va, est.iterations, est.objective))
+    }
+
+    /// Builds the Step-2 measurement set (local scan + tie-line flows +
+    /// neighbour pseudo measurements) and its warm-start profile.
+    fn step2_inputs(
+        &self,
+        step1: &AreaSolution,
+        neighbor_pseudo: &[PseudoMeasurement],
+        local_set: &MeasurementSet,
+        noise_level: f64,
+        seed: u64,
+    ) -> (MeasurementSet, Vec<f64>, Vec<f64>) {
         // Local measurements re-index unchanged: the extension appends
         // buses and branches after the local ones.
         let mut set: MeasurementSet = local_set.as_slice().iter().copied().collect();
@@ -268,21 +326,26 @@ impl AreaEstimator {
                 va0[ext] = p.va;
             }
         }
-        let est = self.step2_est.estimate_from(&set, Some((&vm0, &va0)))?;
+        (set, vm0, va0)
+    }
 
-        // Merge: re-evaluated buses take the Step-2 values.
+    /// Merge: re-evaluated buses take the Step-2 values; the rest keep
+    /// their Step-1 solution.
+    fn merge_step2(
+        &self,
+        step1: &AreaSolution,
+        est_vm: &[f64],
+        est_va: &[f64],
+        iterations: usize,
+        objective: f64,
+    ) -> AreaSolution {
         let mut vm = step1.vm.clone();
         let mut va = step1.va.clone();
         for l in self.info.exported_buses() {
-            vm[l] = est.vm[l];
-            va[l] = est.va[l];
+            vm[l] = est_vm[l];
+            va[l] = est_va[l];
         }
-        Ok(AreaSolution {
-            vm,
-            va,
-            iterations: est.iterations,
-            objective: est.objective,
-        })
+        AreaSolution { vm, va, iterations, objective }
     }
 
     /// Number of extended (foreign) buses in the Step-2 model.
@@ -398,6 +461,55 @@ mod tests {
                 assert_eq!(s2.vm[l], step1[a].vm[l]);
             }
         }
+    }
+
+    #[test]
+    fn cached_steps_match_uncached() {
+        let (net, pf, d) = setup();
+        let estimators: Vec<AreaEstimator> = d
+            .areas
+            .iter()
+            .map(|a| AreaEstimator::new(a.clone(), &net, &pf, WlsOptions::default()))
+            .collect();
+        let noise = 1.0;
+        let sets: Vec<MeasurementSet> =
+            estimators.iter().map(|e| e.generate_telemetry(noise, 11)).collect();
+        let step1: Vec<AreaSolution> =
+            estimators.iter().zip(&sets).map(|(e, s)| e.step1(s).unwrap()).collect();
+        let all_pseudo: Vec<Vec<PseudoMeasurement>> =
+            estimators.iter().zip(&step1).map(|(e, s)| e.export_pseudo(s)).collect();
+
+        let a = 4usize;
+        let mut s1_cache = SolveCache::new();
+        let s1c = estimators[a].step1_cached(&sets[a], &mut s1_cache).unwrap();
+        for l in 0..step1[a].vm.len() {
+            assert!((s1c.vm[l] - step1[a].vm[l]).abs() < 1e-7);
+            assert!((s1c.va[l] - step1[a].va[l]).abs() < 1e-7);
+        }
+
+        let mut inbox = Vec::new();
+        for &nb in &estimators[a].info.neighbors {
+            inbox.extend(all_pseudo[nb].iter().copied());
+        }
+        let s2 = estimators[a].step2(&step1[a], &inbox, &sets[a], noise, 13).unwrap();
+        let mut s2_cache = SolveCache::new();
+        let s2c = estimators[a]
+            .step2_cached(&step1[a], &inbox, &sets[a], noise, 13, &mut s2_cache)
+            .unwrap();
+        for l in 0..s2.vm.len() {
+            assert!((s2c.vm[l] - s2.vm[l]).abs() < 1e-7);
+            assert!((s2c.va[l] - s2.va[l]).abs() < 1e-7);
+        }
+        assert_eq!(s1_cache.symbolic_builds, 1);
+        assert_eq!(s2_cache.symbolic_builds, 1);
+
+        // A second frame through the same caches reuses the structures.
+        let sets2: Vec<MeasurementSet> =
+            estimators.iter().map(|e| e.generate_telemetry(noise, 12)).collect();
+        estimators[a].step1_cached(&sets2[a], &mut s1_cache).unwrap();
+        assert_eq!(s1_cache.symbolic_builds, 1);
+        assert_eq!(s1_cache.symbolic_reuses, 1);
+        assert_eq!(s1_cache.warm_solves, 1);
     }
 
     #[test]

@@ -122,31 +122,34 @@ pub fn evaluate_h(
         .collect()
 }
 
-/// Assembles the sparse measurement Jacobian `H = ∂h/∂x` at `(vm, va)`.
-pub fn assemble_jacobian(
+/// Walks every Jacobian entry at `(vm, va)` in the canonical assembly
+/// order, feeding `(row, col, value)` to `sink`. The *order and positions*
+/// of the emitted entries depend only on the measurement kinds, the Ybus
+/// pattern, and the state space — never on the values — which is what lets
+/// [`JacobianPattern`] replay a recorded emission order frame after frame.
+fn for_each_jacobian_entry(
     net: &Network,
     ybus: &Ybus,
     set: &MeasurementSet,
     space: &StateSpace,
     vm: &[f64],
     va: &[f64],
-) -> Csr {
+    sink: &mut dyn FnMut(usize, usize, f64),
+) {
     let (p, q) = bus_injections(ybus, vm, va);
-    let mut coo = Coo::with_capacity(set.len(), space.dim(), 8 * set.len());
-
-    let push_angle = |coo: &mut Coo, row: usize, bus: usize, v: f64| {
-        if let Some(col) = space.angle_pos(bus) {
-            coo.push(row, col, v);
-        }
-    };
 
     for (row, m) in set.as_slice().iter().enumerate() {
+        let push_angle = |sink: &mut dyn FnMut(usize, usize, f64), bus: usize, v: f64| {
+            if let Some(col) = space.angle_pos(bus) {
+                sink(row, col, v);
+            }
+        };
         match m.kind {
             MeasurementKind::Vmag { bus } | MeasurementKind::PmuVmag { bus } => {
-                coo.push(row, space.mag_pos(bus), 1.0);
+                sink(row, space.mag_pos(bus), 1.0);
             }
             MeasurementKind::PmuAngle { bus } => {
-                push_angle(&mut coo, row, bus, 1.0);
+                push_angle(sink, bus, 1.0);
             }
             MeasurementKind::Pinj { bus } | MeasurementKind::Qinj { bus } => {
                 let is_p = matches!(m.kind, MeasurementKind::Pinj { .. });
@@ -155,8 +158,8 @@ pub fn assemble_jacobian(
                     let (dp_dth, dp_dv, dq_dth, dq_dv) =
                         injection_derivatives(ybus, vm, va, p[bus], q[bus], bus, j);
                     let (dth, dv) = if is_p { (dp_dth, dp_dv) } else { (dq_dth, dq_dv) };
-                    push_angle(&mut coo, row, j, dth);
-                    coo.push(row, space.mag_pos(j), dv);
+                    push_angle(sink, j, dth);
+                    sink(row, space.mag_pos(j), dv);
                 }
             }
             MeasurementKind::Pflow { branch, side } | MeasurementKind::Qflow { branch, side } => {
@@ -174,14 +177,180 @@ pub fn assemble_jacobian(
                 };
                 let (dp, dq) = from_flow_derivatives(&yy, vm[f], vm[t], va[f] - va[t]);
                 let d = if is_p { dp } else { dq };
-                push_angle(&mut coo, row, f, d[0]);
-                coo.push(row, space.mag_pos(f), d[1]);
-                push_angle(&mut coo, row, t, d[2]);
-                coo.push(row, space.mag_pos(t), d[3]);
+                push_angle(sink, f, d[0]);
+                sink(row, space.mag_pos(f), d[1]);
+                push_angle(sink, t, d[2]);
+                sink(row, space.mag_pos(t), d[3]);
             }
         }
     }
+}
+
+/// Assembles the sparse measurement Jacobian `H = ∂h/∂x` at `(vm, va)`.
+pub fn assemble_jacobian(
+    net: &Network,
+    ybus: &Ybus,
+    set: &MeasurementSet,
+    space: &StateSpace,
+    vm: &[f64],
+    va: &[f64],
+) -> Csr {
+    let mut coo = Coo::with_capacity(set.len(), space.dim(), 8 * set.len());
+    for_each_jacobian_entry(net, ybus, set, space, vm, va, &mut |r, c, v| coo.push(r, c, v));
     coo.to_csr()
+}
+
+/// A cheap structural fingerprint of a measurement set: FNV-1a over the
+/// kinds and their indices (values/sigmas excluded — they change every
+/// frame without changing the Jacobian pattern).
+pub fn set_fingerprint(set: &MeasurementSet) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |x: u64| {
+        for byte in x.to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+    };
+    for m in set.as_slice() {
+        let (tag, a, b) = match m.kind {
+            MeasurementKind::Vmag { bus } => (1u64, bus as u64, 0),
+            MeasurementKind::PmuVmag { bus } => (2, bus as u64, 0),
+            MeasurementKind::PmuAngle { bus } => (3, bus as u64, 0),
+            MeasurementKind::Pinj { bus } => (4, bus as u64, 0),
+            MeasurementKind::Qinj { bus } => (5, bus as u64, 0),
+            MeasurementKind::Pflow { branch, side } => {
+                (6, branch as u64, matches!(side, FlowSide::To) as u64)
+            }
+            MeasurementKind::Qflow { branch, side } => {
+                (7, branch as u64, matches!(side, FlowSide::To) as u64)
+            }
+        };
+        eat(tag);
+        eat(a);
+        eat(b);
+    }
+    eat(set.len() as u64);
+    h
+}
+
+/// The cached sparsity pattern of one measurement Jacobian.
+///
+/// Built once per (topology, telemetry-plan) pair, it records the CSR
+/// structure of `H` *including structural zeros* (entries whose derivative
+/// happens to vanish at a particular operating point are kept as explicit
+/// zeros, so the pattern is stable across frames) plus a permutation from
+/// canonical emission order to CSR value slots. A warm-frame assembly is
+/// then a zero-fill plus one scatter pass — no COO sort, no dedup, no
+/// allocation.
+#[derive(Debug, Clone)]
+pub struct JacobianPattern {
+    fingerprint: u64,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    /// Emission order → CSR value index (duplicates map to the same slot
+    /// and accumulate).
+    perm: Vec<usize>,
+    ncols: usize,
+}
+
+impl JacobianPattern {
+    /// Runs the symbolic pass: replays the assembly at a flat profile and
+    /// records where every emission lands.
+    pub fn new(net: &Network, ybus: &Ybus, set: &MeasurementSet, space: &StateSpace) -> Self {
+        let n = space.n_buses();
+        let (vm, va) = (vec![1.0; n], vec![0.0; n]);
+        let mut pushes: Vec<(usize, usize)> = Vec::with_capacity(8 * set.len());
+        for_each_jacobian_entry(net, ybus, set, space, &vm, &va, &mut |r, c, _| {
+            pushes.push((r, c));
+        });
+
+        // Per-row sorted-unique columns.
+        let nrows = set.len();
+        let mut per_row: Vec<Vec<usize>> = vec![Vec::new(); nrows];
+        for &(r, c) in &pushes {
+            per_row[r].push(c);
+        }
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::with_capacity(pushes.len());
+        for cols in &mut per_row {
+            cols.sort_unstable();
+            cols.dedup();
+            col_idx.extend_from_slice(cols);
+            row_ptr.push(col_idx.len());
+        }
+
+        // Emission order → value slot.
+        let perm = pushes
+            .iter()
+            .map(|&(r, c)| {
+                let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+                lo + col_idx[lo..hi].binary_search(&c).expect("column recorded above")
+            })
+            .collect();
+
+        JacobianPattern {
+            fingerprint: set_fingerprint(set),
+            row_ptr,
+            col_idx,
+            perm,
+            ncols: space.dim(),
+        }
+    }
+
+    /// Whether `set` still has the structure this pattern was built from.
+    pub fn matches(&self, set: &MeasurementSet) -> bool {
+        set.len() + 1 == self.row_ptr.len() && set_fingerprint(set) == self.fingerprint
+    }
+
+    /// Stored entries (structural zeros included).
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// An all-zero Jacobian with this structure — the reusable buffer for
+    /// [`JacobianPattern::assemble_into`].
+    pub fn template(&self) -> Csr {
+        Csr::from_raw(
+            self.row_ptr.len() - 1,
+            self.ncols,
+            self.row_ptr.clone(),
+            self.col_idx.clone(),
+            vec![0.0; self.col_idx.len()],
+        )
+    }
+
+    /// Numeric assembly at `(vm, va)` scattered into `jac`, which must
+    /// carry this pattern (see [`JacobianPattern::template`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble_into(
+        &self,
+        net: &Network,
+        ybus: &Ybus,
+        set: &MeasurementSet,
+        space: &StateSpace,
+        vm: &[f64],
+        va: &[f64],
+        jac: &mut Csr,
+    ) {
+        assert_eq!(jac.nnz(), self.col_idx.len(), "JacobianPattern: buffer nnz");
+        assert_eq!(jac.row_ptr(), self.row_ptr.as_slice(), "JacobianPattern: buffer pattern");
+        debug_assert!(self.matches(set), "JacobianPattern: set mismatch");
+        for v in jac.values_mut() {
+            *v = 0.0;
+        }
+        let mut k = 0usize;
+        let perm = &self.perm;
+        {
+            let vals = jac.values_mut();
+            for_each_jacobian_entry(net, ybus, set, space, vm, va, &mut |_, _, v| {
+                vals[perm[k]] += v;
+                k += 1;
+            });
+        }
+        assert_eq!(k, perm.len(), "JacobianPattern: emission count drifted");
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +442,55 @@ mod tests {
         let jac = assemble_jacobian(&net, &ybus, &set, &space, &vm, &va);
         assert_eq!(jac.ncols(), 27);
         assert_eq!(jac.nrows(), set.len());
+    }
+
+    #[test]
+    fn pattern_assembly_matches_fresh_assembly() {
+        let net = ieee14();
+        let ybus = Ybus::new(&net);
+        let set = all_kinds_set();
+        let space = StateSpace::full(14);
+        let pattern = JacobianPattern::new(&net, &ybus, &set, &space);
+        assert!(pattern.matches(&set));
+        let mut jac = pattern.template();
+        // Two different operating points through the same cached pattern.
+        for phase in [0.9, 1.7] {
+            let vm: Vec<f64> =
+                (0..14).map(|i| 1.0 + 0.03 * ((i as f64) * phase).sin()).collect();
+            let va: Vec<f64> = (0..14).map(|i| 0.04 * ((i as f64) * 1.1).cos()).collect();
+            pattern.assemble_into(&net, &ybus, &set, &space, &vm, &va, &mut jac);
+            let fresh = assemble_jacobian(&net, &ybus, &set, &space, &vm, &va);
+            for r in 0..set.len() {
+                for c in 0..space.dim() {
+                    assert!(
+                        (jac.get(r, c) - fresh.get(r, c)).abs() < 1e-14,
+                        "H[{r}][{c}] cached {} vs fresh {}",
+                        jac.get(r, c),
+                        fresh.get(r, c)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_detects_changed_set_structure() {
+        let net = ieee14();
+        let ybus = Ybus::new(&net);
+        let set = all_kinds_set();
+        let space = StateSpace::full(14);
+        let pattern = JacobianPattern::new(&net, &ybus, &set, &space);
+
+        // Same values, different structure → mismatch.
+        let mut grown = set.clone();
+        grown.push(Measurement::new(MeasurementKind::Vmag { bus: 7 }, 1.0, 0.01));
+        assert!(!pattern.matches(&grown));
+
+        // Same structure, different values → still matches.
+        let mut renoised = set.clone();
+        renoised.retain(|_| true);
+        assert!(pattern.matches(&renoised));
+        assert_eq!(set_fingerprint(&set), set_fingerprint(&renoised));
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod restoration;
 pub mod telemetry;
 pub mod wls;
 
+pub use jacobian::{JacobianPattern, StateSpace};
 pub use measurement::{Measurement, MeasurementKind, MeasurementSet};
 pub use telemetry::{NoiseProcess, TelemetryPlan};
-pub use wls::{GainSolver, StateEstimate, WlsError, WlsEstimator, WlsOptions};
+pub use wls::{GainSolver, SolveCache, StateEstimate, WlsError, WlsEstimator, WlsOptions};

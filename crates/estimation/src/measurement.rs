@@ -65,7 +65,7 @@ impl MeasurementKind {
 }
 
 /// One measurement: a kind, the telemetered value, and its accuracy.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Measurement {
     /// What is measured.
     pub kind: MeasurementKind,
@@ -92,7 +92,7 @@ impl Measurement {
 }
 
 /// An ordered collection of measurements for one (sub)network.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MeasurementSet {
     measurements: Vec<Measurement>,
 }

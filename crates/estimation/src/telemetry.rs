@@ -16,8 +16,9 @@
 //! the pipeline itself accumulate. Execution metrics — scan counts, noise
 //! gauges, solver iterations, stage timings — are recorded through
 //! `pgse-obs` ([`pgse_obs::counter_add`] / [`pgse_obs::gauge_set`] /
-//! [`pgse_obs::span`]) and exported in the `ObsReport`; [`TelemetryPlan::
-//! generate`] publishes its scan size and noise level there.
+//! [`pgse_obs::span`]) and exported in the `ObsReport`; each
+//! [`TelemetryPlan::generate`] call runs inside a `telemetry.generate`
+//! span carrying the scan size and noise level.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -146,6 +147,8 @@ impl TelemetryPlan {
         seed: u64,
     ) -> MeasurementSet {
         assert!(noise_level > 0.0, "noise level must be positive");
+        let mut sp = pgse_obs::span("telemetry.generate");
+        sp.record("noise_level", noise_level);
         pgse_obs::counter_add("telemetry.scans", 1);
         pgse_obs::gauge_set("telemetry.noise_level", noise_level);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -197,6 +200,7 @@ impl TelemetryPlan {
             add(MeasurementKind::PmuVmag { bus: b }, sol.vm[b], self.sigmas.pmu_vmag);
             add(MeasurementKind::PmuAngle { bus: b }, sol.va[b], self.sigmas.pmu_angle);
         }
+        sp.record("scan_size", set.len());
         set
     }
 }

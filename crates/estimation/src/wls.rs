@@ -7,9 +7,9 @@
 
 use pgse_grid::{Network, Ybus};
 use pgse_sparsela::pcg::{pcg, CgOptions, Preconditioner};
-use pgse_sparsela::{EnvelopeCholesky, LaError};
+use pgse_sparsela::{AtaSymbolic, Csr, EnvelopeCholesky, LaError};
 
-use crate::jacobian::{assemble_jacobian, evaluate_h, StateSpace};
+use crate::jacobian::{assemble_jacobian, evaluate_h, JacobianPattern, StateSpace};
 use crate::measurement::MeasurementSet;
 
 /// Preconditioner choice for the PCG gain solver.
@@ -130,6 +130,58 @@ fn rmse(a: &[f64], b: &[f64]) -> f64 {
     (s / a.len() as f64).sqrt()
 }
 
+/// Cross-frame solve state for [`WlsEstimator::estimate_cached`].
+///
+/// Holds everything that survives between frames while the topology and
+/// telemetry plan stay put: the Jacobian sparsity pattern, the symbolic
+/// structure of the gain matrix `G = HᵀWH`, reusable numeric buffers for
+/// both, and the previous frame's solution as the warm start. Structures
+/// rebuild automatically (and are counted) when the measurement set's
+/// structure changes.
+#[derive(Debug, Clone, Default)]
+pub struct SolveCache {
+    pattern: Option<JacobianPattern>,
+    jac_buf: Option<Csr>,
+    gain_sym: Option<AtaSymbolic>,
+    gain_buf: Option<Csr>,
+    warm: Option<(Vec<f64>, Vec<f64>)>,
+    /// Symbolic structures built from scratch (topology/plan changes).
+    pub symbolic_builds: u64,
+    /// Frames that reused the cached structures.
+    pub symbolic_reuses: u64,
+    /// Solves seeded from a warm state.
+    pub warm_solves: u64,
+    /// Solves that fell back to a flat start.
+    pub cold_solves: u64,
+}
+
+impl SolveCache {
+    /// An empty cache; structures build lazily on first use.
+    pub fn new() -> Self {
+        SolveCache::default()
+    }
+
+    /// The stored warm-start profile, if a previous solve succeeded.
+    pub fn warm_state(&self) -> Option<(&[f64], &[f64])> {
+        self.warm.as_ref().map(|(vm, va)| (vm.as_slice(), va.as_slice()))
+    }
+
+    /// Drops cached structures and the warm state (e.g. after a topology
+    /// change the caller knows about).
+    pub fn clear(&mut self) {
+        self.pattern = None;
+        self.jac_buf = None;
+        self.gain_sym = None;
+        self.gain_buf = None;
+        self.warm = None;
+    }
+
+    /// Whether symbolic structures are currently cached.
+    pub fn has_structures(&self) -> bool {
+        self.pattern.is_some()
+    }
+}
+
 /// A WLS estimator bound to one (sub)network and state-space convention.
 #[derive(Debug, Clone)]
 pub struct WlsEstimator {
@@ -229,29 +281,7 @@ impl WlsEstimator {
             };
 
             let solve_span = pgse_obs::span("wls.gain_solve");
-            let (dx, inner) = match self.opts.solver {
-                GainSolver::Cholesky => {
-                    let chol = EnvelopeCholesky::factor(&gain).map_err(|e| match e {
-                        LaError::NotPositiveDefinite { .. } => {
-                            WlsError::NotObservable(e.to_string())
-                        }
-                        other => WlsError::Solver(other),
-                    })?;
-                    (chol.solve(&rhs), 0usize)
-                }
-                GainSolver::Pcg { precond, parallel } => {
-                    let m = match precond {
-                        PrecondKind::Identity => Preconditioner::Identity,
-                        PrecondKind::Jacobi => Preconditioner::jacobi(&gain)
-                            .map_err(|e| WlsError::NotObservable(e.to_string()))?,
-                        PrecondKind::Ic0 => Preconditioner::ic0(&gain)
-                            .map_err(|e| WlsError::NotObservable(e.to_string()))?,
-                    };
-                    let cg_opts = CgOptions { parallel, ..self.opts.cg };
-                    let out = pcg(&gain, &rhs, &m, &cg_opts).map_err(WlsError::Solver)?;
-                    (out.x, out.iterations)
-                }
-            };
+            let (dx, inner) = self.solve_gain(&gain, &rhs)?;
             drop(solve_span);
             solver_iterations.push(inner);
             iter_span.record("solver_iterations", inner);
@@ -279,6 +309,165 @@ impl WlsEstimator {
         est_span.record("converged", false);
         pgse_obs::counter_add("wls.gn_iterations", self.opts.max_iter as u64);
         Err(WlsError::DidNotConverge { iterations: self.opts.max_iter, last_step })
+    }
+
+    /// Runs WLS with cross-frame structure reuse and cache-managed warm
+    /// starts — the streaming hot path.
+    ///
+    /// An explicit `warm` profile wins; otherwise the cache's stored state
+    /// from the previous successful solve is used; otherwise flat start.
+    /// Symbolic structures (Jacobian pattern + gain structure) are reused
+    /// across calls and rebuilt only when `set`'s structure changes.
+    ///
+    /// # Errors
+    /// See [`WlsError`].
+    pub fn estimate_cached(
+        &self,
+        set: &MeasurementSet,
+        warm: Option<(&[f64], &[f64])>,
+        cache: &mut SolveCache,
+    ) -> Result<StateEstimate, WlsError> {
+        let n = self.net.n_buses();
+        if set.len() < self.space.dim() {
+            return Err(WlsError::NotObservable(format!(
+                "{} measurements for {} state variables",
+                set.len(),
+                self.space.dim()
+            )));
+        }
+
+        // (Re)build the symbolic structures when the set's shape changed.
+        let rebuild = match &cache.pattern {
+            Some(p) => !p.matches(set),
+            None => true,
+        };
+        if rebuild {
+            let _sp = pgse_obs::span("wls.symbolic");
+            let pattern = JacobianPattern::new(&self.net, &self.ybus, set, &self.space);
+            let jac = pattern.template();
+            // Structural observability on the cached pattern: it is a
+            // superset of any numeric Jacobian's pattern, so a hole here is
+            // a hole in every frame.
+            let mut touched = vec![false; self.space.dim()];
+            for &c in jac.col_idx() {
+                touched[c] = true;
+            }
+            if let Some(hole) = touched.iter().position(|&t| !t) {
+                return Err(WlsError::NotObservable(format!(
+                    "state variable {hole} has no incident measurement"
+                )));
+            }
+            let sym = AtaSymbolic::new(&jac);
+            cache.gain_buf = Some(sym.g_template());
+            cache.jac_buf = Some(jac);
+            cache.gain_sym = Some(sym);
+            cache.pattern = Some(pattern);
+            cache.symbolic_builds += 1;
+            pgse_obs::counter_add("wls.symbolic.build", 1);
+        } else {
+            cache.symbolic_reuses += 1;
+            pgse_obs::counter_add("wls.symbolic.reuse", 1);
+        }
+
+        let warm_used = warm.is_some() || cache.warm.is_some();
+        let (mut vm, mut va) = match (warm, &cache.warm) {
+            (Some((wm, wa)), _) => (wm.to_vec(), wa.to_vec()),
+            (None, Some((wm, wa))) => (wm.clone(), wa.clone()),
+            (None, None) => (vec![1.0; n], vec![0.0; n]),
+        };
+        if warm_used {
+            cache.warm_solves += 1;
+            pgse_obs::counter_add("wls.warm_starts", 1);
+        } else {
+            cache.cold_solves += 1;
+        }
+        let z = set.values();
+        let w = set.weights();
+
+        let mut est_span = pgse_obs::span("wls.estimate");
+        est_span.record("warm", warm_used);
+        est_span.record("cached", true);
+        let mut solver_iterations = Vec::new();
+        let mut last_step = f64::INFINITY;
+        let SolveCache { pattern, gain_sym, jac_buf, gain_buf, warm: warm_slot, .. } = cache;
+        let pattern = pattern.as_ref().expect("built above");
+        let gain_sym = gain_sym.as_ref().expect("built above");
+        let jac = jac_buf.as_mut().expect("built above");
+        let gain = gain_buf.as_mut().expect("built above");
+        for iter in 1..=self.opts.max_iter {
+            let mut iter_span = pgse_obs::span_at("wls.iteration", iter as u64);
+            let h = {
+                let _sp = pgse_obs::span("wls.jacobian");
+                let h = evaluate_h(&self.net, &self.ybus, set, &vm, &va);
+                pattern.assemble_into(&self.net, &self.ybus, set, &self.space, &vm, &va, jac);
+                h
+            };
+            let r: Vec<f64> = z.iter().zip(&h).map(|(zi, hi)| zi - hi).collect();
+            // rhs = Hᵀ W r
+            let wr: Vec<f64> = r.iter().zip(&w).map(|(ri, wi)| ri * wi).collect();
+            let mut rhs = vec![0.0; self.space.dim()];
+            jac.spmv_transpose(&wr, &mut rhs);
+            {
+                let _sp = pgse_obs::span("wls.gain");
+                gain_sym.compute_into(jac, &w, gain);
+            }
+
+            let solve_span = pgse_obs::span("wls.gain_solve");
+            let (dx, inner) = self.solve_gain(gain, &rhs)?;
+            drop(solve_span);
+            solver_iterations.push(inner);
+            iter_span.record("solver_iterations", inner);
+            self.space.apply_update(&dx, &mut vm, &mut va);
+            last_step = dx.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            if last_step <= self.opts.tol {
+                drop(iter_span);
+                est_span.record("iterations", iter);
+                est_span.record("converged", true);
+                pgse_obs::counter_add("wls.gn_iterations", iter as u64);
+                let h = evaluate_h(&self.net, &self.ybus, set, &vm, &va);
+                let residuals: Vec<f64> = z.iter().zip(&h).map(|(zi, hi)| zi - hi).collect();
+                let objective = residuals.iter().zip(&w).map(|(ri, wi)| ri * ri * wi).sum();
+                *warm_slot = Some((vm.clone(), va.clone()));
+                return Ok(StateEstimate {
+                    vm,
+                    va,
+                    iterations: iter,
+                    objective,
+                    residuals,
+                    solver_iterations,
+                });
+            }
+        }
+        est_span.record("iterations", self.opts.max_iter);
+        est_span.record("converged", false);
+        pgse_obs::counter_add("wls.gn_iterations", self.opts.max_iter as u64);
+        Err(WlsError::DidNotConverge { iterations: self.opts.max_iter, last_step })
+    }
+
+    /// Solves one gain system `G·Δx = rhs` with the configured solver,
+    /// returning the step and the inner-solver iteration count.
+    fn solve_gain(&self, gain: &Csr, rhs: &[f64]) -> Result<(Vec<f64>, usize), WlsError> {
+        match self.opts.solver {
+            GainSolver::Cholesky => {
+                let chol = EnvelopeCholesky::factor(gain).map_err(|e| match e {
+                    LaError::NotPositiveDefinite { .. } => WlsError::NotObservable(e.to_string()),
+                    other => WlsError::Solver(other),
+                })?;
+                Ok((chol.solve(rhs), 0usize))
+            }
+            GainSolver::Pcg { precond, parallel } => {
+                let m = match precond {
+                    PrecondKind::Identity => Preconditioner::Identity,
+                    PrecondKind::Jacobi => Preconditioner::jacobi(gain)
+                        .map_err(|e| WlsError::NotObservable(e.to_string()))?,
+                    PrecondKind::Ic0 => Preconditioner::ic0(gain)
+                        .map_err(|e| WlsError::NotObservable(e.to_string()))?,
+                };
+                let cg_opts = CgOptions { parallel, ..self.opts.cg };
+                let out = pcg(gain, rhs, &m, &cg_opts).map_err(WlsError::Solver)?;
+                Ok((out.x, out.iterations))
+            }
+        }
     }
 }
 
@@ -436,6 +625,84 @@ mod tests {
         let est =
             WlsEstimator::new(net, StateSpace::with_reference(14, 0), WlsOptions::default());
         assert!(est.estimate(&set).is_err());
+    }
+
+    #[test]
+    fn cached_solve_matches_uncached() {
+        let net = ieee14();
+        let set = exact_set(&net, &[0]);
+        let est =
+            WlsEstimator::new(net, StateSpace::with_reference(14, 0), WlsOptions::default());
+        let plain = est.estimate(&set).unwrap();
+        let mut cache = SolveCache::new();
+        let cached = est.estimate_cached(&set, None, &mut cache).unwrap();
+        for i in 0..14 {
+            assert!((plain.vm[i] - cached.vm[i]).abs() < 1e-8);
+            assert!((plain.va[i] - cached.va[i]).abs() < 1e-8);
+        }
+        assert_eq!(cache.symbolic_builds, 1);
+        assert_eq!(cache.symbolic_reuses, 0);
+        assert_eq!(cache.cold_solves, 1);
+    }
+
+    #[test]
+    fn cache_reuses_structures_and_warm_state_across_frames() {
+        let net = ieee14();
+        let set = exact_set(&net, &[0]);
+        let est =
+            WlsEstimator::new(net, StateSpace::with_reference(14, 0), WlsOptions::default());
+        let mut cache = SolveCache::new();
+        let first = est.estimate_cached(&set, None, &mut cache).unwrap();
+        let second = est.estimate_cached(&set, None, &mut cache).unwrap();
+        assert_eq!(cache.symbolic_builds, 1, "structures built once");
+        assert_eq!(cache.symbolic_reuses, 1);
+        assert_eq!(cache.warm_solves, 1, "second frame warm-starts from the first");
+        assert!(
+            second.iterations <= first.iterations,
+            "warm {} !<= cold {}",
+            second.iterations,
+            first.iterations
+        );
+        assert!(cache.warm_state().is_some());
+    }
+
+    #[test]
+    fn cache_rebuilds_on_structure_change() {
+        let net = ieee14();
+        let set = exact_set(&net, &[0]);
+        let est = WlsEstimator::new(
+            net.clone(),
+            StateSpace::with_reference(14, 0),
+            WlsOptions::default(),
+        );
+        let mut cache = SolveCache::new();
+        est.estimate_cached(&set, None, &mut cache).unwrap();
+        // Drop one measurement: different structure, must rebuild and still
+        // agree with the uncached estimator on the modified set.
+        let mut smaller = set.clone();
+        smaller.remove(1);
+        let cached = est.estimate_cached(&smaller, None, &mut cache).unwrap();
+        assert_eq!(cache.symbolic_builds, 2);
+        let plain = est.estimate(&smaller).unwrap();
+        for i in 0..14 {
+            assert!((plain.vm[i] - cached.vm[i]).abs() < 1e-7);
+            assert!((plain.va[i] - cached.va[i]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn cached_path_detects_unobservable_structure() {
+        let net = ieee14();
+        let set: MeasurementSet = (0..30)
+            .map(|_| Measurement::new(MeasurementKind::Vmag { bus: 0 }, 1.06, 0.004))
+            .collect();
+        let est =
+            WlsEstimator::new(net, StateSpace::with_reference(14, 0), WlsOptions::default());
+        let mut cache = SolveCache::new();
+        assert!(matches!(
+            est.estimate_cached(&set, None, &mut cache),
+            Err(WlsError::NotObservable(_))
+        ));
     }
 
     #[test]

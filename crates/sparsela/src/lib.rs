@@ -37,6 +37,7 @@ pub mod lu;
 pub mod ordering;
 pub mod pcg;
 pub mod scholesky;
+pub mod symbolic;
 pub mod vecops;
 
 pub use cholesky::EnvelopeCholesky;
@@ -48,6 +49,7 @@ pub use dense::DenseMatrix;
 pub use lu::SparseLu;
 pub use scholesky::SparseCholesky;
 pub use pcg::{pcg, CgOptions, CgOutcome, Preconditioner};
+pub use symbolic::AtaSymbolic;
 
 /// Errors produced by factorizations and solvers in this crate.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,39 @@
+//! # pgse-stream
+//!
+//! A continuous state-estimation service over the paper's architecture:
+//! the batch pipeline (decompose → Step 1 → exchange → Step 2 → aggregate)
+//! run as a long-lived service against an endless sequence of measurement
+//! frames, structured in three layers:
+//!
+//! * **ingest** ([`wire`], [`ingest`]) — sequenced measurement frames per
+//!   area arrive over `pgse-medici` endpoints and land in bounded queues
+//!   with explicit backpressure: a frame that cannot be solved is *shed*
+//!   for a recorded reason (stale, overflow, superseded), never silently
+//!   lost. `ingested == solved + shed`, always.
+//! * **solve** ([`service`]) — per-area workers drive DSE Step 1, the
+//!   pseudo-measurement exchange, and Step 2 with warm-started WLS:
+//!   the Jacobian sparsity pattern, the gain-matrix symbolic structure,
+//!   and the previous frame's state are carried across frames
+//!   ([`pgse_estimation::wls::SolveCache`]), so steady-topology frames
+//!   skip pattern discovery and converge in fewer Gauss–Newton
+//!   iterations than cold solves.
+//! * **serve** ([`snapshot`]) — each solved frame is published into a
+//!   lock-free, epoch-stamped [`snapshot::SnapshotStore`]; concurrent
+//!   readers never block the writer and never observe a torn or
+//!   regressing state.
+//!
+//! Sequencing is enforced at both ends: the ingest queues shed
+//! out-of-order and duplicate frames as stale, and the snapshot store
+//! rejects publishes that would move the frame sequence backwards — so
+//! the published epoch is strictly monotone no matter what the transport
+//! (or the fault proxy) does to the frame stream.
+
+pub mod ingest;
+pub mod service;
+pub mod snapshot;
+pub mod wire;
+
+pub use ingest::{IngestQueue, IngestStats, PushOutcome, ShedReason};
+pub use service::{StreamConfig, StreamError, StreamReport, StreamService};
+pub use snapshot::{PublishRejected, SnapshotStore, SystemSnapshot};
+pub use wire::{decode, encode, StreamFrame, WireError};

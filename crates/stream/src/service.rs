@@ -1,0 +1,732 @@
+//! The solve layer and the service shell: ingest → solve → serve.
+//!
+//! [`StreamService`] is the paper's architecture run *continuously*: a
+//! feeder (standing in for substation data concentrators) ships sequenced
+//! measurement frames per area over `pgse-medici` endpoints; per-area
+//! listener threads decode them into bounded [`IngestQueue`]s; a solver
+//! loop drives DSE Step 1 → pseudo-measurement exchange → Step 2 with
+//! **warm-started, structure-cached WLS** ([`SolveCache`]) and publishes
+//! each aggregated system state into the lock-free [`SnapshotStore`].
+//!
+//! Two pacing modes:
+//!
+//! * **lockstep** — the feeder waits for each frame's snapshot before
+//!   sending the next. Every frame is solved; the accounting identity
+//!   `ingested == solved + shed` closes with `shed == 0` on a healthy
+//!   network. This is the deterministic mode the tests pin.
+//! * **free-run** — the feeder paces itself (or not at all). When the
+//!   field outpaces the solver, the ingest layer sheds stale/superseded
+//!   frames explicitly and the identity still closes, now with a
+//!   non-trivial shed count.
+//!
+//! Chaos: when a [`FaultPlan`] is configured, each area's feed runs
+//! through a `medici::faults` proxy that drops, truncates, delays, and
+//! duplicates frames. Truncated frames fail wire decoding and are counted
+//! `corrupt`; duplicates and late frames are shed `stale`; missing frames
+//! degrade their area for the round (the previous scan's solution is
+//! carried) without stalling the pipeline.
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use pgse_dse::decomposition::decompose;
+use pgse_dse::runner::aggregate;
+use pgse_dse::{AreaEstimator, AreaSolution, Decomposition, DecompositionOptions, PseudoMeasurement};
+use pgse_estimation::measurement::MeasurementSet;
+use pgse_estimation::telemetry::NoiseProcess;
+use pgse_estimation::wls::{SolveCache, WlsOptions};
+use pgse_grid::Network;
+use pgse_medici::{
+    EndpointRegistry, FaultKind, FaultPlan, FaultProxy, FaultProxyHandle, MwClient, MwError,
+};
+use pgse_obs::{ObsReport, Recorder};
+use pgse_powerflow::{solve as solve_pf, PfError, PfOptions};
+
+use crate::ingest::{IngestQueue, IngestStats};
+use crate::snapshot::{SnapshotStore, SystemSnapshot};
+use crate::wire::{self, StreamFrame};
+
+/// Poll interval of the ingest listener threads.
+const RECV_POLL: Duration = Duration::from_millis(25);
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Frames the feeder emits per area.
+    pub n_frames: u64,
+    /// Model-time spacing between frames (the noise process' `δt` step);
+    /// a SCADA scan cadence by default.
+    pub frame_interval: Duration,
+    /// Lockstep (deterministic) vs free-run pacing; see the module docs.
+    pub lockstep: bool,
+    /// How long the lockstep feeder waits for a frame's snapshot before
+    /// moving on anyway (liveness bound under chaos).
+    pub lockstep_timeout: Duration,
+    /// Wall-clock gap between frames in free-run mode (zero = flat out).
+    pub pacing: Duration,
+    /// Warm path: reuse symbolic structures and warm starts across frames.
+    /// `false` solves every frame cold — the comparison baseline.
+    pub warm: bool,
+    /// Base seed; telemetry and Step-2 noise derive from it per frame.
+    pub seed: u64,
+    /// Bounded depth of each area's ingest queue.
+    pub queue_capacity: usize,
+    /// How long one solver sweep waits on an empty area queue.
+    pub pop_deadline: Duration,
+    /// When set, every area's feed passes through a fault proxy running
+    /// this plan (per-area seeds are derived from `plan.seed`).
+    pub chaos: Option<FaultPlan>,
+    /// The time-frame noise process `x = f(δt)`.
+    pub noise: NoiseProcess,
+    /// WLS solver options for both DSE steps.
+    pub wls: WlsOptions,
+    /// Decomposition tuning.
+    pub decomposition: DecompositionOptions,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            n_frames: 16,
+            frame_interval: Duration::from_secs(4),
+            lockstep: true,
+            lockstep_timeout: Duration::from_secs(5),
+            pacing: Duration::ZERO,
+            warm: true,
+            seed: 0,
+            queue_capacity: 8,
+            pop_deadline: Duration::from_millis(50),
+            chaos: None,
+            noise: NoiseProcess::default(),
+            wls: WlsOptions::default(),
+            decomposition: DecompositionOptions::default(),
+        }
+    }
+}
+
+/// Why the service failed to deploy.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The ground-truth power flow did not converge.
+    PowerFlow(PfError),
+    /// An endpoint bind or proxy deployment failed.
+    Middleware(MwError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::PowerFlow(e) => write!(f, "ground-truth power flow failed: {e}"),
+            StreamError::Middleware(e) => write!(f, "middleware deployment failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// What one [`StreamService::run`] did, with the full shed accounting.
+#[derive(Debug, Clone, Default)]
+pub struct StreamReport {
+    /// Frames the feeder successfully handed to the middleware.
+    pub frames_fed: u64,
+    /// Frames the feeder could not send at all.
+    pub send_failures: u64,
+    /// Solve rounds executed.
+    pub rounds: u64,
+    /// Snapshots published (one per solved frame).
+    pub frames_published: u64,
+    /// Publishes the store rejected as stale (monotonicity guard).
+    pub publish_rejected: u64,
+    /// Rounds that solved but could not publish because some area had
+    /// never delivered a scan yet.
+    pub rounds_unpublishable: u64,
+    /// Per-area frames taken off the queues and fed into a solve.
+    pub area_frames_solved: u64,
+    /// Sum over rounds of areas running degraded (no fresh scan).
+    pub degraded_area_rounds: u64,
+    /// Per-area solves that failed (the area carried its last solution).
+    pub solve_errors: u64,
+    /// Frames offered to the ingest queues (accepted or shed).
+    pub ingested: u64,
+    /// Frames shed as stale (duplicate / out-of-order).
+    pub shed_stale: u64,
+    /// Frames shed by bounded-queue eviction.
+    pub shed_overflow: u64,
+    /// Frames shed because a fresher frame superseded them.
+    pub shed_superseded: u64,
+    /// Wire buffers that failed to decode (never ingested).
+    pub corrupt: u64,
+    /// Faults the chaos proxies injected (0 without chaos).
+    pub faults_injected: u64,
+    /// Gauss–Newton iterations across all area solves (both steps).
+    pub gn_iterations: u64,
+    /// Wall time spent inside solve rounds.
+    pub solve_nanos: u64,
+    /// Symbolic structures built (first frame / topology change).
+    pub symbolic_builds: u64,
+    /// Solves that reused cached symbolic structures.
+    pub symbolic_reuses: u64,
+    /// Solves warm-started from the previous frame's state.
+    pub warm_solves: u64,
+    /// Epoch of the last published snapshot.
+    pub last_epoch: Option<u64>,
+    /// Median ingest→publish frame latency (milliseconds).
+    pub latency_p50_ms: f64,
+    /// 99th-percentile ingest→publish frame latency (milliseconds).
+    pub latency_p99_ms: f64,
+    /// Wall time of the whole run.
+    pub elapsed: Duration,
+}
+
+impl StreamReport {
+    /// Total shed frames.
+    pub fn shed(&self) -> u64 {
+        self.shed_stale + self.shed_overflow + self.shed_superseded
+    }
+
+    /// `ingested − (solved + shed)`: zero when every frame is accounted.
+    pub fn unaccounted(&self) -> i64 {
+        self.ingested as i64 - (self.area_frames_solved + self.shed()) as i64
+    }
+
+    /// Published snapshots per wall-clock second.
+    pub fn frames_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 { 0.0 } else { self.frames_published as f64 / secs }
+    }
+}
+
+/// The continuous state-estimation service.
+pub struct StreamService {
+    cfg: StreamConfig,
+    decomp: Decomposition,
+    estimators: Vec<AreaEstimator>,
+    registry: EndpointRegistry,
+    queues: Vec<IngestQueue>,
+    listeners: Vec<TcpListener>,
+    feed_urls: Vec<String>,
+    proxies: Vec<FaultProxyHandle>,
+    store: SnapshotStore,
+    rec: Recorder,
+    area_recs: Vec<Recorder>,
+}
+
+impl StreamService {
+    /// Builds the service for `net`: solves the ground-truth operating
+    /// point, decomposes, constructs per-area estimators, binds one ingest
+    /// endpoint per area, and (with chaos configured) interposes a fault
+    /// proxy on every feed.
+    ///
+    /// # Errors
+    /// [`StreamError`] when the power flow diverges or an endpoint fails
+    /// to deploy.
+    pub fn deploy(net: &Network, cfg: StreamConfig) -> Result<StreamService, StreamError> {
+        let pf = solve_pf(net, &PfOptions::default()).map_err(StreamError::PowerFlow)?;
+        let decomp = decompose(net, &cfg.decomposition);
+        let estimators: Vec<AreaEstimator> = decomp
+            .areas
+            .iter()
+            .map(|a| AreaEstimator::new(a.clone(), net, &pf, cfg.wls))
+            .collect();
+
+        let registry = EndpointRegistry::new();
+        let n = estimators.len();
+        let mut queues = Vec::with_capacity(n);
+        let mut listeners = Vec::with_capacity(n);
+        let mut feed_urls = Vec::with_capacity(n);
+        let mut proxies = Vec::new();
+        for a in 0..n {
+            let ingest_url = format!("tcp://ingest-area{a}.pgse:{}", 7100 + a);
+            listeners.push(registry.bind(&ingest_url).map_err(StreamError::Middleware)?);
+            queues.push(IngestQueue::new(cfg.queue_capacity));
+            if let Some(plan) = cfg.chaos {
+                let public = format!("tcp://feed-area{a}.pgse:{}", 7300 + a);
+                let per_area = FaultPlan {
+                    seed: plan.seed ^ (a as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    ..plan
+                };
+                proxies.push(
+                    FaultProxy::deploy(&registry, &public, &ingest_url, per_area)
+                        .map_err(StreamError::Middleware)?,
+                );
+                feed_urls.push(public);
+            } else {
+                feed_urls.push(ingest_url);
+            }
+        }
+
+        let rec = Recorder::new("stream");
+        let area_recs = (0..n).map(|a| Recorder::new(&format!("stream.area{a}"))).collect();
+        Ok(StreamService {
+            cfg,
+            decomp,
+            estimators,
+            registry,
+            queues,
+            listeners,
+            feed_urls,
+            proxies,
+            store: SnapshotStore::new(),
+            rec,
+            area_recs,
+        })
+    }
+
+    /// The snapshot store; safe to read from any thread while the service
+    /// runs.
+    pub fn store(&self) -> &SnapshotStore {
+        &self.store
+    }
+
+    /// The decomposition the service runs on.
+    pub fn decomposition(&self) -> &Decomposition {
+        &self.decomp
+    }
+
+    /// Number of areas (subsystems).
+    pub fn n_areas(&self) -> usize {
+        self.estimators.len()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Observability export: the service scope plus one scope per area
+    /// (where the per-solve WLS spans and counters accumulate).
+    pub fn obs_report(&self) -> ObsReport {
+        let mut scopes = vec![self.rec.snapshot()];
+        scopes.extend(self.area_recs.iter().map(Recorder::snapshot));
+        ObsReport::from_scopes(scopes)
+    }
+
+    /// Runs the service to completion: feeder, per-area ingest listeners,
+    /// and the solve loop, then drains and closes the queues so that the
+    /// accounting identity `ingested == solved + shed` is exact.
+    ///
+    /// Single-shot: deploy a fresh service for another run.
+    pub fn run(&self) -> StreamReport {
+        let cfg = &self.cfg;
+        let n_areas = self.estimators.len();
+        let start = Instant::now();
+
+        let feeder_done = AtomicBool::new(false);
+        let stop_ingest = AtomicBool::new(false);
+        let published_seq = AtomicU64::new(u64::MAX);
+        let frames_fed = AtomicU64::new(0);
+        let send_failures = AtomicU64::new(0);
+        let corrupt: Vec<AtomicU64> = (0..n_areas).map(|_| AtomicU64::new(0)).collect();
+
+        let mut s1_caches: Vec<SolveCache> = (0..n_areas).map(|_| SolveCache::new()).collect();
+        let mut s2_caches: Vec<SolveCache> = (0..n_areas).map(|_| SolveCache::new()).collect();
+        let mut last_sets: Vec<Option<MeasurementSet>> = vec![None; n_areas];
+        let mut last_solutions: Vec<Option<AreaSolution>> = vec![None; n_areas];
+        let mut report = StreamReport::default();
+        let mut latencies_ms: Vec<f64> = Vec::new();
+
+        std::thread::scope(|scope| {
+            // --- ingest: one listener thread per area decodes and enqueues.
+            let mut ingest_handles = Vec::with_capacity(n_areas);
+            for a in 0..n_areas {
+                let listener = &self.listeners[a];
+                let queue = &self.queues[a];
+                let corrupt = &corrupt[a];
+                let stop = &stop_ingest;
+                ingest_handles.push(scope.spawn(move || loop {
+                    match MwClient::recv_deadline_on(listener, RECV_POLL) {
+                        Ok(body) => match wire::decode(&body) {
+                            Ok(frame) => {
+                                queue.push(frame);
+                            }
+                            Err(_) => {
+                                corrupt.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                        Err(e) if e.is_timeout() => {
+                            if stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                        }
+                        // A truncated/aborted connection: damaged delivery.
+                        Err(_) => {
+                            corrupt.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }));
+            }
+
+            // --- feeder: synthesize, encode, and ship each area's frame.
+            {
+                let estimators = &self.estimators;
+                let feed_urls = &self.feed_urls;
+                let registry = self.registry.clone();
+                let feeder_done = &feeder_done;
+                let published_seq = &published_seq;
+                let frames_fed = &frames_fed;
+                let send_failures = &send_failures;
+                scope.spawn(move || {
+                    let client = MwClient::new(registry);
+                    for s in 0..cfg.n_frames {
+                        let dt = s as f64 * cfg.frame_interval.as_secs_f64();
+                        let noise = cfg.noise.level(dt);
+                        for (a, est) in estimators.iter().enumerate() {
+                            let set = est.generate_telemetry(noise, frame_seed(cfg.seed, s));
+                            let frame = StreamFrame {
+                                area: a as u32,
+                                seq: s,
+                                dt_seconds: dt,
+                                measurements: set,
+                            };
+                            match client.send(&feed_urls[a], &wire::encode(&frame)) {
+                                Ok(_) => {
+                                    frames_fed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(_) => {
+                                    send_failures.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        if cfg.lockstep {
+                            // Wait for this frame's snapshot; the timeout
+                            // keeps the feeder live when chaos starves a
+                            // whole round.
+                            let wait = Instant::now();
+                            while wait.elapsed() < cfg.lockstep_timeout {
+                                let p = published_seq.load(Ordering::Acquire);
+                                if p != u64::MAX && p >= s {
+                                    break;
+                                }
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                        } else if !cfg.pacing.is_zero() {
+                            std::thread::sleep(cfg.pacing);
+                        }
+                    }
+                    feeder_done.store(true, Ordering::Release);
+                });
+            }
+
+            // --- solve loop: latest-wins sweep over the area queues.
+            let mut ingest_stopped = false;
+            loop {
+                let mut popped: Vec<Option<(StreamFrame, Instant)>> =
+                    Vec::with_capacity(n_areas);
+                let mut any = false;
+                for q in &self.queues {
+                    let f = q.pop_latest(cfg.pop_deadline);
+                    any |= f.is_some();
+                    popped.push(f);
+                }
+                if !any {
+                    if ingest_stopped {
+                        break;
+                    }
+                    if feeder_done.load(Ordering::Acquire)
+                        && self.queues.iter().all(|q| q.depth() == 0)
+                    {
+                        // Stop and join the listeners so frames still in
+                        // flight land before the final sweeps.
+                        stop_ingest.store(true, Ordering::Release);
+                        for h in ingest_handles.drain(..) {
+                            let _ = h.join();
+                        }
+                        ingest_stopped = true;
+                    }
+                    continue;
+                }
+
+                // Assemble the round: freshest frame per area; areas with
+                // nothing new run degraded on carried state.
+                let target_seq = popped.iter().flatten().map(|(f, _)| f.seq).max().unwrap();
+                let dt = popped
+                    .iter()
+                    .flatten()
+                    .find(|(f, _)| f.seq == target_seq)
+                    .map(|(f, _)| f.dt_seconds)
+                    .unwrap();
+                let noise = cfg.noise.level(dt);
+                let mut enqueue_times: Vec<Option<Instant>> = vec![None; n_areas];
+                for (a, slot) in popped.into_iter().enumerate() {
+                    if let Some((frame, t_enq)) = slot {
+                        report.area_frames_solved += 1;
+                        enqueue_times[a] = Some(t_enq);
+                        last_sets[a] = Some(frame.measurements);
+                    }
+                }
+                let fresh: Vec<bool> = enqueue_times.iter().map(Option::is_some).collect();
+                let degraded: Vec<usize> =
+                    (0..n_areas).filter(|&a| !fresh[a]).collect();
+
+                let round_start = Instant::now();
+                let mut round_span = self.rec.span_at("stream.frame", target_seq);
+                round_span.record("fresh_areas", (n_areas - degraded.len()) as u64);
+
+                // DSE Step 1: one worker per fresh area.
+                let step1: Vec<Option<AreaSolution>> = std::thread::scope(|workers| {
+                    let handles: Vec<_> = self
+                        .estimators
+                        .iter()
+                        .enumerate()
+                        .zip(s1_caches.iter_mut())
+                        .map(|((a, est), cache)| {
+                            let set = if fresh[a] { last_sets[a].as_ref() } else { None };
+                            let rec = &self.area_recs[a];
+                            let warm = cfg.warm;
+                            workers.spawn(move || {
+                                let set = set?;
+                                pgse_obs::with_recorder(rec, || {
+                                    if warm {
+                                        est.step1_cached(set, cache)
+                                    } else {
+                                        est.step1(set)
+                                    }
+                                })
+                                .ok()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+                for a in 0..n_areas {
+                    if fresh[a] && step1[a].is_none() {
+                        report.solve_errors += 1;
+                    }
+                }
+                // This round's Step-1 view: fresh result or carried state.
+                let s1_solutions: Vec<Option<AreaSolution>> = step1
+                    .iter()
+                    .zip(&last_solutions)
+                    .map(|(new, old)| new.clone().or_else(|| old.clone()))
+                    .collect();
+
+                // Exchange: boundary/sensitive solutions as pseudo
+                // measurements (in-memory; the framed middleware variant
+                // of this exchange lives in pgse-core's pipeline).
+                let pseudo: Vec<Vec<PseudoMeasurement>> = self
+                    .estimators
+                    .iter()
+                    .zip(&s1_solutions)
+                    .map(|(est, sol)| {
+                        sol.as_ref().map(|s| est.export_pseudo(s)).unwrap_or_default()
+                    })
+                    .collect();
+
+                // DSE Step 2: re-evaluate boundaries on the extended model.
+                let step2: Vec<Option<AreaSolution>> = std::thread::scope(|workers| {
+                    let handles: Vec<_> = self
+                        .estimators
+                        .iter()
+                        .enumerate()
+                        .zip(s2_caches.iter_mut())
+                        .map(|((a, est), cache)| {
+                            let s1 = if fresh[a] { s1_solutions[a].as_ref() } else { None };
+                            let set = last_sets[a].as_ref();
+                            let rec = &self.area_recs[a];
+                            let pseudo = &pseudo;
+                            let warm = cfg.warm;
+                            workers.spawn(move || {
+                                let (s1, set) = (s1?, set?);
+                                let mut inbox = Vec::new();
+                                for &nb in &est.info.neighbors {
+                                    inbox.extend(pseudo[nb].iter().copied());
+                                }
+                                let seed = step2_seed(cfg.seed, target_seq);
+                                pgse_obs::with_recorder(rec, || {
+                                    if warm {
+                                        est.step2_cached(s1, &inbox, set, noise, seed, cache)
+                                    } else {
+                                        est.step2(s1, &inbox, set, noise, seed)
+                                    }
+                                })
+                                .ok()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+
+                // Merge and account the round.
+                let mut gn = 0u64;
+                for a in 0..n_areas {
+                    gn += step1[a].as_ref().map_or(0, |s| s.iterations as u64)
+                        + step2[a].as_ref().map_or(0, |s| s.iterations as u64);
+                    if let Some(sol) = step2[a].clone().or_else(|| s1_solutions[a].clone()) {
+                        last_solutions[a] = Some(sol);
+                    }
+                }
+                report.rounds += 1;
+                report.gn_iterations += gn;
+                report.solve_nanos += round_start.elapsed().as_nanos() as u64;
+                report.degraded_area_rounds += degraded.len() as u64;
+                if !degraded.is_empty() {
+                    self.rec.counter_add("stream.degraded", degraded.len() as u64);
+                }
+                round_span.record("gn_iterations", gn);
+
+                // Aggregate and publish once every area has contributed.
+                if last_solutions.iter().all(Option::is_some) {
+                    let sols: Vec<AreaSolution> =
+                        last_solutions.iter().map(|s| s.clone().unwrap()).collect();
+                    let (vm, va) = aggregate(&self.decomp, &sols);
+                    let snap = SystemSnapshot {
+                        epoch: 0, // stamped by the store
+                        frame_seq: target_seq,
+                        dt_seconds: dt,
+                        vm,
+                        va,
+                        degraded_areas: degraded,
+                    };
+                    match self.store.publish(snap) {
+                        Ok(epoch) => {
+                            published_seq.store(target_seq, Ordering::Release);
+                            report.frames_published += 1;
+                            report.last_epoch = Some(epoch);
+                            self.rec.counter_add("stream.published", 1);
+                            let now = Instant::now();
+                            for t in enqueue_times.iter().flatten() {
+                                let ms = now.duration_since(*t).as_secs_f64() * 1e3;
+                                latencies_ms.push(ms);
+                                self.rec.observe("volatile.stream.frame_latency_ms", ms);
+                            }
+                        }
+                        Err(_) => {
+                            report.publish_rejected += 1;
+                            self.rec.counter_add("stream.publish.rejected", 1);
+                        }
+                    }
+                } else {
+                    report.rounds_unpublishable += 1;
+                }
+                drop(round_span);
+            }
+        });
+
+        // --- shutdown accounting: close, drain, and fold every counter so
+        // ingested == solved + shed is exact.
+        let mut totals = IngestStats::default();
+        for q in &self.queues {
+            q.close();
+            q.drain_remaining();
+            totals.merge(&q.stats());
+        }
+        report.ingested = totals.ingested;
+        report.shed_stale = totals.shed_stale;
+        report.shed_overflow = totals.shed_overflow;
+        report.shed_superseded = totals.shed_superseded;
+        report.corrupt = corrupt.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        report.frames_fed = frames_fed.load(Ordering::Relaxed);
+        report.send_failures = send_failures.load(Ordering::Relaxed);
+        for c in s1_caches.iter().chain(&s2_caches) {
+            report.symbolic_builds += c.symbolic_builds;
+            report.symbolic_reuses += c.symbolic_reuses;
+            report.warm_solves += c.warm_solves;
+        }
+        for h in &self.proxies {
+            let st = h.stats();
+            report.faults_injected += st.injected_faults();
+            for kind in [
+                FaultKind::Delivered,
+                FaultKind::Dropped,
+                FaultKind::Truncated,
+                FaultKind::Delayed,
+                FaultKind::Duplicated,
+            ] {
+                let n = st.count_of(kind);
+                if n > 0 {
+                    self.rec.counter_add(&format!("stream.faults.{}", kind.label()), n);
+                }
+            }
+        }
+        self.rec.counter_add("stream.ingested", report.ingested);
+        self.rec.counter_add("stream.solved", report.area_frames_solved);
+        self.rec.counter_add("stream.shed.stale", report.shed_stale);
+        self.rec.counter_add("stream.shed.overflow", report.shed_overflow);
+        self.rec.counter_add("stream.shed.superseded", report.shed_superseded);
+        self.rec.counter_add("stream.corrupt", report.corrupt);
+
+        latencies_ms.sort_by(f64::total_cmp);
+        report.latency_p50_ms = percentile(&latencies_ms, 0.50);
+        report.latency_p99_ms = percentile(&latencies_ms, 0.99);
+        report.elapsed = start.elapsed();
+        report
+    }
+}
+
+impl std::fmt::Debug for StreamService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamService")
+            .field("n_areas", &self.estimators.len())
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-frame telemetry seed (shared by every area; the estimator mixes
+/// its area id in).
+fn frame_seed(seed: u64, s: u64) -> u64 {
+    seed ^ s.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x2545_f491_4f6c_dd1d)
+}
+
+/// Per-frame Step-2 tie-line noise seed.
+fn step2_seed(seed: u64, s: u64) -> u64 {
+    seed ^ s.wrapping_mul(0x6a09_e667_f3bc_c909).wrapping_add(0x1f83_d9ab_fb41_bd6b)
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample; 0 when empty.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgse_grid::cases::ieee118_like;
+
+    #[test]
+    fn lockstep_run_publishes_every_frame_and_accounts_exactly() {
+        let net = ieee118_like();
+        let cfg = StreamConfig { n_frames: 4, seed: 21, ..StreamConfig::default() };
+        let service = StreamService::deploy(&net, cfg).unwrap();
+        let report = service.run();
+
+        let n_areas = service.n_areas() as u64;
+        assert_eq!(report.frames_fed, 4 * n_areas);
+        assert_eq!(report.send_failures, 0);
+        assert_eq!(report.corrupt, 0);
+        assert_eq!(report.frames_published, 4);
+        assert_eq!(report.unaccounted(), 0, "{report:?}");
+        assert_eq!(report.last_epoch, Some(3));
+        assert_eq!(service.store().load().unwrap().frame_seq, 3);
+        // Structure reuse engaged: at least one build per cache (a round
+        // solved before every neighbour reported can rebuild Step 2 once),
+        // reuses afterwards.
+        assert!(report.symbolic_builds >= 2 * n_areas, "{report:?}");
+        assert!(report.symbolic_reuses > 0);
+        assert!(report.warm_solves > 0);
+
+        // The obs counters tell the same story as the report.
+        let obs = service.obs_report();
+        assert_eq!(obs.counter("stream", "stream.ingested"), report.ingested);
+        assert_eq!(obs.counter("stream", "stream.solved"), report.area_frames_solved);
+        assert!(obs.total_counter("wls.gn_iterations") >= report.gn_iterations);
+    }
+
+    #[test]
+    fn cold_config_disables_structure_reuse() {
+        let net = ieee118_like();
+        let cfg = StreamConfig { n_frames: 2, warm: false, ..StreamConfig::default() };
+        let service = StreamService::deploy(&net, cfg).unwrap();
+        let report = service.run();
+        assert_eq!(report.frames_published, 2);
+        assert_eq!(report.symbolic_builds, 0);
+        assert_eq!(report.symbolic_reuses, 0);
+        assert_eq!(report.warm_solves, 0);
+        assert_eq!(report.unaccounted(), 0);
+    }
+}

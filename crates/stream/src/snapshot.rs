@@ -1,0 +1,343 @@
+//! The serve layer: a versioned, epoch-stamped snapshot store.
+//!
+//! Operators, contingency screens, and downstream EMS applications read
+//! the *latest* system state far more often than the solver writes it, so
+//! the store is built to the rule **concurrent readers never block the
+//! writer and never observe a torn snapshot**:
+//!
+//! * The published value lives behind a single `AtomicU64` (`current`)
+//!   that encodes `(epoch << SLOT_BITS) | slot`. Readers locate the
+//!   current slot, pin it with a reference-count increment, re-validate
+//!   `current`, clone the `Arc`, and unpin — a handful of atomic
+//!   operations, no locks. The strictly increasing epoch inside the word
+//!   makes the re-validation ABA-proof.
+//! * The writer (solver loop; serialized by a mutex, which is fine — there
+//!   is one solver) claims any *non-current* slot whose reference count is
+//!   zero by CAS-ing the `WRITER` bit in, installs the new `Arc`, releases
+//!   the bit, and only then publishes the slot through `current`. The
+//!   release is a `fetch_sub(WRITER)` — not a store of zero — because
+//!   probing readers may have transient refcount increments in flight on
+//!   the claimed slot, and erasing those would let a later writer reclaim
+//!   a slot a reader is still dereferencing.
+//! * [`SnapshotStore::publish`] refuses any snapshot whose frame sequence
+//!   is not strictly newer than the current one, so late or duplicate
+//!   solver output can never regress the published epoch — the serve-side
+//!   half of the sequencing guarantee ([`crate::ingest`] holds the other
+//!   half).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One published system-wide state estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSnapshot {
+    /// Publication epoch, assigned by the store; strictly monotone.
+    pub epoch: u64,
+    /// The measurement-frame sequence this state was estimated from (the
+    /// highest per-area sequence that entered the solve).
+    pub frame_seq: u64,
+    /// Model-time offset of the frame (seconds).
+    pub dt_seconds: f64,
+    /// Estimated voltage magnitudes, global bus order (p.u.).
+    pub vm: Vec<f64>,
+    /// Estimated voltage angles, global bus order (radians).
+    pub va: Vec<f64>,
+    /// Areas whose scan was missing this frame and whose contribution is
+    /// carried over from a previous solve.
+    pub degraded_areas: Vec<usize>,
+}
+
+/// Number of value slots; 1 current + 3 spare keeps the writer from ever
+/// waiting on a reader in practice.
+const N_SLOTS: usize = 4;
+/// Bits of `current` reserved for the slot index.
+const SLOT_BITS: u32 = 8;
+const SLOT_MASK: u64 = (1 << SLOT_BITS) - 1;
+/// `current` value before the first publish.
+const EMPTY: u64 = u64::MAX;
+/// Writer-claim bit in a slot's state word; the low bits count readers.
+const WRITER: usize = 1 << (usize::BITS - 1);
+
+struct Slot {
+    /// `WRITER`-bit plus reader refcount.
+    state: AtomicUsize,
+    value: UnsafeCell<Option<Arc<SystemSnapshot>>>,
+}
+
+struct WriterState {
+    next_epoch: u64,
+    last_frame_seq: Option<u64>,
+}
+
+/// A publish attempt that would regress the published frame sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishRejected {
+    /// The rejected snapshot's frame sequence.
+    pub frame_seq: u64,
+    /// The frame sequence currently published.
+    pub current_frame_seq: u64,
+}
+
+impl std::fmt::Display for PublishRejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "snapshot for frame {} rejected: frame {} already published",
+            self.frame_seq, self.current_frame_seq
+        )
+    }
+}
+
+impl std::error::Error for PublishRejected {}
+
+/// Lock-free-for-readers latest-value store (see the module docs for the
+/// protocol).
+pub struct SnapshotStore {
+    slots: [Slot; N_SLOTS],
+    /// `(epoch << SLOT_BITS) | slot`, or [`EMPTY`].
+    current: AtomicU64,
+    writer: Mutex<WriterState>,
+}
+
+// SAFETY: the UnsafeCell in each slot is only written while the slot's
+// WRITER bit is held and its reader count is zero, and only read while a
+// reader holds a refcount increment taken *without* the WRITER bit set;
+// the two claims are mutually exclusive through `state`.
+unsafe impl Sync for SnapshotStore {}
+unsafe impl Send for SnapshotStore {}
+
+impl SnapshotStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        SnapshotStore {
+            slots: std::array::from_fn(|_| Slot {
+                state: AtomicUsize::new(0),
+                value: UnsafeCell::new(None),
+            }),
+            current: AtomicU64::new(EMPTY),
+            writer: Mutex::new(WriterState { next_epoch: 0, last_frame_seq: None }),
+        }
+    }
+
+    /// The latest published snapshot, or `None` before the first publish.
+    ///
+    /// Wait-free in the absence of a concurrent publish; under one, a
+    /// reader retries at most for the duration of the writer's slot
+    /// installation (a pointer write).
+    pub fn load(&self) -> Option<Arc<SystemSnapshot>> {
+        loop {
+            let cur = self.current.load(Ordering::Acquire);
+            if cur == EMPTY {
+                return None;
+            }
+            let slot = &self.slots[(cur & SLOT_MASK) as usize];
+            let prev = slot.state.fetch_add(1, Ordering::Acquire);
+            if prev & WRITER != 0 {
+                // A writer is (re)installing this slot; back off.
+                slot.state.fetch_sub(1, Ordering::Release);
+                std::hint::spin_loop();
+                continue;
+            }
+            if self.current.load(Ordering::Acquire) != cur {
+                // Published again while we pinned; chase the new current.
+                slot.state.fetch_sub(1, Ordering::Release);
+                continue;
+            }
+            // Pinned and validated: the value cannot be overwritten while
+            // our refcount increment is visible.
+            let snap = unsafe { (*slot.value.get()).clone() };
+            slot.state.fetch_sub(1, Ordering::Release);
+            return snap;
+        }
+    }
+
+    /// Epoch of the latest published snapshot.
+    pub fn current_epoch(&self) -> Option<u64> {
+        match self.current.load(Ordering::Acquire) {
+            EMPTY => None,
+            cur => Some(cur >> SLOT_BITS),
+        }
+    }
+
+    /// Frame sequence of the latest published snapshot.
+    pub fn current_frame_seq(&self) -> Option<u64> {
+        self.writer.lock().unwrap().last_frame_seq
+    }
+
+    /// Publishes `snap` as the new current snapshot, stamping and
+    /// returning its epoch.
+    ///
+    /// # Errors
+    /// [`PublishRejected`] when `snap.frame_seq` is not strictly newer
+    /// than the published one — late or duplicate solver output never
+    /// regresses the store.
+    pub fn publish(&self, mut snap: SystemSnapshot) -> Result<u64, PublishRejected> {
+        let mut w = self.writer.lock().unwrap();
+        if let Some(last) = w.last_frame_seq {
+            if snap.frame_seq <= last {
+                return Err(PublishRejected {
+                    frame_seq: snap.frame_seq,
+                    current_frame_seq: last,
+                });
+            }
+        }
+        let epoch = w.next_epoch;
+        assert!(epoch < 1 << (64 - SLOT_BITS), "epoch space exhausted");
+        snap.epoch = epoch;
+        let frame_seq = snap.frame_seq;
+
+        let cur = self.current.load(Ordering::Relaxed);
+        let cur_idx = if cur == EMPTY { usize::MAX } else { (cur & SLOT_MASK) as usize };
+        // Claim a non-current slot with no pinned readers.
+        let idx = 'claim: loop {
+            for (i, slot) in self.slots.iter().enumerate() {
+                if i == cur_idx {
+                    continue;
+                }
+                if slot
+                    .state
+                    .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    break 'claim i;
+                }
+            }
+            // Every spare slot is pinned by a reader mid-clone; yield and
+            // retry (reader critical sections are a few instructions).
+            std::thread::yield_now();
+        };
+        let slot = &self.slots[idx];
+        // SAFETY: WRITER held and refcount was zero at claim; readers that
+        // probe now see the bit and back off without dereferencing.
+        unsafe {
+            *slot.value.get() = Some(Arc::new(snap));
+        }
+        // Release by subtraction: probing readers may have transient
+        // increments in flight, which a plain store(0) would erase.
+        slot.state.fetch_sub(WRITER, Ordering::Release);
+        self.current.store((epoch << SLOT_BITS) | idx as u64, Ordering::Release);
+
+        w.next_epoch = epoch + 1;
+        w.last_frame_seq = Some(frame_seq);
+        Ok(epoch)
+    }
+}
+
+impl Default for SnapshotStore {
+    fn default() -> Self {
+        SnapshotStore::new()
+    }
+}
+
+impl std::fmt::Debug for SnapshotStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotStore")
+            .field("current_epoch", &self.current_epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(frame_seq: u64, n: usize) -> SystemSnapshot {
+        // Encode the frame sequence into every state entry so a torn read
+        // (entries from two different publishes) is detectable.
+        SystemSnapshot {
+            epoch: u64::MAX, // stamped by the store
+            frame_seq,
+            dt_seconds: frame_seq as f64,
+            vm: vec![frame_seq as f64; n],
+            va: vec![-(frame_seq as f64); n],
+            degraded_areas: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn empty_store_loads_none() {
+        let store = SnapshotStore::new();
+        assert!(store.load().is_none());
+        assert_eq!(store.current_epoch(), None);
+        assert_eq!(store.current_frame_seq(), None);
+    }
+
+    #[test]
+    fn publish_stamps_strictly_monotone_epochs() {
+        let store = SnapshotStore::new();
+        for s in 0..10u64 {
+            let epoch = store.publish(snap(s, 4)).unwrap();
+            assert_eq!(epoch, s);
+            let got = store.load().unwrap();
+            assert_eq!(got.epoch, epoch);
+            assert_eq!(got.frame_seq, s);
+            assert_eq!(store.current_epoch(), Some(epoch));
+        }
+    }
+
+    /// Satellite pin: out-of-order or duplicate frames never regress the
+    /// published snapshot epoch.
+    #[test]
+    fn stale_and_duplicate_publishes_are_rejected_and_epoch_never_regresses() {
+        let store = SnapshotStore::new();
+        store.publish(snap(5, 4)).unwrap();
+        let epoch_before = store.current_epoch().unwrap();
+
+        let dup = store.publish(snap(5, 4)).unwrap_err();
+        assert_eq!(dup, PublishRejected { frame_seq: 5, current_frame_seq: 5 });
+        let old = store.publish(snap(3, 4)).unwrap_err();
+        assert_eq!(old, PublishRejected { frame_seq: 3, current_frame_seq: 5 });
+
+        // Rejections left the store untouched.
+        assert_eq!(store.current_epoch(), Some(epoch_before));
+        assert_eq!(store.load().unwrap().frame_seq, 5);
+
+        // A genuinely newer frame advances the epoch by exactly one.
+        let e = store.publish(snap(6, 4)).unwrap();
+        assert_eq!(e, epoch_before + 1);
+        assert_eq!(store.load().unwrap().frame_seq, 6);
+    }
+
+    #[test]
+    fn concurrent_readers_see_monotone_untorn_snapshots() {
+        const PUBLISHES: u64 = 2_000;
+        const READERS: usize = 4;
+        const STATE: usize = 64;
+        let store = SnapshotStore::new();
+
+        std::thread::scope(|s| {
+            let store = &store;
+            for _ in 0..READERS {
+                s.spawn(move || {
+                    let mut last_epoch = 0u64;
+                    let mut reads = 0u64;
+                    loop {
+                        let Some(got) = store.load() else {
+                            std::hint::spin_loop();
+                            continue;
+                        };
+                        // Untorn: every entry carries the same frame tag.
+                        let tag = got.frame_seq as f64;
+                        assert!(got.vm.iter().all(|&v| v == tag), "torn vm");
+                        assert!(got.va.iter().all(|&v| v == -tag), "torn va");
+                        assert_eq!(got.epoch, got.frame_seq, "epoch/frame drift");
+                        // Monotone: epochs never move backwards per reader.
+                        assert!(got.epoch >= last_epoch, "epoch regressed");
+                        last_epoch = got.epoch;
+                        reads += 1;
+                        if got.epoch == PUBLISHES - 1 {
+                            break;
+                        }
+                    }
+                    assert!(reads > 0);
+                });
+            }
+            // Writer: publish as fast as possible under reader pressure.
+            for f in 0..PUBLISHES {
+                store.publish(snap(f, STATE)).unwrap();
+            }
+        });
+        assert_eq!(store.current_epoch(), Some(PUBLISHES - 1));
+    }
+}

@@ -1,0 +1,330 @@
+//! The streaming wire format: one sequenced measurement frame per area.
+//!
+//! A [`StreamFrame`] is what a substation data concentrator would ship to
+//! the estimation service every scan: the area it belongs to, a strictly
+//! increasing sequence number, the frame's position on the model-time axis
+//! (`δt`, which drives the paper's noise process `x = f(δt)`), and the raw
+//! measurement scan. The encoding is a fixed-layout little-endian binary
+//! format rather than JSON: frames are the service's hot path, and the
+//! decoder must be able to *reject* damaged bytes (the fault proxy
+//! truncates frames mid-body) instead of panicking on them.
+
+use pgse_estimation::measurement::{FlowSide, Measurement, MeasurementKind, MeasurementSet};
+
+/// Frame magic: `PGSF` in big-endian byte order.
+pub const MAGIC: u32 = 0x5047_5346;
+/// Current wire version.
+pub const VERSION: u8 = 1;
+/// Header length in bytes: magic + version + area + seq + dt + count.
+const HEADER_LEN: usize = 4 + 1 + 4 + 8 + 8 + 4;
+/// Per-measurement record length: tag + index + side + value + sigma.
+const RECORD_LEN: usize = 1 + 4 + 1 + 8 + 8;
+
+/// One sequenced measurement frame from one area.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamFrame {
+    /// Originating area (subsystem) index.
+    pub area: u32,
+    /// Per-area sequence number; strictly increasing at the source.
+    pub seq: u64,
+    /// Model-time offset of the frame in seconds (the noise process' `δt`).
+    pub dt_seconds: f64,
+    /// The measurement scan.
+    pub measurements: MeasurementSet,
+}
+
+/// Why a byte buffer failed to decode as a [`StreamFrame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ends before the declared content does.
+    Truncated,
+    /// The buffer does not start with [`MAGIC`].
+    BadMagic,
+    /// Unknown wire version.
+    BadVersion(u8),
+    /// Unknown measurement kind tag.
+    BadTag(u8),
+    /// Unknown flow-side tag.
+    BadSide(u8),
+    /// A value or sigma is non-finite, or sigma is not strictly positive.
+    BadValue,
+    /// Bytes remain after the declared measurement count.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadTag(t) => write!(f, "unknown measurement tag {t}"),
+            WireError::BadSide(s) => write!(f, "unknown flow side {s}"),
+            WireError::BadValue => write!(f, "non-finite value or non-positive sigma"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after frame"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn kind_tag(kind: &MeasurementKind) -> (u8, u32, u8) {
+    match *kind {
+        MeasurementKind::Vmag { bus } => (1, bus as u32, 0),
+        MeasurementKind::PmuVmag { bus } => (2, bus as u32, 0),
+        MeasurementKind::PmuAngle { bus } => (3, bus as u32, 0),
+        MeasurementKind::Pinj { bus } => (4, bus as u32, 0),
+        MeasurementKind::Qinj { bus } => (5, bus as u32, 0),
+        MeasurementKind::Pflow { branch, side } => {
+            (6, branch as u32, side_tag(side))
+        }
+        MeasurementKind::Qflow { branch, side } => {
+            (7, branch as u32, side_tag(side))
+        }
+    }
+}
+
+fn side_tag(side: FlowSide) -> u8 {
+    match side {
+        FlowSide::From => 0,
+        FlowSide::To => 1,
+    }
+}
+
+fn kind_of(tag: u8, index: u32, side: u8) -> Result<MeasurementKind, WireError> {
+    let bus = index as usize;
+    let branch = index as usize;
+    let flow_side = match side {
+        0 => FlowSide::From,
+        1 => FlowSide::To,
+        s if tag == 6 || tag == 7 => return Err(WireError::BadSide(s)),
+        _ => FlowSide::From, // side byte is ignored for bus measurements
+    };
+    Ok(match tag {
+        1 => MeasurementKind::Vmag { bus },
+        2 => MeasurementKind::PmuVmag { bus },
+        3 => MeasurementKind::PmuAngle { bus },
+        4 => MeasurementKind::Pinj { bus },
+        5 => MeasurementKind::Qinj { bus },
+        6 => MeasurementKind::Pflow { branch, side: flow_side },
+        7 => MeasurementKind::Qflow { branch, side: flow_side },
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+/// Serialized length of `frame` in bytes.
+pub fn encoded_len(frame: &StreamFrame) -> usize {
+    HEADER_LEN + RECORD_LEN * frame.measurements.len()
+}
+
+/// Encodes `frame` into its wire representation.
+pub fn encode(frame: &StreamFrame) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(encoded_len(frame));
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.push(VERSION);
+    buf.extend_from_slice(&frame.area.to_le_bytes());
+    buf.extend_from_slice(&frame.seq.to_le_bytes());
+    buf.extend_from_slice(&frame.dt_seconds.to_le_bytes());
+    buf.extend_from_slice(&(frame.measurements.len() as u32).to_le_bytes());
+    for m in frame.measurements.as_slice() {
+        let (tag, index, side) = kind_tag(&m.kind);
+        buf.push(tag);
+        buf.extend_from_slice(&index.to_le_bytes());
+        buf.push(side);
+        buf.extend_from_slice(&m.value.to_le_bytes());
+        buf.extend_from_slice(&m.sigma.to_le_bytes());
+    }
+    buf
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Decodes a wire buffer back into a [`StreamFrame`].
+///
+/// Every malformed input — short buffer, wrong magic or version, unknown
+/// tags, non-finite payloads, trailing bytes — is a typed [`WireError`];
+/// the decoder never panics on adversarial bytes.
+///
+/// # Errors
+/// [`WireError`] describing the first defect found.
+pub fn decode(buf: &[u8]) -> Result<StreamFrame, WireError> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.u32()? != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let area = r.u32()?;
+    let seq = r.u64()?;
+    let dt_seconds = r.f64()?;
+    if !dt_seconds.is_finite() {
+        return Err(WireError::BadValue);
+    }
+    let count = r.u32()? as usize;
+    // Reject counts the buffer cannot possibly hold before allocating.
+    if buf.len().saturating_sub(HEADER_LEN) < count.saturating_mul(RECORD_LEN) {
+        return Err(WireError::Truncated);
+    }
+    let mut measurements = MeasurementSet::new();
+    for _ in 0..count {
+        let tag = r.u8()?;
+        let index = r.u32()?;
+        let side = r.u8()?;
+        let value = r.f64()?;
+        let sigma = r.f64()?;
+        if !value.is_finite() || !sigma.is_finite() || sigma <= 0.0 {
+            return Err(WireError::BadValue);
+        }
+        measurements.push(Measurement::new(kind_of(tag, index, side)?, value, sigma));
+    }
+    if r.pos != buf.len() {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(StreamFrame { area, seq, dt_seconds, measurements })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> StreamFrame {
+        let measurements: MeasurementSet = [
+            Measurement::new(MeasurementKind::Vmag { bus: 3 }, 1.02, 0.004),
+            Measurement::new(MeasurementKind::PmuVmag { bus: 0 }, 1.0, 0.002),
+            Measurement::new(MeasurementKind::PmuAngle { bus: 0 }, -0.1, 0.001),
+            Measurement::new(MeasurementKind::Pinj { bus: 5 }, 0.4, 0.01),
+            Measurement::new(MeasurementKind::Qinj { bus: 5 }, -0.2, 0.01),
+            Measurement::new(
+                MeasurementKind::Pflow { branch: 2, side: FlowSide::From },
+                0.33,
+                0.008,
+            ),
+            Measurement::new(
+                MeasurementKind::Qflow { branch: 7, side: FlowSide::To },
+                -0.05,
+                0.008,
+            ),
+        ]
+        .into_iter()
+        .collect();
+        StreamFrame { area: 4, seq: 1234, dt_seconds: 48.0, measurements }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_kind() {
+        let frame = sample_frame();
+        let bytes = encode(&frame);
+        assert_eq!(bytes.len(), encoded_len(&frame));
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_not_panicked() {
+        let bytes = encode(&sample_frame());
+        for n in 0..bytes.len() {
+            let err = decode(&bytes[..n]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    WireError::Truncated | WireError::BadMagic | WireError::BadValue
+                ),
+                "prefix {n}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_tag_side_are_typed_errors() {
+        let mut bytes = encode(&sample_frame());
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] ^= 0xff;
+        assert_eq!(decode(&wrong_magic), Err(WireError::BadMagic));
+
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 9;
+        assert_eq!(decode(&wrong_version), Err(WireError::BadVersion(9)));
+
+        let mut wrong_tag = bytes.clone();
+        wrong_tag[HEADER_LEN] = 42;
+        assert_eq!(decode(&wrong_tag), Err(WireError::BadTag(42)));
+
+        // Sixth record is the Pflow; corrupt its side byte.
+        let side_at = HEADER_LEN + 5 * RECORD_LEN + 5;
+        bytes[side_at] = 7;
+        assert_eq!(decode(&bytes), Err(WireError::BadSide(7)));
+    }
+
+    #[test]
+    fn non_finite_or_non_positive_sigma_is_rejected() {
+        let mut frame = sample_frame();
+        let bytes = encode(&frame);
+        // Overwrite the first record's sigma with zero bytes (σ = 0).
+        let sigma_at = HEADER_LEN + RECORD_LEN - 8;
+        let mut zero_sigma = bytes.clone();
+        zero_sigma[sigma_at..sigma_at + 8].copy_from_slice(&0.0f64.to_le_bytes());
+        assert_eq!(decode(&zero_sigma), Err(WireError::BadValue));
+
+        let mut nan_value = bytes.clone();
+        let value_at = HEADER_LEN + RECORD_LEN - 16;
+        nan_value[value_at..value_at + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(decode(&nan_value), Err(WireError::BadValue));
+
+        frame.dt_seconds = f64::INFINITY;
+        assert_eq!(decode(&encode(&frame)), Err(WireError::BadValue));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode(&sample_frame());
+        bytes.push(0);
+        assert_eq!(decode(&bytes), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn oversized_count_is_rejected_before_allocating() {
+        let mut bytes = encode(&StreamFrame {
+            area: 0,
+            seq: 0,
+            dt_seconds: 0.0,
+            measurements: MeasurementSet::new(),
+        });
+        // Claim u32::MAX measurements with an empty body.
+        let count_at = HEADER_LEN - 4;
+        bytes[count_at..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(WireError::Truncated));
+    }
+}

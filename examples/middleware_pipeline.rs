@@ -6,7 +6,7 @@
 //! cargo run --release --example middleware_pipeline
 //! ```
 
-use pgse::medici::measure::measure_overhead;
+use pgse::medici::measure::OverheadProbe;
 use pgse::medici::throttle::PAPER_RELAY_RATE;
 use pgse::medici::{EndpointProtocol, EndpointRegistry, MifPipeline, MwClient, SeComponent};
 
@@ -36,18 +36,23 @@ fn main() {
     handle.stop();
 
     // --- Miniature Table III: direct vs middleware, a few payload sizes.
+    // The probe's spans are the stopwatch; its scope folds into ObsReport.
+    let probe = OverheadProbe::new();
     println!("payload     direct (T1)    w/ MeDICi (T2)   overhead (T2-T1)   relay rate");
     for mb in [8u64, 16, 32, 64] {
         let size = mb * 1_000_000;
-        let row = measure_overhead(size, PAPER_RELAY_RATE, None);
+        let row = probe.measure(size, PAPER_RELAY_RATE, None);
         println!(
             "{:>4} MB     {:>8.4} s     {:>8.4} s       {:>8.4} s       {:>5.2} GB/s",
             mb,
-            row.direct.as_secs_f64(),
-            row.middleware.as_secs_f64(),
+            row.direct().as_secs_f64(),
+            row.middleware().as_secs_f64(),
             row.overhead().as_secs_f64(),
             row.relay_rate() / 1e9
         );
     }
-    println!("\n(the tables binary in pgse-bench runs the paper's full 100 MB - 2 GB sweep)");
+    println!(
+        "\nrecorded {} mw.measure.* spans (the tables binary in pgse-bench runs the paper's full 100 MB - 2 GB sweep)",
+        probe.report().spans.len()
+    );
 }

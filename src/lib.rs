@@ -20,6 +20,7 @@
 //! | contingency | [`contingency`] | N-1 analysis with counter-based dynamic load balancing |
 //! | observability | [`obs`] | deterministic tracing + mergeable metrics, [`obs::ObsReport`] JSON |
 //! | prototype | [`core`] | the per-time-frame system architecture (Fig. 1) |
+//! | streaming | [`stream`] | continuous SE service: sequenced ingest, warm solves, snapshot store |
 //!
 //! ## Quickstart
 //!
@@ -49,3 +50,4 @@ pub use pgse_obs as obs;
 pub use pgse_partition as partition;
 pub use pgse_powerflow as powerflow;
 pub use pgse_sparsela as sparsela;
+pub use pgse_stream as stream;

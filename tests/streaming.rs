@@ -1,0 +1,205 @@
+//! Integration tests of the continuous state-estimation service
+//! (`pgse-stream`): the acceptance criteria of the streaming subsystem.
+//!
+//! * a deterministic 50-frame lockstep run completes with **zero
+//!   unaccounted frames** — `ingested == solved + shed`, asserted from the
+//!   ObsReport counters, not just the in-memory report;
+//! * snapshot epochs are **strictly monotone under concurrent readers**;
+//! * **warm-started frames are measurably cheaper than cold ones** on a
+//!   steady topology: fewer Gauss–Newton iterations *and* less solve
+//!   time;
+//! * under middleware chaos (drops, truncation, delay, duplication via
+//!   `medici::faults`) the accounting identity still closes exactly.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use pgse::grid::cases::ieee118_like;
+use pgse::medici::FaultPlan;
+use pgse::stream::{StreamConfig, StreamService};
+
+/// Each test runs a full multi-threaded service; running them in parallel
+/// makes the warm-vs-cold wall-time comparison and the chaos lockstep
+/// timeouts load-dependent. Serialize the file.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn fifty_frame_lockstep_run_accounts_every_frame_with_concurrent_readers() {
+    let _serial = serial();
+    let net = ieee118_like();
+    let cfg = StreamConfig { n_frames: 50, seed: 42, ..StreamConfig::default() };
+    let service = StreamService::deploy(&net, cfg).unwrap();
+
+    let done = AtomicBool::new(false);
+    let total_reads = AtomicU64::new(0);
+    let report = std::thread::scope(|s| {
+        // Concurrent snapshot readers: epochs must never regress and no
+        // snapshot may be torn, while the writer publishes 50 frames.
+        for _ in 0..3 {
+            let service = &service;
+            let done = &done;
+            let total_reads = &total_reads;
+            s.spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut reads = 0u64;
+                loop {
+                    if let Some(snap) = service.store().load() {
+                        assert!(
+                            snap.epoch >= last_epoch,
+                            "epoch regressed: {} after {last_epoch}",
+                            snap.epoch
+                        );
+                        last_epoch = snap.epoch;
+                        assert_eq!(snap.vm.len(), snap.va.len());
+                        assert!(snap.vm.iter().all(|v| v.is_finite()));
+                        reads += 1;
+                    }
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(300));
+                }
+                total_reads.fetch_add(reads, Ordering::Relaxed);
+            });
+        }
+        let report = service.run();
+        done.store(true, Ordering::Release);
+        report
+    });
+    assert!(total_reads.load(Ordering::Relaxed) > 0, "readers never saw a snapshot");
+
+    // Every frame fed, solved, published; nothing shed on a healthy link.
+    let n_areas = service.n_areas() as u64;
+    assert_eq!(report.frames_fed, 50 * n_areas);
+    assert_eq!(report.send_failures, 0);
+    assert_eq!(report.corrupt, 0);
+    assert_eq!(report.frames_published, 50);
+    assert_eq!(report.last_epoch, Some(49));
+    assert_eq!(report.unaccounted(), 0, "{report:?}");
+    assert_eq!(report.rounds, report.frames_published + report.publish_rejected + report.rounds_unpublishable);
+
+    // The same identity, from the exported ObsReport counters alone.
+    let obs = service.obs_report();
+    let ingested = obs.counter("stream", "stream.ingested");
+    let solved = obs.counter("stream", "stream.solved");
+    let shed = obs.counter("stream", "stream.shed.stale")
+        + obs.counter("stream", "stream.shed.overflow")
+        + obs.counter("stream", "stream.shed.superseded");
+    assert_eq!(ingested, 50 * n_areas);
+    assert_eq!(ingested, solved + shed, "unaccounted frames in ObsReport");
+    assert_eq!(obs.counter("stream", "stream.corrupt"), 0);
+    assert_eq!(obs.counter("stream", "stream.published"), 50);
+
+    // The final snapshot is the last frame, and it estimates a real state.
+    let snap = service.store().load().unwrap();
+    assert_eq!(snap.frame_seq, 49);
+    assert_eq!(snap.epoch, 49);
+    assert!(snap.degraded_areas.is_empty());
+    assert_eq!(snap.vm.len(), ieee118_like().n_buses());
+}
+
+#[test]
+fn warm_started_frames_are_cheaper_than_cold_ones() {
+    let _serial = serial();
+    let net = ieee118_like();
+    let base = StreamConfig { n_frames: 12, seed: 7, ..StreamConfig::default() };
+
+    let warm_service =
+        StreamService::deploy(&net, StreamConfig { warm: true, ..base.clone() }).unwrap();
+    let warm = warm_service.run();
+    let cold_service =
+        StreamService::deploy(&net, StreamConfig { warm: false, ..base.clone() }).unwrap();
+    let cold = cold_service.run();
+
+    // Identical frame streams: both runs solved every frame.
+    assert_eq!(warm.frames_published, 12);
+    assert_eq!(cold.frames_published, 12);
+    assert_eq!(warm.unaccounted(), 0);
+    assert_eq!(cold.unaccounted(), 0);
+
+    // Warm wins on iterations (warm starts) and on wall time (symbolic
+    // structure reuse skips pattern discovery on every steady frame).
+    assert!(
+        warm.gn_iterations < cold.gn_iterations,
+        "warm {} vs cold {} GN iterations",
+        warm.gn_iterations,
+        cold.gn_iterations
+    );
+    // Wall time is load-sensitive, so compare the best observed time of
+    // each mode over up to three paired runs instead of a single sample.
+    let mut warm_ns = warm.solve_nanos;
+    let mut cold_ns = cold.solve_nanos;
+    for _ in 0..2 {
+        if warm_ns < cold_ns {
+            break;
+        }
+        let w = StreamService::deploy(&net, StreamConfig { warm: true, ..base.clone() })
+            .unwrap()
+            .run();
+        let c = StreamService::deploy(&net, StreamConfig { warm: false, ..base.clone() })
+            .unwrap()
+            .run();
+        warm_ns = warm_ns.min(w.solve_nanos);
+        cold_ns = cold_ns.min(c.solve_nanos);
+    }
+    assert!(warm_ns < cold_ns, "warm {warm_ns} ns vs cold {cold_ns} ns solve time");
+
+    // The caches actually engaged — visible in the ObsReport too.
+    assert!(warm.symbolic_reuses > 0);
+    assert!(warm.warm_solves > 0);
+    assert_eq!(cold.symbolic_builds + cold.symbolic_reuses + cold.warm_solves, 0);
+    let warm_obs = warm_service.obs_report();
+    assert!(warm_obs.total_counter("wls.symbolic.reuse") > 0);
+    assert!(warm_obs.total_counter("wls.warm_starts") > 0);
+    assert_eq!(cold_service.obs_report().total_counter("wls.symbolic.reuse"), 0);
+}
+
+#[test]
+fn chaos_run_still_accounts_every_frame_and_epochs_stay_monotone() {
+    let _serial = serial();
+    let net = ieee118_like();
+    let cfg = StreamConfig {
+        n_frames: 24,
+        seed: 11,
+        lockstep_timeout: Duration::from_millis(400),
+        chaos: Some(FaultPlan {
+            seed: 13,
+            drop_prob: 0.08,
+            truncate_prob: 0.06,
+            delay_prob: 0.10,
+            delay: Duration::from_millis(8),
+            duplicate_prob: 0.10,
+        }),
+        ..StreamConfig::default()
+    };
+    let service = StreamService::deploy(&net, cfg).unwrap();
+    let report = service.run();
+
+    // The proxies actually interfered.
+    assert!(report.faults_injected > 0, "{report:?}");
+    // The accounting identity closes no matter what the proxy did:
+    // dropped frames never reach ingest, truncated ones are counted
+    // corrupt, duplicates/late arrivals are shed stale — every decoded
+    // frame is either solved or shed.
+    assert_eq!(report.unaccounted(), 0, "{report:?}");
+    assert_eq!(
+        report.rounds,
+        report.frames_published + report.publish_rejected + report.rounds_unpublishable
+    );
+
+    // Progress was made and the published sequence is sane.
+    assert!(report.frames_published > 0);
+    let snap = service.store().load().unwrap();
+    assert!(snap.frame_seq < 24);
+    assert_eq!(service.store().current_epoch(), Some(report.frames_published - 1));
+
+    // Obs counters mirror the report, chaos included.
+    let obs = service.obs_report();
+    assert_eq!(obs.counter("stream", "stream.ingested"), report.ingested);
+    assert_eq!(obs.counter("stream", "stream.corrupt"), report.corrupt);
+}
