@@ -1,0 +1,176 @@
+//! Sequential-vs-parallel gain-solve benchmark → `target/obs/BENCH_solver.json`.
+//!
+//! Builds the real IEEE-118 WLS gain matrix `G = HᵀWH`, replicates it
+//! block-diagonally with weak SPD-preserving coupling into a large
+//! synthetic case (118 buses alone sits below the parallel-kernel size
+//! thresholds), and times the Jacobi-PCG solve with `parallel: false`
+//! vs `parallel: true` on the process-global thread pool.
+//!
+//! The two solves are bitwise identical by the `vecops` fixed-chunk
+//! determinism contract; the benchmark re-verifies that and records it in
+//! the JSON. The ≥1.5× speedup acceptance gate is asserted only when the
+//! pool has ≥4 workers (a single-core runner cannot demonstrate one).
+//!
+//! ```text
+//! cargo run --release -p pgse-bench --bin solver_bench
+//! ```
+
+use std::time::{Duration, Instant};
+
+use pgse_estimation::jacobian::{assemble_jacobian, StateSpace};
+use pgse_estimation::telemetry::TelemetryPlan;
+use pgse_grid::cases::ieee118_like;
+use pgse_grid::Ybus;
+use pgse_powerflow::{solve, PfOptions};
+use pgse_sparsela::pcg::{pcg, CgOptions, CgOutcome, Preconditioner};
+use pgse_sparsela::{Coo, Csr};
+
+/// Block copies of the IEEE-118 gain matrix in the large case. Sized so
+/// the per-iteration SpMV (the parallel workhorse) dominates the small
+/// BLAS-1 ops and the pool's per-operation dispatch overhead.
+const COPIES: usize = 120;
+/// Relative strength of the inter-copy coupling.
+const COUPLE: f64 = 1e-3;
+/// Timed repetitions per configuration (the minimum is reported).
+const REPS: usize = 5;
+
+fn gain_system() -> (Csr, Vec<f64>) {
+    let net = ieee118_like();
+    let pf = solve(&net, &PfOptions::default()).unwrap();
+    let plan = TelemetryPlan::full(&net, vec![net.slack()]);
+    let set = plan.generate(&net, &pf, 1.0, 1);
+    let space = StateSpace::with_reference(net.n_buses(), net.slack());
+    let ybus = Ybus::new(&net);
+    let vm = vec![1.0; net.n_buses()];
+    let va = vec![0.0; net.n_buses()];
+    let h = assemble_jacobian(&net, &ybus, &set, &space, &vm, &va);
+    let gain = h.ata_weighted(&set.weights());
+    let mut rhs = vec![0.0; space.dim()];
+    let wr: Vec<f64> = set.values().iter().zip(set.weights()).map(|(z, w)| z * w * 0.01).collect();
+    h.spmv_transpose(&wr, &mut rhs);
+    (gain, rhs)
+}
+
+/// Replicates `a` block-diagonally `copies` times and couples matching
+/// states of consecutive copies. The coupling adds a weighted graph
+/// Laplacian (positive semidefinite), so SPD-ness is preserved.
+fn replicate_coupled(a: &Csr, copies: usize, couple: f64) -> Csr {
+    let nb = a.nrows();
+    let n = nb * copies;
+    let mut coo = Coo::new(n, n);
+    for k in 0..copies {
+        let off = k * nb;
+        for i in 0..nb {
+            let (cols, vals) = a.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                coo.push(off + i, off + c, *v);
+            }
+        }
+    }
+    for k in 0..copies - 1 {
+        let (o1, o2) = (k * nb, (k + 1) * nb);
+        for i in 0..nb {
+            let d = couple * a.get(i, i);
+            coo.push(o1 + i, o1 + i, d);
+            coo.push(o2 + i, o2 + i, d);
+            coo.push(o1 + i, o2 + i, -d);
+            coo.push(o2 + i, o1 + i, -d);
+        }
+    }
+    coo.to_csr()
+}
+
+/// Minimum wall time over `REPS` solves (after one warm-up).
+fn time_solve(a: &Csr, b: &[f64], m: &Preconditioner, opts: &CgOptions) -> (Duration, CgOutcome) {
+    let mut best = Duration::MAX;
+    let mut out = pcg(a, b, m, opts).expect("warm-up solve converges");
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        out = pcg(a, b, m, opts).expect("timed solve converges");
+        best = best.min(t0.elapsed());
+    }
+    (best, out)
+}
+
+fn main() {
+    let (gain, rhs) = gain_system();
+    let big = replicate_coupled(&gain, COPIES, COUPLE);
+    let n = big.nrows();
+    let big_rhs: Vec<f64> = (0..COPIES).flat_map(|_| rhs.iter().copied()).collect();
+    let precond = Preconditioner::jacobi(&big).expect("SPD diagonal");
+    let threads = rayon::current_num_threads();
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    println!(
+        "case: ieee118 gain x{COPIES} coupled — n = {n}, nnz = {}, pool threads = {threads}",
+        big.nnz()
+    );
+
+    let seq_opts = CgOptions { rel_tol: 1e-8, max_iter: 10_000, parallel: false };
+    let par_opts = CgOptions { parallel: true, ..seq_opts };
+    let (t_seq, out_seq) = time_solve(&big, &big_rhs, &precond, &seq_opts);
+    let (t_par, out_par) = time_solve(&big, &big_rhs, &precond, &par_opts);
+
+    let bitwise = out_seq.x.iter().zip(&out_par.x).all(|(a, b)| a.to_bits() == b.to_bits())
+        && out_seq.iterations == out_par.iterations;
+    let speedup = t_seq.as_secs_f64() / t_par.as_secs_f64();
+    println!("sequential: {:>9.3} ms  ({} iterations)", t_seq.as_secs_f64() * 1e3, out_seq.iterations);
+    println!("parallel:   {:>9.3} ms  ({} iterations)", t_par.as_secs_f64() * 1e3, out_par.iterations);
+    println!("speedup:    {speedup:>9.2}x   bitwise-identical: {bitwise}");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"case\": \"ieee118_gain_x{copies}_coupled\",\n",
+            "  \"n\": {n},\n",
+            "  \"nnz\": {nnz},\n",
+            "  \"cores\": {cores},\n",
+            "  \"threads\": {threads},\n",
+            "  \"iterations\": {iters},\n",
+            "  \"sequential_ms\": {seq:.6},\n",
+            "  \"parallel_ms\": {par:.6},\n",
+            "  \"speedup\": {speedup:.4},\n",
+            "  \"deterministic_bitwise\": {bitwise}\n",
+            "}}\n"
+        ),
+        copies = COPIES,
+        n = n,
+        nnz = big.nnz(),
+        cores = cores,
+        threads = threads,
+        iters = out_seq.iterations,
+        seq = t_seq.as_secs_f64() * 1e3,
+        par = t_par.as_secs_f64() * 1e3,
+        speedup = speedup,
+        bitwise = bitwise,
+    );
+    // Round-trip through the parser so a malformed report can never ship.
+    #[derive(serde::Deserialize)]
+    #[allow(dead_code)]
+    struct SolverBenchReport {
+        case: String,
+        n: usize,
+        nnz: usize,
+        cores: usize,
+        threads: usize,
+        iterations: usize,
+        sequential_ms: f64,
+        parallel_ms: f64,
+        speedup: f64,
+        deterministic_bitwise: bool,
+    }
+    let parsed: SolverBenchReport = serde_json::from_str(&json).expect("valid JSON");
+    assert!(parsed.sequential_ms > 0.0 && parsed.parallel_ms > 0.0);
+    std::fs::create_dir_all("target/obs").expect("create target/obs");
+    std::fs::write("target/obs/BENCH_solver.json", &json).expect("write BENCH_solver.json");
+    println!("benchmark JSON written to target/obs/BENCH_solver.json");
+
+    assert!(bitwise, "parallel solve diverged bitwise from the sequential reference");
+    if threads >= 4 {
+        assert!(
+            speedup >= 1.5,
+            "parallel gain solve speedup {speedup:.2}x is below the 1.5x floor on {threads} threads"
+        );
+    } else {
+        println!("(speedup floor not asserted: only {threads} pool threads available)");
+    }
+}

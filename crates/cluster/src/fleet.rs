@@ -155,7 +155,7 @@ mod tests {
     fn cluster_pool_hosts_rayon_parallelism() {
         use rayon::prelude::*;
         let c = HpcCluster::new("par", 2);
-        let out = c.run(|| (0..1000).into_par_iter().map(|i| i * 2).sum::<i64>());
+        let out = c.run(|| (0..1000i64).into_par_iter().map(|i| i * 2).sum::<i64>());
         assert_eq!(out, 999_000);
     }
 

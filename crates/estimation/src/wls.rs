@@ -38,9 +38,23 @@ pub enum GainSolver {
     Cholesky,
 }
 
+impl GainSolver {
+    /// PCG with the given preconditioner and the default `parallel`
+    /// choice. Use this instead of spelling out `GainSolver::Pcg { ..,
+    /// parallel: .. }` so call sites don't silently pin the kernels to one
+    /// execution mode — the parallel kernels are bitwise identical to the
+    /// sequential ones, so inheriting the default is always safe.
+    pub fn pcg(precond: PrecondKind) -> Self {
+        let GainSolver::Pcg { parallel, .. } = GainSolver::default() else {
+            unreachable!("default gain solver is PCG");
+        };
+        GainSolver::Pcg { precond, parallel }
+    }
+}
+
 impl Default for GainSolver {
     fn default() -> Self {
-        GainSolver::Pcg { precond: PrecondKind::Ic0, parallel: false }
+        GainSolver::Pcg { precond: PrecondKind::Ic0, parallel: true }
     }
 }
 
@@ -63,7 +77,7 @@ impl Default for WlsOptions {
             tol: 1e-7,
             max_iter: 25,
             solver: GainSolver::default(),
-            cg: CgOptions { rel_tol: 1e-12, max_iter: 5000, parallel: false },
+            cg: CgOptions { rel_tol: 1e-12, max_iter: 5000, parallel: true },
         }
     }
 }
@@ -194,6 +208,11 @@ pub struct WlsEstimator {
 impl WlsEstimator {
     /// Builds an estimator. When `set`s will carry a PMU angle reference use
     /// [`StateSpace::full`]; otherwise use a slack-referenced space.
+    /// The options this estimator was built with.
+    pub fn opts(&self) -> &WlsOptions {
+        &self.opts
+    }
+
     pub fn new(net: Network, space: StateSpace, opts: WlsOptions) -> Self {
         assert_eq!(space.n_buses(), net.n_buses(), "state space size mismatch");
         let ybus = {
@@ -560,10 +579,7 @@ mod tests {
             let est = WlsEstimator::new(
                 net.clone(),
                 StateSpace::with_reference(14, 0),
-                WlsOptions {
-                    solver: GainSolver::Pcg { precond, parallel: false },
-                    ..WlsOptions::default()
-                },
+                WlsOptions { solver: GainSolver::pcg(precond), ..WlsOptions::default() },
             );
             let out = est.estimate(&set);
             assert!(out.is_ok(), "{precond:?} failed: {:?}", out.err());
@@ -578,10 +594,7 @@ mod tests {
             let est = WlsEstimator::new(
                 net.clone(),
                 StateSpace::with_reference(14, 0),
-                WlsOptions {
-                    solver: GainSolver::Pcg { precond, parallel: false },
-                    ..WlsOptions::default()
-                },
+                WlsOptions { solver: GainSolver::pcg(precond), ..WlsOptions::default() },
             );
             let out = est.estimate(&set).unwrap();
             out.solver_iterations.iter().sum::<usize>()
@@ -589,6 +602,33 @@ mod tests {
         let ident = run(PrecondKind::Identity);
         let ic0 = run(PrecondKind::Ic0);
         assert!(ic0 < ident, "ic0 {ic0} !< identity {ident}");
+    }
+
+    #[test]
+    fn parallel_estimator_records_pool_activity() {
+        let net = ieee14();
+        let set = exact_set(&net, &[0]);
+        // IEEE-14's state dimension is far below the default thresholds, so
+        // lower them to force the parallel kernels onto the pool. Harmless
+        // to concurrent tests: the parallel kernels are bitwise identical
+        // to the sequential ones, only the execution path changes.
+        pgse_sparsela::tuning::set_par_rows_threshold(1);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let rec = pgse_obs::Recorder::new("t");
+        let est =
+            WlsEstimator::new(net, StateSpace::with_reference(14, 0), WlsOptions::default());
+        assert!(matches!(est.opts().solver, GainSolver::Pcg { parallel: true, .. }));
+        let before_chunks = rayon::chunks_executed();
+        let before_ops = rayon::parallel_ops();
+        let out = pool.install(|| pgse_obs::with_recorder(&rec, || est.estimate(&set))).unwrap();
+        assert!(out.iterations > 0);
+        assert!(
+            rayon::parallel_ops() > before_ops && rayon::chunks_executed() > before_chunks,
+            "parallel estimator ran no work on the thread pool"
+        );
+        let snap = rec.snapshot();
+        assert!(snap.metrics.counter("pcg.parallel_solves") >= 1);
+        assert_eq!(snap.metrics.counter("pcg.parallel_solves"), snap.metrics.counter("pcg.solves"));
     }
 
     #[test]

@@ -182,6 +182,114 @@ mod tests {
     }
 
     #[test]
+    fn row_range_with_fewer_rows_than_ranks() {
+        // n < size: the first n ranks own one row each, the rest are empty.
+        let (n, size) = (3usize, 5usize);
+        let mut covered = 0usize;
+        for rank in 0..size {
+            let r = row_range(n, size, rank);
+            assert_eq!(r.start, covered, "rank {rank}");
+            assert_eq!(r.len(), usize::from(rank < n), "rank {rank}");
+            covered = r.end;
+        }
+        assert_eq!(covered, n);
+        // Degenerate corners.
+        assert_eq!(row_range(0, 4, 0), 0..0);
+        assert_eq!(row_range(0, 4, 3), 0..0);
+        assert_eq!(row_range(1, 1, 0), 0..1);
+    }
+
+    #[test]
+    fn row_range_spreads_remainder_over_leading_ranks() {
+        // 10 rows over 4 ranks: remainder 2 → sizes 3,3,2,2 (never 4,2,2,2).
+        let sizes: Vec<usize> = (0..4).map(|r| row_range(10, 4, r).len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        // Generally: sizes are non-increasing and differ by at most one.
+        for (n, size) in [(23usize, 7usize), (100, 13), (6, 6), (8, 3)] {
+            let sizes: Vec<usize> = (0..size).map(|r| row_range(n, size, r).len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "n={n} size={size}: {sizes:?}");
+            assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "n={n} size={size}: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn empty_rank_blocks_still_solve() {
+        // More ranks than rows: the surplus ranks hold empty blocks but must
+        // participate in every collective without corrupting the solve.
+        let a = laplacian2d(2); // n = 4
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        let size = 6;
+        let results = spawn_world(size, |mut comm| {
+            let block = extract_row_block(&a, size, comm.rank());
+            let range = row_range(n, size, comm.rank());
+            dpcg_solve(&mut comm, &block, &b[range], 1e-12, 100).unwrap()
+        });
+        let ax = a.mul_vec(&results[0].x);
+        for (p, q) in ax.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-9);
+        }
+        for out in &results {
+            assert!(out.converged);
+            assert_eq!(out.x, results[0].x);
+        }
+    }
+
+    #[test]
+    fn distributed_matches_serial_pcg_on_ieee118_gain() {
+        // The paper's actual kernel input: the WLS gain matrix G = HᵀWH of
+        // the IEEE-118-like case at flat start (n = 235 states).
+        use pgse_estimation::jacobian::{assemble_jacobian, StateSpace};
+        use pgse_estimation::telemetry::TelemetryPlan;
+        use pgse_grid::cases::ieee118_like;
+        use pgse_grid::Ybus;
+        use pgse_powerflow::{solve as solve_pf, PfOptions};
+
+        let net = ieee118_like();
+        let pf = solve_pf(&net, &PfOptions::default()).expect("power flow");
+        let plan = TelemetryPlan::full(&net, vec![net.slack()]);
+        let set = plan.generate(&net, &pf, 1.0, 1);
+        let space = StateSpace::with_reference(net.n_buses(), net.slack());
+        let ybus = Ybus::new(&net);
+        let vm = vec![1.0; net.n_buses()];
+        let va = vec![0.0; net.n_buses()];
+        let h = assemble_jacobian(&net, &ybus, &set, &space, &vm, &va);
+        let gain = h.ata_weighted(&set.weights());
+        let n = gain.nrows();
+        let mut rhs = vec![0.0; n];
+        let wr: Vec<f64> =
+            set.values().iter().zip(set.weights()).map(|(z, w)| z * w * 0.01).collect();
+        h.spmv_transpose(&wr, &mut rhs);
+
+        let serial = pcg(
+            &gain,
+            &rhs,
+            &Preconditioner::jacobi(&gain).unwrap(),
+            &CgOptions { rel_tol: 1e-10, max_iter: 5000, parallel: false },
+        )
+        .unwrap();
+        for size in [2usize, 5] {
+            let results = spawn_world(size, |mut comm| {
+                let block = extract_row_block(&gain, size, comm.rank());
+                let range = row_range(n, size, comm.rank());
+                dpcg_solve(&mut comm, &block, &rhs[range], 1e-10, 5000).unwrap()
+            });
+            let scale = serial.x.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
+            for out in &results {
+                assert!(out.converged, "size {size}");
+                for (p, q) in out.x.iter().zip(&serial.x) {
+                    assert!(
+                        (p - q).abs() < 1e-6 * scale,
+                        "size {size}: {p} vs {q} (scale {scale})"
+                    );
+                }
+            }
+            assert_eq!(results[0].x, results[size - 1].x, "ranks disagree at size {size}");
+        }
+    }
+
+    #[test]
     fn distributed_matches_serial_pcg() {
         let a = laplacian2d(9);
         let n = a.nrows();

@@ -4,9 +4,7 @@ use rayon::prelude::*;
 
 use crate::csc::Csc;
 use crate::dense::DenseMatrix;
-
-/// Minimum row count before [`Csr::par_spmv`] splits across threads.
-const PAR_ROWS_THRESHOLD: usize = 256;
+use crate::tuning;
 
 /// A sparse matrix in compressed sparse row format.
 ///
@@ -158,14 +156,16 @@ impl Csr {
         y
     }
 
-    /// Rayon-parallel `y ← A·x`; rows are partitioned across threads.
+    /// Rayon-parallel `y ← A·x`; rows are partitioned across threads. Each
+    /// output element is produced by exactly one row accumulation, so the
+    /// result is bitwise identical to [`Csr::spmv`] for any worker count.
     ///
     /// This is the shared-memory analogue of the paper's parallel SpMV inside
     /// one HPC node; the across-rank version lives in `pgse-mpilite`.
     pub fn par_spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "par_spmv: x length");
         assert_eq!(y.len(), self.nrows, "par_spmv: y length");
-        if self.nrows < PAR_ROWS_THRESHOLD {
+        if self.nrows < tuning::par_rows_threshold() {
             return self.spmv(x, y);
         }
         y.par_iter_mut().enumerate().for_each(|(r, yr)| {

@@ -38,6 +38,7 @@ pub mod ordering;
 pub mod pcg;
 pub mod scholesky;
 pub mod symbolic;
+pub mod tuning;
 pub mod vecops;
 
 pub use cholesky::EnvelopeCholesky;

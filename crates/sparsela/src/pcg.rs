@@ -22,13 +22,17 @@ pub struct CgOptions {
     pub rel_tol: f64,
     /// Hard iteration cap.
     pub max_iter: usize,
-    /// Use the rayon-parallel SpMV/dot kernels.
+    /// Use the rayon-parallel SpMV/dot kernels. On by default: the
+    /// parallel kernels are bitwise identical to the sequential ones (the
+    /// `vecops` fixed-chunk determinism contract) and fall back to
+    /// sequential execution below the `tuning` size thresholds, so small
+    /// systems pay no fork/join overhead.
     pub parallel: bool,
 }
 
 impl Default for CgOptions {
     fn default() -> Self {
-        CgOptions { rel_tol: 1e-10, max_iter: 2000, parallel: false }
+        CgOptions { rel_tol: 1e-10, max_iter: 2000, parallel: true }
     }
 }
 
@@ -89,6 +93,66 @@ impl Preconditioner {
             Preconditioner::Ic0(l) => l.solve_into(r, z),
         }
     }
+
+    /// Fused apply-and-reduce: `z ← M⁻¹ r` and `rᵀz` in one pass where the
+    /// preconditioner is elementwise (Identity, Jacobi). IC(0) applies its
+    /// inherently sequential triangular solves first and reduces after.
+    ///
+    /// The reduction follows `vecops`' fixed-chunk determinism contract,
+    /// so the result is bitwise identical for any `parallel`/thread-count
+    /// combination.
+    pub fn apply_dot(&self, r: &[f64], z: &mut [f64], parallel: bool) -> f64 {
+        use rayon::prelude::*;
+        let n = r.len();
+        let par = parallel && n >= crate::tuning::par_elems_threshold();
+        match self {
+            Preconditioner::Identity => {
+                z.copy_from_slice(r);
+                // rᵀz = Σ r² — one fused reduction, no second sweep.
+                if par {
+                    vecops::par_dot(r, z)
+                } else {
+                    vecops::dot(r, z)
+                }
+            }
+            Preconditioner::Jacobi(inv) => {
+                let partials: Vec<f64> = if par {
+                    z.par_chunks_mut(vecops::DET_CHUNK)
+                        .zip(r.par_chunks(vecops::DET_CHUNK))
+                        .zip(inv.par_chunks(vecops::DET_CHUNK))
+                        .map(|((cz, cr), ci)| jacobi_apply_dot_chunk(cz, cr, ci))
+                        .collect()
+                } else {
+                    z.chunks_mut(vecops::DET_CHUNK)
+                        .zip(r.chunks(vecops::DET_CHUNK))
+                        .zip(inv.chunks(vecops::DET_CHUNK))
+                        .map(|((cz, cr), ci)| jacobi_apply_dot_chunk(cz, cr, ci))
+                        .collect()
+                };
+                vecops::tree_reduce_partials(partials)
+            }
+            Preconditioner::Ic0(l) => {
+                l.solve_into(r, z);
+                if par {
+                    vecops::par_dot(r, z)
+                } else {
+                    vecops::dot(r, z)
+                }
+            }
+        }
+    }
+}
+
+/// In-chunk body of the fused Jacobi apply + `rᵀz` reduction.
+#[inline]
+fn jacobi_apply_dot_chunk(cz: &mut [f64], cr: &[f64], ci: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for ((zi, ri), di) in cz.iter_mut().zip(cr).zip(ci) {
+        let z = ri * di;
+        *zi = z;
+        acc += ri * z;
+    }
+    acc
 }
 
 /// Incomplete Cholesky factor with zero fill (IC(0)).
@@ -236,9 +300,13 @@ pub fn pcg(a: &Csr, b: &[f64], m: &Preconditioner, opts: &CgOptions) -> LaResult
     };
     sp.record("iterations", iterations);
     sp.record("converged", converged);
+    sp.record("parallel", opts.parallel);
     pgse_obs::counter_add("pcg.solves", 1);
     pgse_obs::counter_add("pcg.iterations", iterations as u64);
     pgse_obs::observe("pcg.iterations.per_solve", iterations as f64);
+    if opts.parallel {
+        pgse_obs::counter_add("pcg.parallel_solves", 1);
+    }
     if !converged {
         pgse_obs::counter_add("pcg.failures", 1);
     }
@@ -256,10 +324,10 @@ fn pcg_inner(a: &Csr, b: &[f64], m: &Preconditioner, opts: &CgOptions) -> LaResu
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
     let mut z = vec![0.0; n];
-    m.apply(&r, &mut z);
+    // Fused preconditioner-apply + rᵀz (deterministic fixed-chunk reduce).
+    let mut rz = m.apply_dot(&r, &mut z, opts.parallel);
     let mut p = z.clone();
     let mut ap = vec![0.0; n];
-    let mut rz = vecops::dot(&r, &z);
 
     let spmv = |a: &Csr, x: &[f64], y: &mut [f64]| {
         if opts.parallel {
@@ -287,17 +355,20 @@ fn pcg_inner(a: &Csr, b: &[f64], m: &Preconditioner, opts: &CgOptions) -> LaResu
             });
         }
         let alpha = rz / pap;
-        vecops::axpy(alpha, &p, &mut x);
-        vecops::axpy(-alpha, &ap, &mut r);
-        let rel = vecops::norm2(&r) / bnorm;
+        // Fused x/r update + residual reduction: one pass instead of three.
+        let rr = vecops::fused_update_sumsq(alpha, &p, &ap, &mut x, &mut r, opts.parallel);
+        let rel = rr.sqrt() / bnorm;
         if rel <= opts.rel_tol {
             return Ok(CgOutcome { x, iterations: iter, rel_residual: rel });
         }
-        m.apply(&r, &mut z);
-        let rz_new = ddot(&r, &z);
+        let rz_new = m.apply_dot(&r, &mut z, opts.parallel);
         let beta = rz_new / rz;
         rz = rz_new;
-        vecops::xpby(&z, beta, &mut p);
+        if opts.parallel {
+            vecops::par_xpby(&z, beta, &mut p);
+        } else {
+            vecops::xpby(&z, beta, &mut p);
+        }
     }
     Err(LaError::DidNotConverge {
         iterations: opts.max_iter,
@@ -390,10 +461,16 @@ mod tests {
     }
 
     #[test]
-    fn parallel_kernels_match_serial() {
+    fn parallel_kernels_match_serial_bitwise() {
         let a = laplacian2d(12);
         let b: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.01).tan().sin()).collect();
-        let serial = pcg(&a, &b, &Preconditioner::Identity, &CgOptions::default()).unwrap();
+        let serial = pcg(
+            &a,
+            &b,
+            &Preconditioner::Identity,
+            &CgOptions { parallel: false, ..CgOptions::default() },
+        )
+        .unwrap();
         let par = pcg(
             &a,
             &b,
@@ -401,8 +478,9 @@ mod tests {
             &CgOptions { parallel: true, ..CgOptions::default() },
         )
         .unwrap();
+        assert_eq!(serial.iterations, par.iterations);
         for (p, q) in serial.x.iter().zip(&par.x) {
-            assert!((p - q).abs() < 1e-8);
+            assert_eq!(p.to_bits(), q.to_bits());
         }
     }
 

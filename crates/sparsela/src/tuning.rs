@@ -1,0 +1,36 @@
+//! Runtime-adjustable parallelism thresholds.
+//!
+//! The parallel kernels fall back to their sequential forms below these
+//! sizes, where fork/join overhead dominates. Benchmarks and tests lower
+//! them to exercise the parallel paths on small systems (IEEE-118's state
+//! dimension is 235); changing a threshold can never change a result —
+//! the parallel kernels are bitwise identical to their sequential
+//! references (see `vecops`) — only which execution path runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const DEFAULT_PAR_ELEMS: usize = 4096;
+const DEFAULT_PAR_ROWS: usize = 256;
+
+static PAR_ELEMS: AtomicUsize = AtomicUsize::new(DEFAULT_PAR_ELEMS);
+static PAR_ROWS: AtomicUsize = AtomicUsize::new(DEFAULT_PAR_ROWS);
+
+/// Minimum vector length before BLAS-1 kernels split across threads.
+pub fn par_elems_threshold() -> usize {
+    PAR_ELEMS.load(Ordering::Relaxed)
+}
+
+/// Sets the BLAS-1 parallelism threshold (process-wide).
+pub fn set_par_elems_threshold(n: usize) {
+    PAR_ELEMS.store(n, Ordering::Relaxed);
+}
+
+/// Minimum row count before SpMV splits across threads.
+pub fn par_rows_threshold() -> usize {
+    PAR_ROWS.load(Ordering::Relaxed)
+}
+
+/// Sets the SpMV parallelism threshold (process-wide).
+pub fn set_par_rows_threshold(n: usize) {
+    PAR_ROWS.store(n, Ordering::Relaxed);
+}

@@ -1,33 +1,102 @@
 //! Dense vector kernels used by the iterative solvers.
 //!
-//! These are the BLAS-1 style operations the PCG loop is built from. Each has
-//! a sequential form; [`par_dot`] and [`par_axpy`] additionally offer
-//! rayon-parallel forms used when a single state estimator runs its solver
-//! across the cores of one cluster node.
+//! These are the BLAS-1 style operations the PCG loop is built from, plus
+//! the fused single-pass update kernels the loop uses to cut memory
+//! traffic (`x ← x + α·p`, `r ← r − α·Ap` and the residual reduction in
+//! one sweep).
+//!
+//! ## Determinism contract
+//!
+//! Floating-point reductions here are **bitwise reproducible regardless of
+//! thread count**: every dot/sum-of-squares — sequential or parallel —
+//! accumulates over fixed [`DET_CHUNK`]-element chunks and combines the
+//! chunk partials in a fixed pairwise tree order. The chunk boundaries
+//! depend only on the vector length, never on the worker count, so
+//! `par_dot` is bitwise identical to `dot`, and a solve with
+//! `parallel: true` produces byte-for-byte the same trajectory as the
+//! sequential one (the guarantee the repo's byte-identical ObsReport
+//! tests lean on — see DESIGN.md §10).
+//!
+//! Elementwise kernels (`axpy`, the fused updates) write each element from
+//! exactly one input position, so they are trivially deterministic.
 
 use rayon::prelude::*;
 
-/// Minimum vector length before the parallel kernels split work across
-/// threads; below this the fork/join overhead dominates.
-const PAR_THRESHOLD: usize = 4096;
+use crate::tuning;
 
-/// Dot product `xᵀy`.
+/// Fixed reduction-chunk length. Part of the determinism contract: all
+/// dot/sum-of-squares kernels accumulate per-`DET_CHUNK` partials and
+/// tree-reduce them, so results never depend on thread count.
+pub const DET_CHUNK: usize = 1024;
+
+/// Combines chunk partials in a fixed pairwise tree order (adjacent pairs
+/// per level). The order depends only on `partials.len()`.
+fn tree_reduce(mut partials: Vec<f64>) -> f64 {
+    if partials.is_empty() {
+        return 0.0;
+    }
+    let mut len = partials.len();
+    while len > 1 {
+        let half = len / 2;
+        for i in 0..half {
+            partials[i] = partials[2 * i] + partials[2 * i + 1];
+        }
+        if len % 2 == 1 {
+            partials[half] = partials[len - 1];
+        }
+        len = half + len % 2;
+    }
+    partials[0]
+}
+
+/// Crate-internal entry to the fixed-order reduction, for fused kernels
+/// that compute their own chunk partials (e.g. the Jacobi apply+dot in
+/// `pcg`).
+pub(crate) fn tree_reduce_partials(partials: Vec<f64>) -> f64 {
+    tree_reduce(partials)
+}
+
+/// Plain left-fold dot over one chunk (the shared in-chunk kernel).
+#[inline]
+fn chunk_dot(x: &[f64], y: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        acc += a * b;
+    }
+    acc
+}
+
+/// Dot product `xᵀy`, deterministic fixed-chunk reduction.
 ///
 /// # Panics
 /// Panics if the lengths differ.
-#[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    x.iter().zip(y).map(|(a, b)| a * b).sum()
+    let partials: Vec<f64> =
+        x.chunks(DET_CHUNK).zip(y.chunks(DET_CHUNK)).map(|(cx, cy)| chunk_dot(cx, cy)).collect();
+    tree_reduce(partials)
 }
 
-/// Parallel dot product; falls back to the serial kernel for short vectors.
+/// Parallel dot product — bitwise identical to [`dot`] for any worker
+/// count (same chunks, same in-chunk kernel, same reduction tree); falls
+/// back to the sequential form for short vectors.
 pub fn par_dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "par_dot: length mismatch");
-    if x.len() < PAR_THRESHOLD {
+    if x.len() < tuning::par_elems_threshold() {
         return dot(x, y);
     }
-    x.par_iter().zip(y.par_iter()).map(|(a, b)| a * b).sum()
+    let partials: Vec<f64> = x
+        .par_chunks(DET_CHUNK)
+        .zip(y.par_chunks(DET_CHUNK))
+        .map(|(cx, cy)| chunk_dot(cx, cy))
+        .collect();
+    tree_reduce(partials)
+}
+
+/// Sum of squares `Σ xᵢ²`, deterministic fixed-chunk reduction.
+pub fn sumsq(x: &[f64]) -> f64 {
+    let partials: Vec<f64> = x.chunks(DET_CHUNK).map(|c| chunk_dot(c, c)).collect();
+    tree_reduce(partials)
 }
 
 /// `y ← a·x + y`.
@@ -39,14 +108,17 @@ pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
-/// Parallel `y ← a·x + y`.
+/// Parallel `y ← a·x + y` (elementwise, so trivially bitwise identical to
+/// [`axpy`]).
 pub fn par_axpy(a: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "par_axpy: length mismatch");
-    if x.len() < PAR_THRESHOLD {
+    if x.len() < tuning::par_elems_threshold() {
         return axpy(a, x, y);
     }
-    y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| {
-        *yi += a * xi;
+    y.par_chunks_mut(DET_CHUNK).zip(x.par_chunks(DET_CHUNK)).for_each(|(cy, cx)| {
+        for (yi, xi) in cy.iter_mut().zip(cx) {
+            *yi += a * xi;
+        }
     });
 }
 
@@ -65,6 +137,71 @@ pub fn xpby(z: &[f64], beta: f64, p: &mut [f64]) {
     for (pi, zi) in p.iter_mut().zip(z) {
         *pi = zi + beta * *pi;
     }
+}
+
+/// Parallel `p ← z + β·p` (elementwise; bitwise identical to [`xpby`]).
+pub fn par_xpby(z: &[f64], beta: f64, p: &mut [f64]) {
+    assert_eq!(z.len(), p.len(), "par_xpby: length mismatch");
+    if z.len() < tuning::par_elems_threshold() {
+        return xpby(z, beta, p);
+    }
+    p.par_chunks_mut(DET_CHUNK).zip(z.par_chunks(DET_CHUNK)).for_each(|(cp, cz)| {
+        for (pi, zi) in cp.iter_mut().zip(cz) {
+            *pi = zi + beta * *pi;
+        }
+    });
+}
+
+/// In-chunk body of the fused PCG update: `x ← x + α·p`, `r ← r − α·ap`,
+/// returning the chunk's `Σ rᵢ²` after the update.
+#[inline]
+fn fused_update_chunk(alpha: f64, cp: &[f64], cap: &[f64], cx: &mut [f64], cr: &mut [f64]) -> f64 {
+    let mut rr = 0.0;
+    for i in 0..cx.len() {
+        cx[i] += alpha * cp[i];
+        let r = cr[i] - alpha * cap[i];
+        cr[i] = r;
+        rr += r * r;
+    }
+    rr
+}
+
+/// Fused PCG update: `x ← x + α·p`, `r ← r − α·Ap`, and the post-update
+/// residual reduction `Σ rᵢ²`, all in one pass over the vectors (one load
+/// of `p`/`Ap`, one read-modify-write of `x`/`r`, no extra residual
+/// sweep). The reduction follows the fixed-chunk determinism contract, so
+/// the parallel and sequential forms are bitwise identical.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn fused_update_sumsq(
+    alpha: f64,
+    p: &[f64],
+    ap: &[f64],
+    x: &mut [f64],
+    r: &mut [f64],
+    parallel: bool,
+) -> f64 {
+    let n = x.len();
+    assert_eq!(p.len(), n, "fused_update: p length");
+    assert_eq!(ap.len(), n, "fused_update: ap length");
+    assert_eq!(r.len(), n, "fused_update: r length");
+    let partials: Vec<f64> = if parallel && n >= tuning::par_elems_threshold() {
+        x.par_chunks_mut(DET_CHUNK)
+            .zip(r.par_chunks_mut(DET_CHUNK))
+            .zip(p.par_chunks(DET_CHUNK))
+            .zip(ap.par_chunks(DET_CHUNK))
+            .map(|(((cx, cr), cp), cap)| fused_update_chunk(alpha, cp, cap, cx, cr))
+            .collect()
+    } else {
+        x.chunks_mut(DET_CHUNK)
+            .zip(r.chunks_mut(DET_CHUNK))
+            .zip(p.chunks(DET_CHUNK))
+            .zip(ap.chunks(DET_CHUNK))
+            .map(|(((cx, cr), cp), cap)| fused_update_chunk(alpha, cp, cap, cx, cr))
+            .collect()
+    };
+    tree_reduce(partials)
 }
 
 /// Euclidean norm `‖x‖₂`, computed with scaling to avoid overflow on
@@ -102,12 +239,31 @@ mod tests {
     }
 
     #[test]
-    fn par_dot_matches_serial_on_long_vectors() {
+    fn par_dot_is_bitwise_identical_to_dot() {
         let x: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
         let y: Vec<f64> = (0..10_000).map(|i| (i as f64).cos()).collect();
         let s = dot(&x, &y);
         let p = par_dot(&x, &y);
-        assert!((s - p).abs() < 1e-9 * s.abs().max(1.0));
+        assert_eq!(s.to_bits(), p.to_bits());
+    }
+
+    #[test]
+    fn dot_is_chunk_stable_across_lengths() {
+        // The reduction must not care how many chunks there are: slicing a
+        // prefix (different chunk count) still equals a direct computation.
+        for n in [1usize, 1023, 1024, 1025, 5000, 10_240] {
+            let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 * 0.013 - 0.5).collect();
+            let y: Vec<f64> = (0..n).map(|i| ((i * 11) % 89) as f64 * 0.021 - 0.9).collect();
+            let d = dot(&x, &y);
+            let p = par_dot(&x, &y);
+            assert_eq!(d.to_bits(), p.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn sumsq_matches_self_dot_bitwise() {
+        let x: Vec<f64> = (0..9_999).map(|i| (i as f64 * 0.003).tan()).collect();
+        assert_eq!(sumsq(&x).to_bits(), dot(&x, &x).to_bits());
     }
 
     #[test]
@@ -128,6 +284,36 @@ mod tests {
     }
 
     #[test]
+    fn par_xpby_matches_serial() {
+        let z: Vec<f64> = (0..9000).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut p1: Vec<f64> = (0..9000).map(|i| i as f64 * 0.01).collect();
+        let mut p2 = p1.clone();
+        xpby(&z, 0.75, &mut p1);
+        par_xpby(&z, 0.75, &mut p2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn fused_update_matches_unfused_bitwise() {
+        let n = 9000;
+        let p: Vec<f64> = (0..n).map(|i| (i as f64 * 0.07).sin()).collect();
+        let ap: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).cos()).collect();
+        let alpha = 0.618;
+        for parallel in [false, true] {
+            let mut x: Vec<f64> = (0..n).map(|i| i as f64 * 1e-3).collect();
+            let mut r: Vec<f64> = (0..n).map(|i| 1.0 - i as f64 * 2e-4).collect();
+            let mut x_ref = x.clone();
+            let mut r_ref = r.clone();
+            let rr = fused_update_sumsq(alpha, &p, &ap, &mut x, &mut r, parallel);
+            axpy(alpha, &p, &mut x_ref);
+            axpy(-alpha, &ap, &mut r_ref);
+            assert_eq!(x, x_ref, "parallel={parallel}");
+            assert_eq!(r, r_ref, "parallel={parallel}");
+            assert_eq!(rr.to_bits(), sumsq(&r_ref).to_bits(), "parallel={parallel}");
+        }
+    }
+
+    #[test]
     fn norm2_is_scale_safe() {
         // Naive sum of squares would overflow here.
         let x = vec![1e200, 1e200];
@@ -139,6 +325,8 @@ mod tests {
     fn norm2_zero_vector() {
         assert_eq!(norm2(&[0.0, 0.0, 0.0]), 0.0);
         assert_eq!(norm2(&[]), 0.0);
+        assert_eq!(sumsq(&[]), 0.0);
+        assert_eq!(dot(&[], &[]), 0.0);
     }
 
     #[test]

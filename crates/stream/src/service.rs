@@ -42,6 +42,7 @@ use pgse_medici::{
 };
 use pgse_obs::{ObsReport, Recorder};
 use pgse_powerflow::{solve as solve_pf, PfError, PfOptions};
+use rayon::prelude::*;
 
 use crate::ingest::{IngestQueue, IngestStats};
 use crate::snapshot::{SnapshotStore, SystemSnapshot};
@@ -463,32 +464,28 @@ impl StreamService {
                 let mut round_span = self.rec.span_at("stream.frame", target_seq);
                 round_span.record("fresh_areas", (n_areas - degraded.len()) as u64);
 
-                // DSE Step 1: one worker per fresh area.
-                let step1: Vec<Option<AreaSolution>> = std::thread::scope(|workers| {
-                    let handles: Vec<_> = self
-                        .estimators
-                        .iter()
-                        .enumerate()
-                        .zip(s1_caches.iter_mut())
-                        .map(|((a, est), cache)| {
-                            let set = if fresh[a] { last_sets[a].as_ref() } else { None };
-                            let rec = &self.area_recs[a];
-                            let warm = cfg.warm;
-                            workers.spawn(move || {
-                                let set = set?;
-                                pgse_obs::with_recorder(rec, || {
-                                    if warm {
-                                        est.step1_cached(set, cache)
-                                    } else {
-                                        est.step1(set)
-                                    }
-                                })
-                                .ok()
-                            })
+                // DSE Step 1: fresh areas fan out across the thread pool
+                // (the per-area recorder keeps each area's trace on its own
+                // deterministic logical clock regardless of which worker
+                // thread runs it).
+                let step1: Vec<Option<AreaSolution>> = self
+                    .estimators
+                    .par_iter()
+                    .enumerate()
+                    .zip(s1_caches.par_iter_mut())
+                    .map(|((a, est), cache)| {
+                        let set = if fresh[a] { last_sets[a].as_ref() } else { None }?;
+                        let rec = &self.area_recs[a];
+                        pgse_obs::with_recorder(rec, || {
+                            if cfg.warm {
+                                est.step1_cached(set, cache)
+                            } else {
+                                est.step1(set)
+                            }
                         })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().unwrap()).collect()
-                });
+                        .ok()
+                    })
+                    .collect();
                 for a in 0..n_areas {
                     if fresh[a] && step1[a].is_none() {
                         report.solve_errors += 1;
@@ -513,39 +510,33 @@ impl StreamService {
                     })
                     .collect();
 
-                // DSE Step 2: re-evaluate boundaries on the extended model.
-                let step2: Vec<Option<AreaSolution>> = std::thread::scope(|workers| {
-                    let handles: Vec<_> = self
-                        .estimators
-                        .iter()
-                        .enumerate()
-                        .zip(s2_caches.iter_mut())
-                        .map(|((a, est), cache)| {
-                            let s1 = if fresh[a] { s1_solutions[a].as_ref() } else { None };
-                            let set = last_sets[a].as_ref();
-                            let rec = &self.area_recs[a];
-                            let pseudo = &pseudo;
-                            let warm = cfg.warm;
-                            workers.spawn(move || {
-                                let (s1, set) = (s1?, set?);
-                                let mut inbox = Vec::new();
-                                for &nb in &est.info.neighbors {
-                                    inbox.extend(pseudo[nb].iter().copied());
-                                }
-                                let seed = step2_seed(cfg.seed, target_seq);
-                                pgse_obs::with_recorder(rec, || {
-                                    if warm {
-                                        est.step2_cached(s1, &inbox, set, noise, seed, cache)
-                                    } else {
-                                        est.step2(s1, &inbox, set, noise, seed)
-                                    }
-                                })
-                                .ok()
-                            })
+                // DSE Step 2: re-evaluate boundaries on the extended model,
+                // again fanned out across the pool.
+                let pseudo = &pseudo;
+                let step2: Vec<Option<AreaSolution>> = self
+                    .estimators
+                    .par_iter()
+                    .enumerate()
+                    .zip(s2_caches.par_iter_mut())
+                    .map(|((a, est), cache)| {
+                        let s1 = if fresh[a] { s1_solutions[a].as_ref() } else { None }?;
+                        let set = last_sets[a].as_ref()?;
+                        let rec = &self.area_recs[a];
+                        let mut inbox = Vec::new();
+                        for &nb in &est.info.neighbors {
+                            inbox.extend(pseudo[nb].iter().copied());
+                        }
+                        let seed = step2_seed(cfg.seed, target_seq);
+                        pgse_obs::with_recorder(rec, || {
+                            if cfg.warm {
+                                est.step2_cached(s1, &inbox, set, noise, seed, cache)
+                            } else {
+                                est.step2(s1, &inbox, set, noise, seed)
+                            }
                         })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().unwrap()).collect()
-                });
+                        .ok()
+                    })
+                    .collect();
 
                 // Merge and account the round.
                 let mut gn = 0u64;

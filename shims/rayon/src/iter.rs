@@ -1,0 +1,574 @@
+//! Slice-, range- and vec-based parallel iterators.
+//!
+//! Every source here is *indexed*: it knows its length and can split at an
+//! index, so the driver can carve it into fixed chunk producers up front
+//! and hand whole chunks to the pool. Within a chunk, items are drained
+//! through a plain sequential [`Iterator`] — adapters compile down to the
+//! std ones with no per-item synchronisation or dynamic dispatch.
+//!
+//! Ordering guarantee: order-sensitive terminals (`collect`, `sum`)
+//! combine chunk results **in chunk order** on the calling thread, so for
+//! a fixed chunking the result is independent of how many workers ran the
+//! chunks. Chunk *sizing* is adaptive (derived from the pool width) unless
+//! the source fixes it explicitly — `par_chunks`/`par_chunks_mut` items
+//! are stable slices regardless of worker count, which is what
+//! `pgse-sparsela`'s deterministic reductions are built on.
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+use crate::pool;
+
+/// Cap on items per chunk, so huge inputs still stream through the cache
+/// in pieces instead of being quartered into giant blocks.
+const MAX_CHUNK: usize = 16 * 1024;
+
+/// An indexed, splittable parallel iterator.
+pub trait ParallelIterator: Sized + Send {
+    /// Item type produced.
+    type Item: Send;
+    /// Sequential per-chunk iterator.
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    /// Exact number of items.
+    fn plen(&self) -> usize;
+    /// Splits into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+    /// Sequential iterator over all remaining items.
+    fn into_seq_iter(self) -> Self::SeqIter;
+
+    /// Maps each item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f: Arc::new(f) }
+    }
+
+    /// Pairs items with another parallel source; the shorter side wins.
+    fn zip<B: IntoParallelIterator>(self, other: B) -> Zip<Self, B::Iter> {
+        Zip { a: self, b: other.into_par_iter() }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self, offset: 0 }
+    }
+
+    /// Applies `f` to every item on the pool.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        drive(self, &|chunk: Self| chunk.into_seq_iter().for_each(&f));
+    }
+
+    /// Sums the items (chunk partials combined in chunk order).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        drive(self, &|chunk: Self| chunk.into_seq_iter().sum::<S>()).into_iter().sum()
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.plen()
+    }
+
+    /// Collects into any `FromIterator` collection, preserving item order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        let parts: Vec<Vec<Self::Item>> =
+            drive(self, &|chunk: Self| chunk.into_seq_iter().collect());
+        parts.into_iter().flatten().collect()
+    }
+}
+
+/// `Vec<Option<T>>` slots written by at most one thread each (exclusive
+/// chunk indices), read back by the driver after the barrier.
+struct Slots<T>(Vec<UnsafeCell<Option<T>>>);
+
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    fn new(parts: Vec<T>) -> Self {
+        Slots(parts.into_iter().map(|p| UnsafeCell::new(Some(p))).collect())
+    }
+
+    fn empty(n: usize) -> Self {
+        Slots((0..n).map(|_| UnsafeCell::new(None)).collect())
+    }
+
+    /// Takes slot `i`.
+    ///
+    /// Safety: callers must hold exclusive rights to index `i` (the pool's
+    /// chunk counter grants each index to exactly one thread).
+    unsafe fn take(&self, i: usize) -> Option<T> {
+        (*self.0[i].get()).take()
+    }
+
+    /// Fills slot `i`; same exclusivity requirement as [`Slots::take`].
+    unsafe fn put(&self, i: usize, value: T) {
+        *self.0[i].get() = Some(value);
+    }
+}
+
+/// Splits `iter` into chunks, folds each chunk (possibly on a pool
+/// worker), and returns the fold results in chunk order.
+fn drive<I, R>(iter: I, fold: &(dyn Fn(I) -> R + Sync)) -> Vec<R>
+where
+    I: ParallelIterator,
+    R: Send,
+{
+    let n = iter.plen();
+    let core = pool::current_core();
+    let workers = core.workers();
+    // Fair split across the pool, capped so large inputs stay cache-sized.
+    let chunk = (n.div_ceil((workers.max(1)) * 2)).clamp(1, MAX_CHUNK);
+    let n_chunks = n.div_ceil(chunk).max(1);
+    if n_chunks <= 1 || workers <= 1 {
+        return vec![fold(iter)];
+    }
+    let mut parts = Vec::with_capacity(n_chunks);
+    let mut rest = iter;
+    let mut remaining = n;
+    while remaining > chunk {
+        let (head, tail) = rest.split_at(chunk);
+        parts.push(head);
+        rest = tail;
+        remaining -= chunk;
+    }
+    parts.push(rest);
+    debug_assert_eq!(parts.len(), n_chunks);
+    let input = Slots::new(parts);
+    let output: Slots<R> = Slots::empty(n_chunks);
+    let input_ref = &input;
+    let output_ref = &output;
+    core.run_chunks(n_chunks, &|i| {
+        // Exclusive access: chunk index `i` is granted to exactly one
+        // thread by the pool's atomic counter.
+        let part = unsafe { input_ref.take(i) }.expect("chunk taken once");
+        let r = fold(part);
+        unsafe { output_ref.put(i, r) };
+    });
+    output
+        .0
+        .into_iter()
+        .map(|c| c.into_inner().expect("every chunk produced a result"))
+        .collect()
+}
+
+// ---------------------------------------------------------------- sources
+
+/// Parallel iterator over `&[T]`.
+pub struct ParSlice<'a, T: Sync> {
+    s: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+
+    fn plen(&self) -> usize {
+        self.s.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.s.split_at(index);
+        (ParSlice { s: a }, ParSlice { s: b })
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.s.iter()
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct ParSliceMut<'a, T: Send> {
+    s: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for ParSliceMut<'a, T> {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+
+    fn plen(&self) -> usize {
+        self.s.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.s.split_at_mut(index);
+        (ParSliceMut { s: a }, ParSliceMut { s: b })
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.s.iter_mut()
+    }
+}
+
+/// Parallel iterator over an owned `Vec<T>`.
+pub struct ParVec<T: Send> {
+    v: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+    type SeqIter = std::vec::IntoIter<T>;
+
+    fn plen(&self) -> usize {
+        self.v.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.v.split_off(index);
+        (self, ParVec { v: tail })
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.v.into_iter()
+    }
+}
+
+/// Parallel iterator over fixed-size sub-slices of `&[T]`. The chunk
+/// boundaries depend only on `size`, never on the worker count.
+pub struct ParChunks<'a, T: Sync> {
+    s: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+    type SeqIter = std::slice::Chunks<'a, T>;
+
+    fn plen(&self) -> usize {
+        self.s.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.s.split_at(index * self.size);
+        (ParChunks { s: a, size: self.size }, ParChunks { s: b, size: self.size })
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.s.chunks(self.size)
+    }
+}
+
+/// Mutable fixed-size chunk iterator over `&mut [T]`.
+pub struct ParChunksMut<'a, T: Send> {
+    s: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type SeqIter = std::slice::ChunksMut<'a, T>;
+
+    fn plen(&self) -> usize {
+        self.s.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.s.split_at_mut(index * self.size);
+        (ParChunksMut { s: a, size: self.size }, ParChunksMut { s: b, size: self.size })
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.s.chunks_mut(self.size)
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct ParRange<T> {
+    r: std::ops::Range<T>,
+}
+
+macro_rules! par_range_impl {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for ParRange<$t> {
+            type Item = $t;
+            type SeqIter = std::ops::Range<$t>;
+
+            fn plen(&self) -> usize {
+                if self.r.end > self.r.start {
+                    (self.r.end - self.r.start) as usize
+                } else {
+                    0
+                }
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.r.start + index as $t;
+                (
+                    ParRange { r: self.r.start..mid },
+                    ParRange { r: mid..self.r.end },
+                )
+            }
+
+            fn into_seq_iter(self) -> Self::SeqIter {
+                self.r
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = ParRange<$t>;
+
+            fn into_par_iter(self) -> Self::Iter {
+                ParRange { r: self }
+            }
+        }
+    )*};
+}
+
+par_range_impl!(usize, u32, u64, i32, i64);
+
+// --------------------------------------------------------------- adapters
+
+/// Mapped parallel iterator; the closure is shared across chunks.
+pub struct Map<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+/// Sequential side of [`Map`].
+pub struct MapSeqIter<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+impl<I, F, R> Iterator for MapSeqIter<I, F>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> R,
+{
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        self.base.next().map(|x| (self.f)(x))
+    }
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+    type SeqIter = MapSeqIter<I::SeqIter, F>;
+
+    fn plen(&self) -> usize {
+        self.base.plen()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (Map { base: a, f: self.f.clone() }, Map { base: b, f: self.f })
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        MapSeqIter { base: self.base.into_seq_iter(), f: self.f }
+    }
+}
+
+/// Zipped pair of parallel iterators.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type SeqIter = std::iter::Zip<A::SeqIter, B::SeqIter>;
+
+    fn plen(&self) -> usize {
+        self.a.plen().min(self.b.plen())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(index);
+        let (b1, b2) = self.b.split_at(index);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.a.into_seq_iter().zip(self.b.into_seq_iter())
+    }
+}
+
+/// Index-tagged parallel iterator (`offset` survives splitting).
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type SeqIter = std::iter::Zip<std::ops::Range<usize>, I::SeqIter>;
+
+    fn plen(&self) -> usize {
+        self.base.plen()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            Enumerate { base: a, offset: self.offset },
+            Enumerate { base: b, offset: self.offset + index },
+        )
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        let n = self.base.plen();
+        (self.offset..self.offset + n).zip(self.base.into_seq_iter())
+    }
+}
+
+// ------------------------------------------------------------ conversions
+
+/// `collection.into_par_iter()`.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A parallel iterator converts to itself (so `zip` accepts both raw
+/// collections and already-built iterators).
+impl<I: ParallelIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I;
+
+    fn into_par_iter(self) -> I {
+        self
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParSlice { s: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParSlice { s: self }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    type Iter = ParSliceMut<'a, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParSliceMut { s: self }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Item = &'a mut T;
+    type Iter = ParSliceMut<'a, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParSliceMut { s: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParVec { v: self }
+    }
+}
+
+/// `collection.par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a shared reference).
+    type Item: Send;
+    /// Parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator,
+{
+    type Item = <&'a C as IntoParallelIterator>::Item;
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `collection.par_iter_mut()`.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type produced (a mutable reference).
+    type Item: Send;
+    /// Parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Mutably-borrowing parallel iterator.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, C: ?Sized + 'a> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoParallelIterator,
+{
+    type Item = <&'a mut C as IntoParallelIterator>::Item;
+    type Iter = <&'a mut C as IntoParallelIterator>::Iter;
+
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `slice.par_chunks(n)`.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `size`-element sub-slices (last may be
+    /// shorter). Boundaries depend only on `size` — the determinism anchor
+    /// for fixed-chunk reductions.
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        assert!(size > 0, "par_chunks: zero chunk size");
+        ParChunks { s: self, size }
+    }
+}
+
+/// `slice.par_chunks_mut(n)`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Mutable fixed-size chunk iterator.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "par_chunks_mut: zero chunk size");
+        ParChunksMut { s: self, size }
+    }
+}

@@ -1,71 +1,81 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate — now a real executor.
 //!
 //! The workspace builds in a container without crates.io access, so this
-//! shim provides the `par_iter`/`into_par_iter`/`par_iter_mut` entry points
-//! over plain sequential `std` iterators: every adapter (`map`, `zip`,
-//! `enumerate`, `sum`, `collect`, `for_each`, …) is then the std one.
-//! Cluster-level concurrency in this repo comes from `std::thread::scope`
-//! (see `pgse-cluster`), so dropping intra-area data parallelism keeps all
-//! observable behaviour; only single-process throughput changes.
+//! shim vendors the subset of rayon's API the repo uses. Unlike the
+//! original sequential stand-in, parallel operations now run on a
+//! persistent pool of `std::thread` workers with a global injector queue
+//! (see [`pool`]): `par_iter`/`par_iter_mut`/`into_par_iter` split
+//! indexed sources into cache-sized chunks claimed by idle workers, and
+//! [`join`] forks both closures onto the pool. Small inputs (or a pool
+//! with no workers) short-circuit to the calling thread, so there is no
+//! synchronisation cost below the chunking threshold.
+//!
+//! Divergences from real rayon, by design:
+//! - [`ThreadPool::install`] runs `op` on the *calling* thread with the
+//!   pool installed as the thread's current executor (TLS), rather than
+//!   migrating `op` onto a worker. Parallel operations inside `op` still
+//!   fan out across the pool's workers; only thread identity of the
+//!   top-level closure differs, which this repo never relies on.
+//! - Work distribution is a global injector queue + atomic chunk counter,
+//!   not per-worker deques with stealing. Callers participate in their own
+//!   operations (a waiting caller first drains every chunk it can claim),
+//!   which makes nested parallelism deadlock-free on any pool width.
+//!
+//! Ordering contract: order-sensitive terminals (`collect`, `sum`)
+//! combine chunk results in chunk order, so results do not depend on the
+//! number of workers. For floating-point reductions that must be bitwise
+//! reproducible, use fixed-size chunks via
+//! [`ParallelSlice::par_chunks`] — that is what `pgse-sparsela`'s
+//! deterministic kernels build on (DESIGN.md §10).
+
+mod iter;
+pub mod pool;
+
+pub use iter::{
+    IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    ParallelSlice, ParallelSliceMut,
+};
+pub use pool::{chunks_executed, current_num_threads, parallel_ops};
 
 /// The conventional import surface.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
 }
 
-/// `collection.into_par_iter()` — sequential here.
-pub trait IntoParallelIterator: IntoIterator + Sized {
-    /// Returns the (sequential) iterator.
-    fn into_par_iter(self) -> Self::IntoIter {
-        self.into_iter()
-    }
-}
-
-impl<I: IntoIterator> IntoParallelIterator for I {}
-
-/// `collection.par_iter()` — sequential here.
-pub trait IntoParallelRefIterator<'a> {
-    /// Iterator type produced.
-    type Iter: Iterator;
-    /// Returns the (sequential) borrowing iterator.
-    fn par_iter(&'a self) -> Self::Iter;
-}
-
-impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
-where
-    &'a C: IntoIterator,
-{
-    type Iter = <&'a C as IntoIterator>::IntoIter;
-    fn par_iter(&'a self) -> Self::Iter {
-        self.into_iter()
-    }
-}
-
-/// `collection.par_iter_mut()` — sequential here.
-pub trait IntoParallelRefMutIterator<'a> {
-    /// Iterator type produced.
-    type Iter: Iterator;
-    /// Returns the (sequential) mutably-borrowing iterator.
-    fn par_iter_mut(&'a mut self) -> Self::Iter;
-}
-
-impl<'a, C: ?Sized + 'a> IntoParallelRefMutIterator<'a> for C
-where
-    &'a mut C: IntoIterator,
-{
-    type Iter = <&'a mut C as IntoIterator>::IntoIter;
-    fn par_iter_mut(&'a mut self) -> Self::Iter {
-        self.into_iter()
-    }
-}
-
-/// Runs the two closures (sequentially) and returns both results.
+/// Runs both closures, potentially in parallel on the current pool, and
+/// returns both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    use std::sync::Mutex;
+    let core = pool::current_core();
+    if core.workers() == 0 {
+        return (a(), b());
+    }
+    let a_slot: Mutex<(Option<A>, Option<RA>)> = Mutex::new((Some(a), None));
+    let b_slot: Mutex<(Option<B>, Option<RB>)> = Mutex::new((Some(b), None));
+    core.run_chunks(2, &|i| {
+        if i == 0 {
+            let f = a_slot.lock().unwrap_or_else(|e| e.into_inner()).0.take().expect("join ran once");
+            let r = f();
+            a_slot.lock().unwrap_or_else(|e| e.into_inner()).1 = Some(r);
+        } else {
+            let f = b_slot.lock().unwrap_or_else(|e| e.into_inner()).0.take().expect("join ran once");
+            let r = f();
+            b_slot.lock().unwrap_or_else(|e| e.into_inner()).1 = Some(r);
+        }
+    });
+    (
+        a_slot.into_inner().unwrap_or_else(|e| e.into_inner()).1.expect("join produced a result"),
+        b_slot.into_inner().unwrap_or_else(|e| e.into_inner()).1.expect("join produced b result"),
+    )
 }
 
 /// Error from [`ThreadPoolBuilder::build`] (never produced by the shim).
@@ -80,11 +90,11 @@ impl std::fmt::Display for ThreadPoolBuildError {
 
 impl std::error::Error for ThreadPoolBuildError {}
 
-/// Builder for a [`ThreadPool`]; configuration is recorded but jobs run on
-/// the calling thread.
+/// Builder for a [`ThreadPool`].
 #[derive(Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
+    name: Option<Box<dyn FnMut(usize) -> String>>,
 }
 
 impl ThreadPoolBuilder {
@@ -93,61 +103,89 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Records the requested worker count.
+    /// Sets the worker count (0 means "pick from available parallelism").
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
-    /// Accepts (and ignores) a thread-name function.
-    pub fn thread_name<F>(self, _f: F) -> Self
+    /// Sets the worker thread-name function.
+    pub fn thread_name<F>(mut self, f: F) -> Self
     where
-        F: FnMut(usize) -> String,
+        F: FnMut(usize) -> String + 'static,
     {
+        self.name = Some(Box::new(f));
         self
     }
 
-    /// Builds the pool.
+    /// Builds the pool and spawns its workers.
     ///
     /// # Errors
     /// Never fails in the shim.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool { num_threads: self.num_threads.max(1) })
+        let workers = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        let mut name = self.name.unwrap_or_else(|| Box::new(|i| format!("rayon-worker-{i}")));
+        let (core, handles) = pool::spawn_core(workers, &mut *name);
+        Ok(ThreadPool { core, handles: Some(handles) })
     }
 }
 
-/// A "pool" that executes installed jobs on the calling thread.
-#[derive(Debug)]
+/// A persistent worker pool. Jobs are `install`ed from the calling thread;
+/// parallel operations inside them fan out across the pool's workers.
 pub struct ThreadPool {
-    num_threads: usize,
+    core: std::sync::Arc<pool::PoolCore>,
+    handles: Option<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("num_threads", &self.core.workers()).finish()
+    }
 }
 
 impl ThreadPool {
-    /// Runs `op` (on the calling thread).
+    /// Runs `op` on the calling thread with this pool installed as the
+    /// thread's current executor: parallel operations inside `op` run on
+    /// this pool's workers.
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R + Send,
         R: Send,
     {
-        op()
+        pool::with_pool(self.core.clone(), op)
     }
 
-    /// The configured worker count.
+    /// The pool's worker count.
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.core.workers()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        if let Some(handles) = self.handles.take() {
+            pool::shutdown_core(&self.core, handles);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn par_iter_behaves_like_iter() {
         let v = vec![1, 2, 3];
         let s: i32 = v.par_iter().map(|x| x * 2).sum();
         assert_eq!(s, 12);
-        let t: i64 = (0..1000).into_par_iter().map(|i: i64| i).sum();
+        let t: i64 = (0..1000i64).into_par_iter().sum();
         assert_eq!(t, 499_500);
     }
 
@@ -162,5 +200,136 @@ mod tests {
     fn pool_installs() {
         let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
         assert_eq!(pool.install(|| 41 + 1), 42);
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..100_000usize).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(v.len(), 100_000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * 3);
+        }
+    }
+
+    #[test]
+    fn collect_result_short_circuits_on_err() {
+        let r: Result<Vec<usize>, String> = (0..10_000usize)
+            .into_par_iter()
+            .map(|i| if i == 7_777 { Err(format!("bad {i}")) } else { Ok(i) })
+            .collect();
+        assert_eq!(r, Err("bad 7777".to_string()));
+        let ok: Result<Vec<usize>, String> =
+            (0..100usize).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+    }
+
+    #[test]
+    fn zip_and_enumerate_line_up() {
+        let a: Vec<usize> = (0..50_000).collect();
+        let b: Vec<usize> = (0..50_000).map(|i| i * 2).collect();
+        let s: usize = a.par_iter().zip(&b).map(|(x, y)| y - x).sum();
+        assert_eq!(s, (0..50_000).sum::<usize>());
+        let mut out = vec![0usize; 50_000];
+        out.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn work_actually_lands_on_pool_workers() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .thread_name(|i| format!("probe-{i}"))
+            .build()
+            .unwrap();
+        let names = Mutex::new(HashSet::new());
+        pool.install(|| {
+            (0..64usize).into_par_iter().for_each(|_| {
+                if let Some(n) = std::thread::current().name() {
+                    names.lock().unwrap().insert(n.to_string());
+                }
+                // Slow chunks so the posting thread cannot drain the whole
+                // queue before any worker wakes (keeps the assert stable on
+                // loaded or single-core machines).
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            });
+        });
+        let names = names.into_inner().unwrap();
+        // The calling thread participates too; at least one probe worker
+        // must have claimed a chunk on a 4-wide pool with ~30 chunks.
+        assert!(
+            names.iter().any(|n| n.starts_with("probe-")),
+            "no pool worker executed a chunk: {names:?}"
+        );
+        assert!(super::chunks_executed() > 0);
+    }
+
+    #[test]
+    fn join_runs_both_and_propagates_panics() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (a, b) = pool.install(|| super::join(|| 1 + 1, || "x".to_string()));
+        assert_eq!((a, b.as_str()), (2, "x"));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| super::join(|| (), || panic!("boom")));
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let total: usize = pool.install(|| {
+            (0..64usize)
+                .into_par_iter()
+                .map(|_| (0..10_000usize).into_par_iter().map(|j| j % 7).sum::<usize>())
+                .sum()
+        });
+        let expect: usize = 64 * (0..10_000usize).map(|j| j % 7).sum::<usize>();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn panic_in_chunk_propagates_to_caller() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..100_000usize).into_par_iter().for_each(|i| {
+                    if i == 50_000 {
+                        panic!("chunk panic");
+                    }
+                });
+            });
+        }));
+        assert!(caught.is_err());
+        // Pool remains usable after a panicked operation.
+        let s: usize = pool.install(|| (0..1000usize).into_par_iter().sum());
+        assert_eq!(s, 499_500);
+    }
+
+    #[test]
+    fn par_chunks_boundaries_are_worker_independent() {
+        let v: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let count = AtomicUsize::new(0);
+        let sums: Vec<f64> = v
+            .par_chunks(1024)
+            .map(|c| {
+                count.fetch_add(1, Ordering::Relaxed);
+                c.iter().sum::<f64>()
+            })
+            .collect();
+        assert_eq!(sums.len(), 10);
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+        let seq: Vec<f64> = v.chunks(1024).map(|c| c.iter().sum::<f64>()).collect();
+        assert_eq!(sums, seq);
+    }
+
+    #[test]
+    fn pools_are_isolated_by_install() {
+        let p1 = super::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let p8 = super::ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let on1 = p1.install(super::current_num_threads);
+        let on8 = p8.install(super::current_num_threads);
+        assert_eq!(on1, 1);
+        assert_eq!(on8, 8);
     }
 }

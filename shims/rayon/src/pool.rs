@@ -1,0 +1,241 @@
+//! The work-chunking executor behind the `par_iter` surface.
+//!
+//! A [`PoolCore`] owns a set of `std::thread` workers and one global
+//! injector queue of [`Broadcast`] tasks. A parallel operation posts a
+//! single broadcast task describing `total` chunks; idle workers (and the
+//! posting thread itself) race on an atomic chunk counter, so chunks are
+//! claimed exactly once and the caller never blocks while claimable work
+//! remains — the property that makes nested parallel calls deadlock-free:
+//! a waiting caller has always first drained every chunk it could claim.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Chunks executed through any pool in this process (workers and posting
+/// threads alike). A cheap process-wide activity probe for tests that
+/// assert a code path really ran on the executor.
+static CHUNKS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+/// Parallel operations (broadcast tasks) posted process-wide.
+static PAR_OPS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of chunks executed by parallel operations.
+pub fn chunks_executed() -> u64 {
+    CHUNKS_EXECUTED.load(Ordering::Relaxed)
+}
+
+/// Process-wide count of parallel operations run on a pool.
+pub fn parallel_ops() -> u64 {
+    PAR_OPS.load(Ordering::Relaxed)
+}
+
+/// One parallel operation: `total` chunks claimed via `next`, executed by
+/// whoever claims them, completion tracked in `done`.
+struct Broadcast {
+    /// Chunk executor. Points into the posting thread's stack frame.
+    ///
+    /// Safety: [`PoolCore::run_chunks`] does not return until `done ==
+    /// total`; an index is only granted while `next < total`, and every
+    /// granted index increments `done` exactly once after its `body` call
+    /// finishes. Hence each dereference happens-before `run_chunks`
+    /// returns, while the frame is still live.
+    body: *const (dyn Fn(usize) + Sync),
+    next: AtomicUsize,
+    total: usize,
+    done: Mutex<usize>,
+    done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+unsafe impl Send for Broadcast {}
+unsafe impl Sync for Broadcast {}
+
+impl Broadcast {
+    /// Claims and runs chunks until none are left.
+    fn run_available(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                return;
+            }
+            let body = unsafe { &*self.body };
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| body(i))) {
+                let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(p);
+            }
+            CHUNKS_EXECUTED.fetch_add(1, Ordering::Relaxed);
+            let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+            *done += 1;
+            if *done == self.total {
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Shared state of one thread pool: the injector queue and its workers'
+/// coordination primitives.
+pub(crate) struct PoolCore {
+    injector: Mutex<VecDeque<Arc<Broadcast>>>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    workers: usize,
+}
+
+impl PoolCore {
+    /// Worker-thread count (may be 0 for a degenerate pool; callers treat
+    /// that as "run everything inline").
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `body(0..total)` with chunks distributed over the pool; the
+    /// calling thread participates. Returns after every chunk completed;
+    /// re-raises the first chunk panic.
+    pub(crate) fn run_chunks(self: &Arc<Self>, total: usize, body: &(dyn Fn(usize) + Sync)) {
+        if total == 0 {
+            return;
+        }
+        PAR_OPS.fetch_add(1, Ordering::Relaxed);
+        if total == 1 || self.workers == 0 {
+            for i in 0..total {
+                body(i);
+                CHUNKS_EXECUTED.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        // Erase the borrow lifetime; see the safety note on `Broadcast::body`.
+        let body_ptr: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute(body as *const (dyn Fn(usize) + Sync)) };
+        let task = Arc::new(Broadcast {
+            body: body_ptr,
+            next: AtomicUsize::new(0),
+            total,
+            done: Mutex::new(0),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        // One queue handle per worker that could usefully join in. A stale
+        // handle popped after completion finds `next >= total` and drops.
+        let handles = self.workers.min(total - 1);
+        {
+            let mut q = self.injector.lock().unwrap_or_else(|e| e.into_inner());
+            for _ in 0..handles {
+                q.push_back(task.clone());
+            }
+        }
+        self.work_cv.notify_all();
+        task.run_available();
+        let mut done = task.done.lock().unwrap_or_else(|e| e.into_inner());
+        while *done < task.total {
+            done = task.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(done);
+        let p = task.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(p) = p {
+            resume_unwind(p);
+        }
+    }
+}
+
+fn worker_loop(core: Arc<PoolCore>) {
+    // Nested parallel calls from this worker reuse its own pool.
+    CURRENT_POOL.with(|c| *c.borrow_mut() = Some(core.clone()));
+    loop {
+        let task = {
+            let mut q = core.injector.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if core.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = core.work_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        task.run_available();
+    }
+}
+
+thread_local! {
+    /// The pool parallel operations on this thread run on, installed by
+    /// [`crate::ThreadPool::install`] (or worker spawn). `None` means the
+    /// global pool.
+    static CURRENT_POOL: RefCell<Option<Arc<PoolCore>>> = const { RefCell::new(None) };
+}
+
+/// Builds the core and spawns its workers.
+pub(crate) fn spawn_core(
+    workers: usize,
+    name: &mut dyn FnMut(usize) -> String,
+) -> (Arc<PoolCore>, Vec<std::thread::JoinHandle<()>>) {
+    let core = Arc::new(PoolCore {
+        injector: Mutex::new(VecDeque::new()),
+        work_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        workers,
+    });
+    let handles = (0..workers)
+        .map(|i| {
+            let core = core.clone();
+            std::thread::Builder::new()
+                .name(name(i))
+                .spawn(move || worker_loop(core))
+                .expect("spawn pool worker")
+        })
+        .collect();
+    (core, handles)
+}
+
+/// Stops the workers of `core` and joins `handles`.
+pub(crate) fn shutdown_core(core: &PoolCore, handles: Vec<std::thread::JoinHandle<()>>) {
+    core.shutdown.store(true, Ordering::Release);
+    core.work_cv.notify_all();
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+/// Installs `core` as the thread's current pool for the duration of `f`.
+pub(crate) fn with_pool<R>(core: Arc<PoolCore>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<PoolCore>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_POOL.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let _restore = Restore(CURRENT_POOL.with(|c| c.borrow_mut().replace(core)));
+    f()
+}
+
+/// The pool the calling thread's parallel operations run on.
+pub(crate) fn current_core() -> Arc<PoolCore> {
+    if let Some(core) = CURRENT_POOL.with(|c| c.borrow().clone()) {
+        return core;
+    }
+    global_core()
+}
+
+fn global_core() -> Arc<PoolCore> {
+    static GLOBAL: OnceLock<Arc<PoolCore>> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| {
+            let workers =
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            let (core, _handles) =
+                spawn_core(workers, &mut |i| format!("rayon-global-{i}"));
+            // Global workers live for the process lifetime; handles leak by
+            // design (mirrors rayon's static pool).
+            core
+        })
+        .clone()
+}
+
+/// Worker count of the calling thread's current pool (at least 1, counting
+/// the calling thread itself on a degenerate pool).
+pub fn current_num_threads() -> usize {
+    current_core().workers().max(1)
+}

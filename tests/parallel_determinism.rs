@@ -1,0 +1,168 @@
+//! Determinism acceptance suite for intra-node parallelism.
+//!
+//! The `rayon` shim is a real thread-pool executor, so these tests pin the
+//! repo's core reproducibility claim: parallel kernels are **bitwise
+//! identical** to their sequential references for any worker count
+//! (`vecops`' fixed-chunk reduction contract), a full WLS solve is
+//! byte-for-byte the same with `parallel` on or off, and the same-seed
+//! ObsReport stays byte-identical with parallelism enabled.
+//!
+//! Thresholds are lowered process-wide so the parallel paths engage even
+//! at IEEE-118 scale; that is safe precisely because of the contract under
+//! test — execution strategy can never change a result.
+
+use pgse::core::{PrototypeConfig, SystemPrototype};
+use pgse::estimation::jacobian::{assemble_jacobian, StateSpace};
+use pgse::estimation::telemetry::TelemetryPlan;
+use pgse::estimation::wls::{GainSolver, PrecondKind, WlsEstimator, WlsOptions};
+use pgse::grid::cases::ieee118_like;
+use pgse::grid::Ybus;
+use pgse::powerflow::{solve as solve_pf, PfOptions};
+use pgse::sparsela::pcg::{pcg, CgOptions, Preconditioner};
+use pgse::sparsela::{tuning, vecops, Csr};
+
+const POOL_SIZES: [usize; 3] = [1, 2, 8];
+
+fn engage_parallel_kernels() {
+    tuning::set_par_elems_threshold(1);
+    tuning::set_par_rows_threshold(1);
+}
+
+fn with_pool<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap().install(f)
+}
+
+fn gain_118() -> (Csr, Vec<f64>) {
+    let net = ieee118_like();
+    let pf = solve_pf(&net, &PfOptions::default()).unwrap();
+    let plan = TelemetryPlan::full(&net, vec![net.slack()]);
+    let set = plan.generate(&net, &pf, 1.0, 1);
+    let space = StateSpace::with_reference(net.n_buses(), net.slack());
+    let ybus = Ybus::new(&net);
+    let vm = vec![1.0; net.n_buses()];
+    let va = vec![0.0; net.n_buses()];
+    let h = assemble_jacobian(&net, &ybus, &set, &space, &vm, &va);
+    let gain = h.ata_weighted(&set.weights());
+    let mut rhs = vec![0.0; space.dim()];
+    let wr: Vec<f64> = set.values().iter().zip(set.weights()).map(|(z, w)| z * w * 0.01).collect();
+    h.spmv_transpose(&wr, &mut rhs);
+    (gain, rhs)
+}
+
+#[test]
+fn blas1_kernels_bitwise_identical_across_thread_counts() {
+    engage_parallel_kernels();
+    let n = 10_240; // ten DET_CHUNK chunks: a real multi-chunk reduction
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.137).sin() * 1.7).collect();
+    let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.071).cos() - 0.3).collect();
+    let dot_ref = vecops::dot(&x, &y);
+    let mut axpy_ref = y.clone();
+    vecops::axpy(-0.37, &x, &mut axpy_ref);
+    for threads in POOL_SIZES {
+        let (d, a) = with_pool(threads, || {
+            let d = vecops::par_dot(&x, &y);
+            let mut a = y.clone();
+            vecops::par_axpy(-0.37, &x, &mut a);
+            (d, a)
+        });
+        assert_eq!(d.to_bits(), dot_ref.to_bits(), "par_dot @ {threads} threads");
+        for (p, q) in a.iter().zip(&axpy_ref) {
+            assert_eq!(p.to_bits(), q.to_bits(), "par_axpy @ {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn par_spmv_bitwise_identical_across_thread_counts() {
+    engage_parallel_kernels();
+    let (gain, rhs) = gain_118();
+    let mut y_ref = vec![0.0; gain.nrows()];
+    gain.spmv(&rhs, &mut y_ref);
+    for threads in POOL_SIZES {
+        let y = with_pool(threads, || {
+            let mut y = vec![0.0; gain.nrows()];
+            gain.par_spmv(&rhs, &mut y);
+            y
+        });
+        for (p, q) in y.iter().zip(&y_ref) {
+            assert_eq!(p.to_bits(), q.to_bits(), "par_spmv @ {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn parallel_pcg_bitwise_identical_across_thread_counts() {
+    engage_parallel_kernels();
+    let (gain, rhs) = gain_118();
+    let m = Preconditioner::jacobi(&gain).unwrap();
+    let seq = pcg(
+        &gain,
+        &rhs,
+        &m,
+        &CgOptions { rel_tol: 1e-10, max_iter: 5000, parallel: false },
+    )
+    .unwrap();
+    for threads in POOL_SIZES {
+        let par = with_pool(threads, || {
+            pcg(&gain, &rhs, &m, &CgOptions { rel_tol: 1e-10, max_iter: 5000, parallel: true })
+                .unwrap()
+        });
+        assert_eq!(par.iterations, seq.iterations, "@ {threads} threads");
+        assert_eq!(
+            par.rel_residual.to_bits(),
+            seq.rel_residual.to_bits(),
+            "@ {threads} threads"
+        );
+        for (p, q) in par.x.iter().zip(&seq.x) {
+            assert_eq!(p.to_bits(), q.to_bits(), "pcg state @ {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn wls_solve_bitwise_identical_parallel_vs_sequential() {
+    engage_parallel_kernels();
+    let net = ieee118_like();
+    let pf = solve_pf(&net, &PfOptions::default()).unwrap();
+    let plan = TelemetryPlan::full(&net, vec![net.slack()]);
+    let set = plan.generate(&net, &pf, 1.0, 7);
+    let solve_with = |parallel: bool| {
+        let opts = WlsOptions {
+            solver: GainSolver::Pcg { precond: PrecondKind::Ic0, parallel },
+            ..WlsOptions::default()
+        };
+        let est =
+            WlsEstimator::new(net.clone(), StateSpace::with_reference(net.n_buses(), net.slack()), opts);
+        est.estimate(&set).unwrap()
+    };
+    let seq = solve_with(false);
+    for threads in POOL_SIZES {
+        let par = with_pool(threads, || solve_with(true));
+        assert_eq!(par.iterations, seq.iterations, "@ {threads} threads");
+        assert_eq!(par.solver_iterations, seq.solver_iterations, "@ {threads} threads");
+        for (p, q) in par.vm.iter().zip(&seq.vm) {
+            assert_eq!(p.to_bits(), q.to_bits(), "vm @ {threads} threads");
+        }
+        for (p, q) in par.va.iter().zip(&seq.va) {
+            assert_eq!(p.to_bits(), q.to_bits(), "va @ {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn same_seed_obsreport_byte_identical_with_parallelism_on() {
+    engage_parallel_kernels();
+    // PrototypeConfig's WLS options now default to parallel kernels, and the
+    // prototype's clusters fan areas out on real pools — the deterministic
+    // trace must survive both levels of concurrency.
+    let run = || {
+        let mut proto =
+            SystemPrototype::deploy(ieee118_like(), PrototypeConfig::default()).unwrap();
+        proto.run_frame(0.0).unwrap();
+        proto.obs_report().to_json_deterministic()
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same-seed ObsReport must stay byte-identical under parallelism");
+}
