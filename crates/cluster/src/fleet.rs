@@ -1,4 +1,11 @@
-//! Clusters and the testbed fleet.
+//! Clusters, the testbed fleet, and fleet liveness.
+//!
+//! [`FleetLiveness`] is the supervisor's view of which clusters are still
+//! reachable: the streaming failover layer marks a cluster dead when every
+//! worker it hosts has stopped heartbeating, and from then on no subsystem
+//! may be (re)hosted there until an operator revives it. The type is a
+//! plain bookkeeping structure — deliberately free of clocks and channels —
+//! so that failover decisions driven by it stay deterministic.
 
 use std::sync::Arc;
 
@@ -124,9 +131,103 @@ impl ClusterFleet {
     }
 }
 
+/// Which clusters of a fleet are currently alive, as believed by the
+/// supervisor (declared from missed heartbeats, not measured directly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetLiveness {
+    alive: Vec<bool>,
+}
+
+impl FleetLiveness {
+    /// A liveness view over `n` clusters, all initially alive.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "fleet needs at least one cluster");
+        FleetLiveness { alive: vec![true; n] }
+    }
+
+    /// Number of clusters tracked (alive or dead).
+    pub fn n_clusters(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Declares cluster `c` dead; returns whether it was alive before
+    /// (i.e. whether this call changed anything).
+    ///
+    /// # Panics
+    /// Panics when `c` is out of range.
+    pub fn kill(&mut self, c: usize) -> bool {
+        let was = self.alive[c];
+        self.alive[c] = false;
+        was
+    }
+
+    /// Declares cluster `c` alive again (operator-driven recovery);
+    /// returns whether it was dead before.
+    ///
+    /// # Panics
+    /// Panics when `c` is out of range.
+    pub fn revive(&mut self, c: usize) -> bool {
+        let was = self.alive[c];
+        self.alive[c] = true;
+        !was
+    }
+
+    /// Whether cluster `c` is believed alive.
+    pub fn is_alive(&self, c: usize) -> bool {
+        self.alive[c]
+    }
+
+    /// Count of alive clusters.
+    pub fn n_alive(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Indices of alive clusters, ascending.
+    pub fn alive_clusters(&self) -> Vec<usize> {
+        (0..self.alive.len()).filter(|&c| self.alive[c]).collect()
+    }
+
+    /// Indices of dead clusters, ascending.
+    pub fn dead_clusters(&self) -> Vec<usize> {
+        (0..self.alive.len()).filter(|&c| !self.alive[c]).collect()
+    }
+
+    /// True when no cluster is left alive (the unrecoverable state).
+    pub fn all_dead(&self) -> bool {
+        self.n_alive() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn liveness_tracks_kills_and_revivals() {
+        let mut l = FleetLiveness::new(3);
+        assert_eq!(l.n_alive(), 3);
+        assert!(l.kill(1), "first kill reports a state change");
+        assert!(!l.kill(1), "second kill of the same cluster is a no-op");
+        assert!(!l.is_alive(1));
+        assert_eq!(l.alive_clusters(), vec![0, 2]);
+        assert_eq!(l.dead_clusters(), vec![1]);
+        assert!(!l.all_dead());
+        assert!(l.revive(1));
+        assert!(!l.revive(1), "reviving an alive cluster is a no-op");
+        assert_eq!(l.n_alive(), 3);
+    }
+
+    #[test]
+    fn liveness_reports_total_fleet_loss() {
+        let mut l = FleetLiveness::new(2);
+        l.kill(0);
+        l.kill(1);
+        assert!(l.all_dead());
+        assert_eq!(l.alive_clusters(), Vec::<usize>::new());
+    }
 
     #[test]
     fn paper_testbed_has_three_named_clusters() {

@@ -17,6 +17,6 @@ pub mod fleet;
 pub mod interface;
 pub mod redistribution;
 
-pub use fleet::{ClusterFleet, HpcCluster};
+pub use fleet::{ClusterFleet, FleetLiveness, HpcCluster};
 pub use interface::{CollectOutcome, InterfaceLayer};
 pub use redistribution::{plan_redistribution, DataMove, RedistributionPlan};

@@ -165,6 +165,84 @@ mod tests {
         }
     }
 
+    /// Satellite pin: failover remap of the paper's 3-cluster Table-I
+    /// assignment onto 2 survivors. Every move the plan contains must
+    /// originate at the dead cluster — survivors never ship data they
+    /// already hold.
+    #[test]
+    fn fleet_shrink_remap_moves_originate_only_at_the_dead_cluster() {
+        use pgse_grid::cases::ieee118::SUBSYSTEM_BUS_COUNTS;
+        use pgse_partition::weights::initial_graph;
+        use pgse_partition::{repartition_shrink, Partition, RepartitionOptions};
+
+        // Table I decomposition graph (bus counts + tie edges).
+        let edges: [(usize, usize); 12] = [
+            (0, 1),
+            (0, 3),
+            (0, 4),
+            (1, 2),
+            (1, 5),
+            (2, 5),
+            (3, 4),
+            (3, 6),
+            (4, 5),
+            (4, 6),
+            (4, 7),
+            (6, 8),
+        ];
+        let g = initial_graph(&SUBSYSTEM_BUS_COUNTS, &edges);
+        // The paper's 3-cluster assignment; cluster 1 (Catamount) dies.
+        let step1 = vec![2usize, 1, 1, 2, 0, 1, 0, 2, 0];
+        let dead = 1usize;
+        let prev = Partition::new(step1.clone(), 3);
+        let shrunk = repartition_shrink(&g, &prev, &[dead], &RepartitionOptions::default());
+
+        let area_bytes: Vec<u64> =
+            SUBSYSTEM_BUS_COUNTS.iter().map(|&n| n as u64 * 1_000).collect();
+        let plan = plan_redistribution(&step1, &shrunk.assignment, &area_bytes);
+
+        // Exactly the dead cluster's subsystems move, nothing else.
+        let orphaned: Vec<usize> =
+            (0..step1.len()).filter(|&a| step1[a] == dead).collect();
+        assert_eq!(plan.migrations(), orphaned.len());
+        let moved: Vec<usize> = plan.moves.iter().map(|m| m.area).collect();
+        assert_eq!(moved, orphaned);
+        for m in &plan.moves {
+            assert_eq!(m.from_cluster, dead, "move {m:?} does not originate at the dead cluster");
+            assert_ne!(m.to_cluster, dead, "move {m:?} lands on the dead cluster");
+            assert_eq!(m.bytes, area_bytes[m.area]);
+        }
+        // The shipped volume is exactly the orphaned subsystems' raw data.
+        let orphan_bytes: u64 = orphaned.iter().map(|&a| area_bytes[a]).sum();
+        assert_eq!(plan.total_bytes(), orphan_bytes);
+    }
+
+    /// Satellite pin: several moves serializing on one directed link cost
+    /// the sum of their transfers, while an opposite-direction move rides
+    /// for free in parallel.
+    #[test]
+    fn estimated_time_sums_moves_sharing_one_directed_link() {
+        let plan = RedistributionPlan {
+            moves: vec![
+                DataMove { area: 0, from_cluster: 1, to_cluster: 0, bytes: 400_000 },
+                DataMove { area: 1, from_cluster: 1, to_cluster: 0, bytes: 250_000 },
+                DataMove { area: 2, from_cluster: 1, to_cluster: 0, bytes: 350_000 },
+                // Opposite direction: a distinct directed link, overlaps.
+                DataMove { area: 3, from_cluster: 0, to_cluster: 1, bytes: 900_000 },
+            ],
+        };
+        // Link (1,0) carries 1.0 MB serialized; link (0,1) carries 0.9 MB
+        // in parallel — the bottleneck is the serialized link.
+        let t = plan.estimated_time(1.0e6);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9, "{t:?}");
+
+        // Adding a fourth transfer on the shared link moves the bound.
+        let mut longer = plan.clone();
+        longer.moves.push(DataMove { area: 4, from_cluster: 1, to_cluster: 0, bytes: 500_000 });
+        let t2 = longer.estimated_time(1.0e6);
+        assert!((t2.as_secs_f64() - 1.5).abs() < 1e-9, "{t2:?}");
+    }
+
     #[test]
     fn bytes_follow_the_moving_area() {
         let plan = plan_redistribution(&[0, 0], &[0, 1], &[111, 222]);

@@ -24,6 +24,17 @@ pub struct AreaSolution {
     pub objective: f64,
 }
 
+impl AreaSolution {
+    /// Approximate wire/memory footprint of this solution — the state-side
+    /// contribution to a failover checkpoint's size, used when pricing a
+    /// redistribution plan (paper §IV-C ships raw area data between
+    /// clusters; the streaming failover ships checkpoints the same way).
+    pub fn approx_bytes(&self) -> u64 {
+        ((self.vm.len() + self.va.len()) * std::mem::size_of::<f64>()
+            + 2 * std::mem::size_of::<u64>()) as u64
+    }
+}
+
 /// One incident tie line as seen from this area.
 #[derive(Debug, Clone)]
 struct IncidentTie {

@@ -194,6 +194,52 @@ impl SolveCache {
     pub fn has_structures(&self) -> bool {
         self.pattern.is_some()
     }
+
+    /// Clones the warm-start profile out of the cache — the checkpointable
+    /// half of a streaming worker's state. `None` until a solve succeeds.
+    pub fn export_warm(&self) -> Option<(Vec<f64>, Vec<f64>)> {
+        self.warm.clone()
+    }
+
+    /// Seeds the warm-start profile from a checkpoint. Symbolic structures
+    /// are *not* part of a checkpoint — they rebuild deterministically from
+    /// the first frame's measurement layout (one `symbolic_builds` tick),
+    /// after which the restored worker converges exactly as the
+    /// uninterrupted one would (see the restart-parity test in
+    /// `tests/parallel_determinism.rs`).
+    pub fn restore_warm(&mut self, vm: Vec<f64>, va: Vec<f64>) {
+        assert_eq!(vm.len(), va.len(), "warm profile vm/va length mismatch");
+        self.warm = Some((vm, va));
+    }
+
+    /// Compact identity of the cached symbolic structures, recorded in
+    /// checkpoints so a restored worker can verify that its rebuilt
+    /// structures match what the lost worker was running with. `None`
+    /// before the first cached solve.
+    pub fn structure_descriptor(&self) -> Option<StructureDescriptor> {
+        let jac = self.jac_buf.as_ref()?;
+        let gain = self.gain_buf.as_ref()?;
+        Some(StructureDescriptor {
+            jacobian_rows: jac.nrows(),
+            jacobian_nnz: jac.nnz(),
+            gain_dim: gain.nrows(),
+            gain_nnz: gain.nnz(),
+        })
+    }
+}
+
+/// Shape fingerprint of a [`SolveCache`]'s symbolic structures (checkpoint
+/// metadata; the structures themselves rebuild deterministically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StructureDescriptor {
+    /// Jacobian row count (measurements).
+    pub jacobian_rows: usize,
+    /// Jacobian stored nonzeros.
+    pub jacobian_nnz: usize,
+    /// Gain-matrix dimension (state variables).
+    pub gain_dim: usize,
+    /// Gain-matrix stored nonzeros.
+    pub gain_nnz: usize,
 }
 
 /// A WLS estimator bound to one (sub)network and state-space convention.

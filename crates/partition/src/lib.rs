@@ -33,4 +33,4 @@ pub use brute::brute_force_optimal;
 pub use graph::WeightedGraph;
 pub use kway::{partition_kway, KwayOptions};
 pub use partition::Partition;
-pub use repartition::{repartition, RepartitionOptions};
+pub use repartition::{repartition, repartition_shrink, RepartitionOptions};

@@ -10,8 +10,16 @@
 //! The invariant the service asserts end-to-end is
 //!
 //! ```text
-//! ingested == solved + shed(stale) + shed(overflow) + shed(superseded)
+//! ingested + requeued == solved + shed(stale) + shed(overflow) + shed(superseded)
 //! ```
+//!
+//! The `requeued` leg exists for supervision: when a worker is killed
+//! after popping a frame but before solving it, the supervisor puts the
+//! frame back ([`IngestQueue::requeue`]) so it is solved after recovery
+//! instead of vanishing. A requeue is *not* a new ingest — it re-enters a
+//! frame already counted — so it carries its own counter and the identity
+//! widens accordingly (`requeued == 0` whenever no worker ever died
+//! mid-frame, collapsing back to the original identity).
 //!
 //! Sequencing: a frame whose sequence number is not strictly greater than
 //! the last accepted one is shed as *stale* — out-of-order and duplicate
@@ -51,6 +59,10 @@ pub struct IngestStats {
     pub shed_overflow: u64,
     /// Frames shed because a fresher frame superseded them.
     pub shed_superseded: u64,
+    /// Popped frames put back by the supervisor after a worker died
+    /// mid-frame. Each re-enters the solve/shed accounting once more, so
+    /// the identity is `ingested + requeued == solved + shed`.
+    pub requeued: u64,
 }
 
 impl IngestStats {
@@ -65,6 +77,7 @@ impl IngestStats {
         self.shed_stale += other.shed_stale;
         self.shed_overflow += other.shed_overflow;
         self.shed_superseded += other.shed_superseded;
+        self.requeued += other.requeued;
     }
 }
 
@@ -135,6 +148,25 @@ impl IngestQueue {
         drop(s);
         self.ready.notify_one();
         PushOutcome::Accepted
+    }
+
+    /// Puts a previously popped frame back at the *front* of the queue
+    /// (it is the oldest in sequence order). Used by the supervisor when a
+    /// worker died between popping and solving: the frame re-enters the
+    /// accounting via the `requeued` counter, not `ingested`, and
+    /// `last_accepted` is untouched (the frame already advanced it when it
+    /// first arrived). When the queue is full the fresher queued frames
+    /// win and the returned frame is shed as superseded on the spot.
+    pub fn requeue(&self, frame: StreamFrame) {
+        let mut s = self.state.lock().unwrap();
+        s.stats.requeued += 1;
+        if s.frames.len() == self.capacity {
+            s.stats.shed_superseded += 1;
+            return;
+        }
+        s.frames.push_front((frame, Instant::now()));
+        drop(s);
+        self.ready.notify_one();
     }
 
     /// Takes the freshest pending frame, shedding every older queued frame
@@ -292,6 +324,57 @@ mod tests {
         assert_eq!(q2.drain_remaining(), 2);
         assert_eq!(q2.stats().shed_superseded, 2);
         assert_accounted(&q2, 0);
+    }
+
+    #[test]
+    fn requeue_reenters_the_frame_without_reingesting_it() {
+        let q = IngestQueue::new(4);
+        q.push(frame(0));
+        q.push(frame(1));
+        let (f, _) = q.pop_latest(Duration::ZERO).unwrap(); // seq 1; seq 0 superseded
+        assert_eq!(f.seq, 1);
+        q.requeue(f);
+        let st = q.stats();
+        assert_eq!(st.ingested, 2, "requeue must not count as ingest");
+        assert_eq!(st.requeued, 1);
+        // A requeue never regresses last_accepted: a late duplicate of the
+        // requeued sequence is still stale.
+        assert_eq!(q.push(frame(1)), PushOutcome::Shed(ShedReason::Stale));
+        // The requeued frame is poppable again and the identity closes:
+        // ingested + requeued == popped + shed.
+        let (f, _) = q.pop_latest(Duration::ZERO).unwrap();
+        assert_eq!(f.seq, 1);
+        let st = q.stats();
+        assert_eq!(st.ingested + st.requeued, 2 + st.shed());
+    }
+
+    #[test]
+    fn requeue_into_a_full_queue_sheds_the_old_frame_as_superseded() {
+        let q = IngestQueue::new(1);
+        q.push(frame(0));
+        let (f0, _) = q.pop_latest(Duration::ZERO).unwrap();
+        q.push(frame(1)); // queue full again
+        q.requeue(f0); // fresher queued frame wins; f0 shed on the spot
+        assert_eq!(q.depth(), 1);
+        let st = q.stats();
+        assert_eq!(st.requeued, 1);
+        assert_eq!(st.shed_superseded, 1);
+        let (f, _) = q.pop_latest(Duration::ZERO).unwrap();
+        assert_eq!(f.seq, 1);
+        assert_eq!(st.ingested + st.requeued, 1 /* popped f0 */ + 1 /* popped f1 */ + st.shed());
+    }
+
+    #[test]
+    fn requeued_frame_is_oldest_so_latest_still_wins() {
+        let q = IngestQueue::new(4);
+        q.push(frame(2));
+        let (f2, _) = q.pop_latest(Duration::ZERO).unwrap();
+        q.push(frame(3));
+        q.requeue(f2);
+        // Latest-wins drain: seq 3 pops, the requeued seq 2 is superseded.
+        let (f, _) = q.pop_latest(Duration::ZERO).unwrap();
+        assert_eq!(f.seq, 3);
+        assert_eq!(q.stats().shed_superseded, 1);
     }
 
     #[test]

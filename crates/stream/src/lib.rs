@@ -27,13 +27,33 @@
 //! rejects publishes that would move the frame sequence backwards — so
 //! the published epoch is strictly monotone no matter what the transport
 //! (or the fault proxy) does to the frame stream.
+//!
+//! A fourth layer makes the service *self-healing*:
+//!
+//! * **supervise** ([`supervise`]) — per-area workers heartbeat once per
+//!   solve round; a deterministic round-clock watchdog declares silent
+//!   workers suspect, then dead. Dead workers restart in place from an
+//!   in-memory checkpoint ([`supervise::CheckpointStore`]); when every
+//!   worker on a cluster dies at once the service treats the cluster as
+//!   lost, repartitions the decomposition graph over the survivors
+//!   ([`pgse_partition::repartition_shrink`]), prices the implied
+//!   checkpoint handoff ([`pgse_cluster::plan_redistribution`]), and
+//!   re-hosts the orphaned areas live. Solve panics are contained per
+//!   area (`catch_unwind`) and surface as degraded rounds, never as a
+//!   service crash. The accounting identity widens to
+//!   `ingested + requeued == solved + shed`.
 
 pub mod ingest;
 pub mod service;
 pub mod snapshot;
+pub mod supervise;
 pub mod wire;
 
 pub use ingest::{IngestQueue, IngestStats, PushOutcome, ShedReason};
 pub use service::{StreamConfig, StreamError, StreamReport, StreamService};
 pub use snapshot::{PublishRejected, SnapshotStore, SystemSnapshot};
+pub use supervise::{
+    AreaCheckpoint, CheckpointStats, CheckpointStore, KillSchedule, SupervisionEvent,
+    SupervisorConfig, Watchdog, WorkerHealth,
+};
 pub use wire::{decode, encode, StreamFrame, WireError};

@@ -25,11 +25,31 @@
 //! `corrupt`; duplicates and late frames are shed `stale`; missing frames
 //! degrade their area for the round (the previous scan's solution is
 //! carried) without stalling the pipeline.
+//!
+//! Supervision (the self-healing layer, [`crate::supervise`]): at deploy
+//! time the areas are mapped onto [`SupervisorConfig::n_clusters`] HPC
+//! clusters by partitioning the decomposition graph (the same seeded
+//! k-way pass the batch pipeline uses). Each area worker heartbeats once
+//! per solve round; a [`Watchdog`] on the deterministic round clock
+//! declares silent workers suspect, then dead. A dead worker whose host
+//! cluster survives restarts in place from its latest [`AreaCheckpoint`];
+//! when *every* worker hosted on one cluster dies at once the cluster is
+//! declared lost, the graph is repartitioned over the survivors with
+//! minimal migration ([`pgse_partition::repartition_shrink`]), the
+//! implied checkpoint handoff is priced as a redistribution plan
+//! ([`pgse_cluster::plan_redistribution`]), and the orphaned areas are
+//! re-hosted live — the snapshot epoch stays strictly monotone across
+//! the handoff. Solve panics (injectable via [`KillSchedule::panics`])
+//! are contained per area with `catch_unwind` and surface as a degraded
+//! round plus a restart, never as a service crash. A frame popped by a
+//! worker that died before solving it is requeued, widening the
+//! accounting identity to `ingested + requeued == solved + shed`.
 
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use pgse_cluster::{plan_redistribution, FleetLiveness};
 use pgse_dse::decomposition::decompose;
 use pgse_dse::runner::aggregate;
 use pgse_dse::{AreaEstimator, AreaSolution, Decomposition, DecompositionOptions, PseudoMeasurement};
@@ -41,11 +61,19 @@ use pgse_medici::{
     EndpointRegistry, FaultKind, FaultPlan, FaultProxy, FaultProxyHandle, MwClient, MwError,
 };
 use pgse_obs::{ObsReport, Recorder};
+use pgse_partition::weights::initial_graph;
+use pgse_partition::{
+    partition_kway, repartition_shrink, KwayOptions, Partition, RepartitionOptions, WeightedGraph,
+};
 use pgse_powerflow::{solve as solve_pf, PfError, PfOptions};
 use rayon::prelude::*;
 
 use crate::ingest::{IngestQueue, IngestStats};
 use crate::snapshot::{SnapshotStore, SystemSnapshot};
+use crate::supervise::{
+    AreaCheckpoint, CheckpointStore, KillSchedule, SupervisionEvent, SupervisorConfig, Watchdog,
+    WorkerHealth,
+};
 use crate::wire::{self, StreamFrame};
 
 /// Poll interval of the ingest listener threads.
@@ -78,6 +106,18 @@ pub struct StreamConfig {
     /// When set, every area's feed passes through a fault proxy running
     /// this plan (per-area seeds are derived from `plan.seed`).
     pub chaos: Option<FaultPlan>,
+    /// Supervision deadlines, checkpoint cadence, and fleet size.
+    pub supervision: SupervisorConfig,
+    /// Seeded fault schedule: worker kills, cluster kills, injected solve
+    /// panics — all keyed by frame sequence, so exactly reproducible.
+    pub kills: KillSchedule,
+    /// Deterministic round structure (lockstep only): before each round
+    /// the solver waits (bounded by `lockstep_timeout`) until every
+    /// area's queue has accepted the next expected frame, so the same
+    /// seed and kill schedule always produce the same round/shed/recovery
+    /// counts — and a byte-identical deterministic ObsReport. Off by
+    /// default: free-running pops are faster but timing-sensitive.
+    pub deterministic_rounds: bool,
     /// The time-frame noise process `x = f(δt)`.
     pub noise: NoiseProcess,
     /// WLS solver options for both DSE steps.
@@ -99,6 +139,9 @@ impl Default for StreamConfig {
             queue_capacity: 8,
             pop_deadline: Duration::from_millis(50),
             chaos: None,
+            supervision: SupervisorConfig::default(),
+            kills: KillSchedule::default(),
+            deterministic_rounds: false,
             noise: NoiseProcess::default(),
             wls: WlsOptions::default(),
             decomposition: DecompositionOptions::default(),
@@ -170,6 +213,33 @@ pub struct StreamReport {
     pub symbolic_reuses: u64,
     /// Solves warm-started from the previous frame's state.
     pub warm_solves: u64,
+    /// Frames requeued by the supervisor after their worker died between
+    /// popping and solving (each re-enters the solve/shed accounting).
+    pub requeued: u64,
+    /// Solve-closure panics contained by the per-area `catch_unwind`.
+    pub worker_panics: u64,
+    /// Heartbeats the watchdog accepted.
+    pub heartbeats: u64,
+    /// Workers the watchdog marked suspect.
+    pub suspected: u64,
+    /// Workers the watchdog declared dead.
+    pub workers_declared_dead: u64,
+    /// Worker restarts (in place and via failover re-hosting).
+    pub workers_restarted: u64,
+    /// Clusters declared lost (every hosted worker dead at once).
+    pub cluster_deaths: u64,
+    /// Areas re-hosted onto surviving clusters by failover.
+    pub areas_rehosted: u64,
+    /// Checkpoint bytes shipped by failover redistribution plans.
+    pub failover_bytes: u64,
+    /// Checkpoints saved over the run.
+    pub checkpoints_saved: u64,
+    /// Restarts that restored a checkpoint (warm recovery).
+    pub checkpoints_restored: u64,
+    /// Restarts that found no checkpoint and came up cold.
+    pub cold_restarts: u64,
+    /// Everything the supervision layer observed or did, in round order.
+    pub events: Vec<SupervisionEvent>,
     /// Epoch of the last published snapshot.
     pub last_epoch: Option<u64>,
     /// Median ingest→publish frame latency (milliseconds).
@@ -186,9 +256,11 @@ impl StreamReport {
         self.shed_stale + self.shed_overflow + self.shed_superseded
     }
 
-    /// `ingested − (solved + shed)`: zero when every frame is accounted.
+    /// `(ingested + requeued) − (solved + shed)`: zero when every frame —
+    /// including frames a dying worker put back — is accounted. Collapses
+    /// to `ingested − (solved + shed)` when no worker ever died mid-frame.
     pub fn unaccounted(&self) -> i64 {
-        self.ingested as i64 - (self.area_frames_solved + self.shed()) as i64
+        (self.ingested + self.requeued) as i64 - (self.area_frames_solved + self.shed()) as i64
     }
 
     /// Published snapshots per wall-clock second.
@@ -211,6 +283,13 @@ pub struct StreamService {
     store: SnapshotStore,
     rec: Recorder,
     area_recs: Vec<Recorder>,
+    sup_rec: Recorder,
+    /// Weighted decomposition graph (areas = vertices, tie groups =
+    /// edges) — what failover repartitions when a cluster dies.
+    graph: WeightedGraph,
+    /// Initial area → cluster mapping (seeded k-way partition).
+    assignment: Vec<usize>,
+    n_clusters: usize,
 }
 
 impl StreamService {
@@ -257,8 +336,17 @@ impl StreamService {
             }
         }
 
+        // Map areas onto the cluster fleet: the same seeded k-way pass the
+        // batch pipeline uses, over the decomposition graph weighted by
+        // bus counts. The cluster is the liveness and failover domain.
+        let bus_counts: Vec<usize> = decomp.areas.iter().map(|a| a.global_ids.len()).collect();
+        let graph = initial_graph(&bus_counts, &decomp.edges);
+        let n_clusters = cfg.supervision.n_clusters.clamp(1, n.max(1));
+        let assignment = partition_kway(&graph, n_clusters, &KwayOptions::default()).assignment;
+
         let rec = Recorder::new("stream");
         let area_recs = (0..n).map(|a| Recorder::new(&format!("stream.area{a}"))).collect();
+        let sup_rec = Recorder::new("stream.supervise");
         Ok(StreamService {
             cfg,
             decomp,
@@ -271,7 +359,16 @@ impl StreamService {
             store: SnapshotStore::new(),
             rec,
             area_recs,
+            sup_rec,
+            graph,
+            assignment,
+            n_clusters,
         })
+    }
+
+    /// The initial area → cluster mapping (before any failover).
+    pub fn cluster_assignment(&self) -> &[usize] {
+        &self.assignment
     }
 
     /// The snapshot store; safe to read from any thread while the service
@@ -295,17 +392,19 @@ impl StreamService {
         &self.cfg
     }
 
-    /// Observability export: the service scope plus one scope per area
+    /// Observability export: the service scope, the supervision scope
+    /// (failover counters and recovery spans), plus one scope per area
     /// (where the per-solve WLS spans and counters accumulate).
     pub fn obs_report(&self) -> ObsReport {
-        let mut scopes = vec![self.rec.snapshot()];
+        let mut scopes = vec![self.rec.snapshot(), self.sup_rec.snapshot()];
         scopes.extend(self.area_recs.iter().map(Recorder::snapshot));
         ObsReport::from_scopes(scopes)
     }
 
     /// Runs the service to completion: feeder, per-area ingest listeners,
-    /// and the solve loop, then drains and closes the queues so that the
-    /// accounting identity `ingested == solved + shed` is exact.
+    /// and the supervised solve loop, then drains and closes the queues so
+    /// that the accounting identity `ingested + requeued == solved + shed`
+    /// is exact.
     ///
     /// Single-shot: deploy a fresh service for another run.
     pub fn run(&self) -> StreamReport {
@@ -326,6 +425,28 @@ impl StreamService {
         let mut last_solutions: Vec<Option<AreaSolution>> = vec![None; n_areas];
         let mut report = StreamReport::default();
         let mut latencies_ms: Vec<f64> = Vec::new();
+
+        // Supervision state: watchdog, checkpoint store, fleet liveness,
+        // the live area → cluster mapping, and the kill-schedule flags.
+        let mut sup = Supervision {
+            watchdog: Watchdog::new(n_areas, &cfg.supervision),
+            ckpts: CheckpointStore::new(n_areas),
+            liveness: FleetLiveness::new(self.n_clusters),
+            assignment: self.assignment.clone(),
+            n_clusters: self.n_clusters,
+            graph: &self.graph,
+            sup_rec: &self.sup_rec,
+            worker_alive: vec![true; n_areas],
+            recovering: vec![false; n_areas],
+            retired: CacheTotals::default(),
+        };
+        let mut fired_worker = vec![false; cfg.kills.worker_kills.len()];
+        let mut fired_cluster = vec![false; cfg.kills.cluster_kills.len()];
+        let mut fired_panic = vec![false; cfg.kills.panics.len()];
+        // The deterministic round clock: the frame sequence the next round
+        // expects, and the stamp recovery-only rounds tick with.
+        let mut next_expected: u64 = 0;
+        let mut last_target: u64 = 0;
 
         std::thread::scope(|scope| {
             // --- ingest: one listener thread per area decodes and enqueues.
@@ -409,18 +530,54 @@ impl StreamService {
                 });
             }
 
-            // --- solve loop: latest-wins sweep over the area queues.
+            // --- solve loop: latest-wins sweep over the area queues,
+            // supervised (heartbeats → deadline tick → recovery) per round.
             let mut ingest_stopped = false;
             loop {
+                // Deterministic-rounds gate: only pop once every queue has
+                // accepted the frame this round is expected to solve, so
+                // the round/shed/recovery structure is seed-determined.
+                if cfg.deterministic_rounds && next_expected < cfg.n_frames {
+                    let wait = Instant::now();
+                    while wait.elapsed() < cfg.lockstep_timeout
+                        && !self
+                            .queues
+                            .iter()
+                            .all(|q| q.last_accepted().is_some_and(|l| l >= next_expected))
+                    {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+
                 let mut popped: Vec<Option<(StreamFrame, Instant)>> =
                     Vec::with_capacity(n_areas);
                 let mut any = false;
-                for q in &self.queues {
-                    let f = q.pop_latest(cfg.pop_deadline);
+                for (a, q) in self.queues.iter().enumerate() {
+                    // A dead worker pops nothing: its queue accumulates
+                    // (latest-wins) until the supervisor revives it.
+                    let f =
+                        if sup.worker_alive[a] { q.pop_latest(cfg.pop_deadline) } else { None };
                     any |= f.is_some();
+                    if f.is_some() {
+                        report.area_frames_solved += 1;
+                    }
                     popped.push(f);
                 }
                 if !any {
+                    if sup.worker_alive.iter().any(|&alive| !alive) {
+                        // Recovery-only round: nothing to solve, but dead
+                        // workers must still be detected and revived so
+                        // their queues drain before shutdown.
+                        sup.beat_alive();
+                        sup.tick_and_recover(
+                            last_target,
+                            &mut s1_caches,
+                            &mut s2_caches,
+                            &mut last_sets,
+                            &mut report,
+                        );
+                        continue;
+                    }
                     if ingest_stopped {
                         break;
                     }
@@ -438,8 +595,6 @@ impl StreamService {
                     continue;
                 }
 
-                // Assemble the round: freshest frame per area; areas with
-                // nothing new run degraded on carried state.
                 let target_seq = popped.iter().flatten().map(|(f, _)| f.seq).max().unwrap();
                 let dt = popped
                     .iter()
@@ -448,54 +603,127 @@ impl StreamService {
                     .map(|(f, _)| f.dt_seconds)
                     .unwrap();
                 let noise = cfg.noise.level(dt);
-                let mut enqueue_times: Vec<Option<Instant>> = vec![None; n_areas];
-                for (a, slot) in popped.into_iter().enumerate() {
-                    if let Some((frame, t_enq)) = slot {
-                        report.area_frames_solved += 1;
-                        enqueue_times[a] = Some(t_enq);
-                        last_sets[a] = Some(frame.measurements);
+
+                // Fire the seeded kill schedule for this round. A killed
+                // worker loses its in-memory state and stops heartbeating;
+                // the frame it had just popped goes back on its queue.
+                let mut victims: Vec<usize> = Vec::new();
+                for (i, &(s, a)) in cfg.kills.worker_kills.iter().enumerate() {
+                    if !fired_worker[i] && s <= target_seq {
+                        fired_worker[i] = true;
+                        victims.push(a);
                     }
                 }
-                let fresh: Vec<bool> = enqueue_times.iter().map(Option::is_some).collect();
-                let degraded: Vec<usize> =
-                    (0..n_areas).filter(|&a| !fresh[a]).collect();
+                for (i, &(s, c)) in cfg.kills.cluster_kills.iter().enumerate() {
+                    if !fired_cluster[i] && s <= target_seq {
+                        fired_cluster[i] = true;
+                        victims.extend((0..n_areas).filter(|&a| sup.assignment[a] == c));
+                    }
+                }
+                for a in victims {
+                    if !sup.worker_alive[a] {
+                        continue;
+                    }
+                    sup.worker_alive[a] = false;
+                    if let Some((frame, _)) = popped[a].take() {
+                        self.queues[a].requeue(frame);
+                    }
+                }
+
+                // Assemble the round: freshest frame per area; areas with
+                // nothing new run degraded on carried state.
+                let mut enqueue_times: Vec<Option<Instant>> = vec![None; n_areas];
+                let mut popped_frames: Vec<Option<StreamFrame>> = vec![None; n_areas];
+                for (a, slot) in popped.into_iter().enumerate() {
+                    if let Some((frame, t_enq)) = slot {
+                        enqueue_times[a] = Some(t_enq);
+                        last_sets[a] = Some(frame.measurements.clone());
+                        popped_frames[a] = Some(frame);
+                    }
+                }
+                let mut fresh: Vec<bool> = popped_frames.iter().map(Option::is_some).collect();
+
+                // Panic injection is decided before the fan-out so the
+                // parallel closures stay deterministic.
+                let mut panic_now = vec![false; n_areas];
+                for (i, &(s, a)) in cfg.kills.panics.iter().enumerate() {
+                    if !fired_panic[i] && s <= target_seq && fresh[a] {
+                        fired_panic[i] = true;
+                        panic_now[a] = true;
+                    }
+                }
 
                 let round_start = Instant::now();
                 let mut round_span = self.rec.span_at("stream.frame", target_seq);
-                round_span.record("fresh_areas", (n_areas - degraded.len()) as u64);
 
                 // DSE Step 1: fresh areas fan out across the thread pool
                 // (the per-area recorder keeps each area's trace on its own
                 // deterministic logical clock regardless of which worker
-                // thread runs it).
-                let step1: Vec<Option<AreaSolution>> = self
+                // thread runs it). `catch_unwind` sits *inside* the closure
+                // so the pool never sees a panic — the supervisor does.
+                let step1: Vec<StageOutcome> = self
                     .estimators
                     .par_iter()
                     .enumerate()
                     .zip(s1_caches.par_iter_mut())
                     .map(|((a, est), cache)| {
-                        let set = if fresh[a] { last_sets[a].as_ref() } else { None }?;
+                        if !fresh[a] {
+                            return StageOutcome::Skipped;
+                        }
+                        let Some(set) = last_sets[a].as_ref() else {
+                            return StageOutcome::Skipped;
+                        };
                         let rec = &self.area_recs[a];
-                        pgse_obs::with_recorder(rec, || {
-                            if cfg.warm {
-                                est.step1_cached(set, cache)
-                            } else {
-                                est.step1(set)
+                        let inject = panic_now[a];
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            if inject {
+                                std::panic::panic_any(INJECTED_PANIC);
                             }
-                        })
-                        .ok()
+                            pgse_obs::with_recorder(rec, || {
+                                if cfg.warm {
+                                    est.step1_cached(set, cache)
+                                } else {
+                                    est.step1(set)
+                                }
+                            })
+                        }));
+                        match out {
+                            Ok(Ok(sol)) => StageOutcome::Solved(sol),
+                            Ok(Err(_)) => StageOutcome::Failed,
+                            Err(_) => StageOutcome::Panicked,
+                        }
                     })
                     .collect();
+
+                // Contain Step-1 casualties: the panicked worker's frame
+                // was never solved, so it is requeued; the worker restarts
+                // at the end of the round and its area runs degraded.
+                let mut to_restart: Vec<usize> = Vec::new();
                 for a in 0..n_areas {
-                    if fresh[a] && step1[a].is_none() {
-                        report.solve_errors += 1;
+                    match step1[a] {
+                        StageOutcome::Failed => report.solve_errors += 1,
+                        StageOutcome::Panicked => {
+                            report.worker_panics += 1;
+                            report
+                                .events
+                                .push(SupervisionEvent::Panicked { area: a, seq: target_seq });
+                            if let Some(frame) = popped_frames[a].take() {
+                                self.queues[a].requeue(frame);
+                            }
+                            fresh[a] = false;
+                            enqueue_times[a] = None;
+                            to_restart.push(a);
+                        }
+                        _ => {}
                     }
                 }
+
                 // This round's Step-1 view: fresh result or carried state.
-                let s1_solutions: Vec<Option<AreaSolution>> = step1
-                    .iter()
-                    .zip(&last_solutions)
-                    .map(|(new, old)| new.clone().or_else(|| old.clone()))
+                let s1_solutions: Vec<Option<AreaSolution>> = (0..n_areas)
+                    .map(|a| match &step1[a] {
+                        StageOutcome::Solved(s) => Some(s.clone()),
+                        _ => last_solutions[a].clone(),
+                    })
                     .collect();
 
                 // Exchange: boundary/sensitive solutions as pseudo
@@ -511,39 +739,76 @@ impl StreamService {
                     .collect();
 
                 // DSE Step 2: re-evaluate boundaries on the extended model,
-                // again fanned out across the pool.
+                // again fanned out across the pool, again panic-contained.
                 let pseudo = &pseudo;
-                let step2: Vec<Option<AreaSolution>> = self
+                let step2: Vec<StageOutcome> = self
                     .estimators
                     .par_iter()
                     .enumerate()
                     .zip(s2_caches.par_iter_mut())
                     .map(|((a, est), cache)| {
-                        let s1 = if fresh[a] { s1_solutions[a].as_ref() } else { None }?;
-                        let set = last_sets[a].as_ref()?;
+                        if !fresh[a] {
+                            return StageOutcome::Skipped;
+                        }
+                        let (Some(s1), Some(set)) =
+                            (s1_solutions[a].as_ref(), last_sets[a].as_ref())
+                        else {
+                            return StageOutcome::Skipped;
+                        };
                         let rec = &self.area_recs[a];
                         let mut inbox = Vec::new();
                         for &nb in &est.info.neighbors {
                             inbox.extend(pseudo[nb].iter().copied());
                         }
                         let seed = step2_seed(cfg.seed, target_seq);
-                        pgse_obs::with_recorder(rec, || {
-                            if cfg.warm {
-                                est.step2_cached(s1, &inbox, set, noise, seed, cache)
-                            } else {
-                                est.step2(s1, &inbox, set, noise, seed)
-                            }
-                        })
-                        .ok()
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            pgse_obs::with_recorder(rec, || {
+                                if cfg.warm {
+                                    est.step2_cached(s1, &inbox, set, noise, seed, cache)
+                                } else {
+                                    est.step2(s1, &inbox, set, noise, seed)
+                                }
+                            })
+                        }));
+                        match out {
+                            Ok(Ok(sol)) => StageOutcome::Solved(sol),
+                            Ok(Err(_)) => StageOutcome::Failed,
+                            Err(_) => StageOutcome::Panicked,
+                        }
                     })
                     .collect();
 
+                // Step-2 casualties consumed their frame (no requeue): the
+                // area carries its Step-1 view and the worker restarts.
+                for (a, outcome) in step2.iter().enumerate() {
+                    match outcome {
+                        StageOutcome::Failed => report.solve_errors += 1,
+                        StageOutcome::Panicked => {
+                            report.worker_panics += 1;
+                            report
+                                .events
+                                .push(SupervisionEvent::Panicked { area: a, seq: target_seq });
+                            to_restart.push(a);
+                        }
+                        _ => {}
+                    }
+                }
+
                 // Merge and account the round.
+                let degraded: Vec<usize> = (0..n_areas).filter(|&a| !fresh[a]).collect();
                 let mut gn = 0u64;
                 for a in 0..n_areas {
-                    gn += step1[a].as_ref().map_or(0, |s| s.iterations as u64)
-                        + step2[a].as_ref().map_or(0, |s| s.iterations as u64);
-                    if let Some(sol) = step2[a].clone().or_else(|| s1_solutions[a].clone()) {
+                    if let StageOutcome::Solved(s) = &step1[a] {
+                        gn += s.iterations as u64;
+                    }
+                    if let StageOutcome::Solved(s) = &step2[a] {
+                        gn += s.iterations as u64;
+                    }
+                    let s2_new = match &step2[a] {
+                        StageOutcome::Solved(s) => Some(s.clone()),
+                        _ => None,
+                    };
+                    if let Some(sol) = s2_new.or_else(|| s1_solutions[a].clone()) {
                         last_solutions[a] = Some(sol);
                     }
                 }
@@ -554,7 +819,70 @@ impl StreamService {
                 if !degraded.is_empty() {
                     self.rec.counter_add("stream.degraded", degraded.len() as u64);
                 }
+                round_span.record("fresh_areas", (n_areas - degraded.len()) as u64);
                 round_span.record("gn_iterations", gn);
+
+                // A revived worker that just produced a fresh solve again
+                // has fully recovered.
+                for a in 0..n_areas {
+                    if sup.recovering[a]
+                        && fresh[a]
+                        && matches!(step1[a], StageOutcome::Solved(_))
+                    {
+                        sup.recovering[a] = false;
+                        report
+                            .events
+                            .push(SupervisionEvent::Recovered { area: a, seq: target_seq });
+                    }
+                }
+
+                // Checkpoint the round's survivors, then close the round on
+                // the watchdog: heartbeats, deadline tick, and whatever
+                // recovery (restart / cluster failover) the tick implies.
+                if report.rounds % cfg.supervision.checkpoint_interval == 0 {
+                    for a in 0..n_areas {
+                        if sup.worker_alive[a]
+                            && fresh[a]
+                            && matches!(step1[a], StageOutcome::Solved(_))
+                        {
+                            sup.ckpts.save(AreaCheckpoint {
+                                area: a,
+                                frame_seq: target_seq,
+                                warm: s1_caches[a].export_warm(),
+                                last_set: last_sets[a].clone(),
+                                last_solution: last_solutions[a].clone(),
+                                structure: s1_caches[a].structure_descriptor(),
+                            });
+                        }
+                    }
+                }
+                for a in 0..n_areas {
+                    if sup.worker_alive[a] && !to_restart.contains(&a) {
+                        sup.watchdog.beat(a);
+                    }
+                }
+                let revived = sup.tick_and_recover(
+                    target_seq,
+                    &mut s1_caches,
+                    &mut s2_caches,
+                    &mut last_sets,
+                    &mut report,
+                );
+                for a in to_restart {
+                    if revived.contains(&a) {
+                        continue; // the watchdog path already revived it
+                    }
+                    let warm = sup.revive(
+                        a,
+                        &mut s1_caches,
+                        &mut s2_caches,
+                        &mut last_sets,
+                        &mut report,
+                    );
+                    report
+                        .events
+                        .push(SupervisionEvent::Restarted { area: a, seq: target_seq, warm });
+                }
 
                 // Aggregate and publish once every area has contributed.
                 if last_solutions.iter().all(Option::is_some) {
@@ -591,11 +919,13 @@ impl StreamService {
                     report.rounds_unpublishable += 1;
                 }
                 drop(round_span);
+                last_target = target_seq;
+                next_expected = next_expected.max(target_seq + 1);
             }
         });
 
         // --- shutdown accounting: close, drain, and fold every counter so
-        // ingested == solved + shed is exact.
+        // ingested + requeued == solved + shed is exact.
         let mut totals = IngestStats::default();
         for q in &self.queues {
             q.close();
@@ -606,14 +936,23 @@ impl StreamService {
         report.shed_stale = totals.shed_stale;
         report.shed_overflow = totals.shed_overflow;
         report.shed_superseded = totals.shed_superseded;
+        report.requeued = totals.requeued;
         report.corrupt = corrupt.iter().map(|c| c.load(Ordering::Relaxed)).sum();
         report.frames_fed = frames_fed.load(Ordering::Relaxed);
         report.send_failures = send_failures.load(Ordering::Relaxed);
+        // Live caches join the totals retired by worker restarts, so no
+        // build/reuse/warm-solve is lost or double-counted across revives.
         for c in s1_caches.iter().chain(&s2_caches) {
-            report.symbolic_builds += c.symbolic_builds;
-            report.symbolic_reuses += c.symbolic_reuses;
-            report.warm_solves += c.warm_solves;
+            sup.retired.absorb(c);
         }
+        report.symbolic_builds = sup.retired.builds;
+        report.symbolic_reuses = sup.retired.reuses;
+        report.warm_solves = sup.retired.warm;
+        report.heartbeats = sup.watchdog.beats();
+        let ck = sup.ckpts.stats();
+        report.checkpoints_saved = ck.saves;
+        report.checkpoints_restored = ck.restores;
+        report.cold_restarts = ck.misses;
         for h in &self.proxies {
             let st = h.stats();
             report.faults_injected += st.injected_faults();
@@ -636,12 +975,217 @@ impl StreamService {
         self.rec.counter_add("stream.shed.overflow", report.shed_overflow);
         self.rec.counter_add("stream.shed.superseded", report.shed_superseded);
         self.rec.counter_add("stream.corrupt", report.corrupt);
+        self.rec.counter_add("stream.requeued", report.requeued);
+        self.rec.counter_add("stream.worker_panics", report.worker_panics);
+        self.sup_rec.counter_add("failover.suspected", report.suspected);
+        self.sup_rec.counter_add("failover.dead", report.workers_declared_dead);
+        self.sup_rec.counter_add("failover.restarts", report.workers_restarted);
+        self.sup_rec.counter_add("failover.cluster_deaths", report.cluster_deaths);
+        self.sup_rec.counter_add("failover.migrations", report.areas_rehosted);
+        self.sup_rec.counter_add("failover.bytes", report.failover_bytes);
+        self.sup_rec.counter_add("failover.checkpoints", report.checkpoints_saved);
+        self.sup_rec.counter_add("failover.restores", report.checkpoints_restored);
 
         latencies_ms.sort_by(f64::total_cmp);
         report.latency_p50_ms = percentile(&latencies_ms, 0.50);
         report.latency_p99_ms = percentile(&latencies_ms, 0.99);
         report.elapsed = start.elapsed();
         report
+    }
+}
+
+/// Panic payload the kill schedule injects into a Step-1 closure.
+const INJECTED_PANIC: &str = "injected solver fault (kill schedule)";
+
+/// Per-area result of one supervised solve stage.
+enum StageOutcome {
+    /// A fresh solution.
+    Solved(AreaSolution),
+    /// The solver reported an error; the area carries its last solution.
+    Failed,
+    /// The solve closure panicked (contained); the worker restarts.
+    Panicked,
+    /// Nothing to do: no fresh scan, or the worker is down.
+    Skipped,
+}
+
+/// Running totals of retired (replaced) solve caches, so worker restarts
+/// never lose or double-count cache statistics.
+#[derive(Debug, Default)]
+struct CacheTotals {
+    builds: u64,
+    reuses: u64,
+    warm: u64,
+}
+
+impl CacheTotals {
+    fn absorb(&mut self, c: &SolveCache) {
+        self.builds += c.symbolic_builds;
+        self.reuses += c.symbolic_reuses;
+        self.warm += c.warm_solves;
+    }
+}
+
+/// The supervisor's mutable state for one run: watchdog, checkpoints,
+/// fleet liveness, and the live area → cluster mapping.
+struct Supervision<'a> {
+    watchdog: Watchdog,
+    ckpts: CheckpointStore,
+    liveness: FleetLiveness,
+    assignment: Vec<usize>,
+    n_clusters: usize,
+    graph: &'a WeightedGraph,
+    sup_rec: &'a Recorder,
+    worker_alive: Vec<bool>,
+    recovering: Vec<bool>,
+    retired: CacheTotals,
+}
+
+impl Supervision<'_> {
+    /// Heartbeats for every live worker (recovery-only rounds).
+    fn beat_alive(&mut self) {
+        for a in 0..self.worker_alive.len() {
+            if self.worker_alive[a] {
+                self.watchdog.beat(a);
+            }
+        }
+    }
+
+    /// Closes the round on the watchdog and executes whatever recovery the
+    /// deadline transitions imply: whole-cluster failover (repartition the
+    /// survivors, price and execute the checkpoint handoff) for clusters
+    /// whose every hosted worker died, restart-in-place for everyone else.
+    /// Returns the areas revived this round.
+    fn tick_and_recover(
+        &mut self,
+        seq: u64,
+        s1_caches: &mut [SolveCache],
+        s2_caches: &mut [SolveCache],
+        last_sets: &mut [Option<MeasurementSet>],
+        report: &mut StreamReport,
+    ) -> Vec<usize> {
+        let events = self.watchdog.tick(seq);
+        let mut newly_dead: Vec<usize> = Vec::new();
+        for ev in events {
+            match ev {
+                SupervisionEvent::Suspected { .. } => report.suspected += 1,
+                SupervisionEvent::Died { area, .. } => {
+                    report.workers_declared_dead += 1;
+                    newly_dead.push(area);
+                }
+                _ => {}
+            }
+            report.events.push(ev);
+        }
+        if newly_dead.is_empty() {
+            return Vec::new();
+        }
+
+        let n_areas = self.assignment.len();
+        let mut revived = Vec::new();
+
+        // Cluster-death inference: a cluster whose every hosted worker is
+        // dead is gone (the supervisor cannot distinguish a fleet-level
+        // outage from the simultaneous death of all its workers — and
+        // does not need to). Guarded against total fleet loss: with no
+        // survivors there is nowhere to repartition to, so the workers
+        // fall through to restart-in-place instead.
+        let dead_clusters: Vec<usize> = self
+            .liveness
+            .alive_clusters()
+            .into_iter()
+            .filter(|&c| {
+                let hosted: Vec<usize> =
+                    (0..n_areas).filter(|&a| self.assignment[a] == c).collect();
+                !hosted.is_empty()
+                    && hosted.iter().all(|&a| self.watchdog.health(a) == WorkerHealth::Dead)
+            })
+            .collect();
+        if !dead_clusters.is_empty() && dead_clusters.len() < self.liveness.n_alive() {
+            let mut span = self.sup_rec.span_at("failover.recover", seq);
+            for &c in &dead_clusters {
+                self.liveness.kill(c);
+                report.cluster_deaths += 1;
+                report.events.push(SupervisionEvent::ClusterDied { cluster: c, seq });
+            }
+            // Minimal-migration repartition over the survivors, then the
+            // redistribution plan that ships the orphans' checkpoints to
+            // their new hosts.
+            let prev = Partition::new(self.assignment.clone(), self.n_clusters);
+            let shrunk = repartition_shrink(
+                self.graph,
+                &prev,
+                &dead_clusters,
+                &RepartitionOptions::default(),
+            );
+            let bytes: Vec<u64> =
+                (0..n_areas).map(|a| self.ckpts.checkpoint_bytes(a)).collect();
+            let plan = plan_redistribution(&self.assignment, &shrunk.assignment, &bytes);
+            span.record("migrations", plan.migrations() as u64);
+            span.record("bytes", plan.total_bytes());
+            for m in &plan.moves {
+                report.areas_rehosted += 1;
+                report.failover_bytes += m.bytes;
+                report.events.push(SupervisionEvent::Rehosted {
+                    area: m.area,
+                    from_cluster: m.from_cluster,
+                    to_cluster: m.to_cluster,
+                    seq,
+                });
+                self.revive(m.area, s1_caches, s2_caches, last_sets, report);
+                revived.push(m.area);
+            }
+            self.assignment = shrunk.assignment;
+        }
+
+        // Workers that died on a surviving cluster restart in place (the
+        // failover path above already revived its movers, clearing their
+        // Dead state, so they are skipped here).
+        for a in newly_dead {
+            if self.watchdog.health(a) == WorkerHealth::Dead {
+                let warm = self.revive(a, s1_caches, s2_caches, last_sets, report);
+                report.events.push(SupervisionEvent::Restarted { area: a, seq, warm });
+                revived.push(a);
+            }
+        }
+        revived
+    }
+
+    /// Brings a worker back: folds its retired caches into the running
+    /// totals, installs fresh caches, and restores the latest checkpoint
+    /// (warm WLS start + last raw scan) when one exists. Returns whether
+    /// the restart was warm.
+    fn revive(
+        &mut self,
+        a: usize,
+        s1_caches: &mut [SolveCache],
+        s2_caches: &mut [SolveCache],
+        last_sets: &mut [Option<MeasurementSet>],
+        report: &mut StreamReport,
+    ) -> bool {
+        self.retired.absorb(&s1_caches[a]);
+        self.retired.absorb(&s2_caches[a]);
+        s1_caches[a] = SolveCache::new();
+        s2_caches[a] = SolveCache::new();
+        let warm = match self.ckpts.restore(a) {
+            Some(ck) => {
+                let has_warm = ck.warm.is_some();
+                if let Some((vm, va)) = ck.warm {
+                    s1_caches[a].restore_warm(vm, va);
+                }
+                last_sets[a] = ck.last_set;
+                has_warm
+            }
+            None => {
+                last_sets[a] = None;
+                false
+            }
+        };
+        self.worker_alive[a] = true;
+        self.recovering[a] = true;
+        self.watchdog.revive(a);
+        report.workers_restarted += 1;
+        warm
     }
 }
 
@@ -706,6 +1250,58 @@ mod tests {
         assert_eq!(obs.counter("stream", "stream.ingested"), report.ingested);
         assert_eq!(obs.counter("stream", "stream.solved"), report.area_frames_solved);
         assert!(obs.total_counter("wls.gn_iterations") >= report.gn_iterations);
+    }
+
+    #[test]
+    fn injected_panic_degrades_the_round_and_restarts_the_worker_warm() {
+        let net = ieee118_like();
+        let cfg = StreamConfig {
+            n_frames: 5,
+            seed: 33,
+            deterministic_rounds: true,
+            kills: KillSchedule { panics: vec![(2, 0)], ..KillSchedule::default() },
+            ..StreamConfig::default()
+        };
+        let service = StreamService::deploy(&net, cfg).unwrap();
+        let report = service.run();
+
+        // The panic was contained: the service finished, the area ran one
+        // degraded round, and the worker restarted warm from a checkpoint.
+        assert_eq!(report.worker_panics, 1, "{report:?}");
+        assert_eq!(report.frames_published, 5);
+        assert!(report.degraded_area_rounds >= 1);
+        assert_eq!(report.workers_restarted, 1);
+        assert_eq!(report.checkpoints_restored, 1);
+        assert_eq!(report.cold_restarts, 0);
+        assert!(report.events.contains(&SupervisionEvent::Panicked { area: 0, seq: 2 }));
+        assert!(report
+            .events
+            .contains(&SupervisionEvent::Restarted { area: 0, seq: 2, warm: true }));
+        assert!(report.events.contains(&SupervisionEvent::Recovered { area: 0, seq: 3 }));
+
+        // The popped-but-unsolved frame was requeued and the widened
+        // identity closes exactly.
+        assert_eq!(report.requeued, 1);
+        assert_eq!(report.unaccounted(), 0, "{report:?}");
+
+        // The obs scope tells the same story.
+        let obs = service.obs_report();
+        assert_eq!(obs.counter("stream", "stream.worker_panics"), 1);
+        assert_eq!(obs.counter("stream", "stream.requeued"), 1);
+        assert_eq!(obs.counter("stream.supervise", "failover.restarts"), 1);
+    }
+
+    #[test]
+    fn deploy_maps_areas_onto_the_fleet() {
+        let net = ieee118_like();
+        let service = StreamService::deploy(&net, StreamConfig::default()).unwrap();
+        let assignment = service.cluster_assignment();
+        assert_eq!(assignment.len(), service.n_areas());
+        // Every configured cluster hosts at least one area.
+        let k = service.config().supervision.n_clusters;
+        for c in 0..k {
+            assert!(assignment.contains(&c), "cluster {c} hosts nothing: {assignment:?}");
+        }
     }
 
     #[test]

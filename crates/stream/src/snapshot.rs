@@ -299,6 +299,58 @@ mod tests {
         assert_eq!(store.load().unwrap().frame_seq, 6);
     }
 
+    /// Satellite pin: a *zombie* writer — a worker declared dead whose
+    /// last publish arrives late — is rejected by the stale-publish guard,
+    /// and a concurrent reader never observes the epoch regress while the
+    /// zombie hammers the store.
+    #[test]
+    fn zombie_writer_publishes_are_rejected_under_concurrent_reads() {
+        const ZOMBIE_ATTEMPTS: u64 = 1_000;
+        let store = SnapshotStore::new();
+
+        // The live pipeline has already published up to frame 10.
+        for s in 0..=10u64 {
+            store.publish(snap(s, 16)).unwrap();
+        }
+        let epoch_at_death = store.current_epoch().unwrap();
+
+        std::thread::scope(|s| {
+            let store = &store;
+            let reader = s.spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut reads = 0u64;
+                while reads < 10_000 {
+                    let got = store.load().unwrap();
+                    assert!(got.epoch >= last_epoch, "epoch regressed under zombie writes");
+                    assert!(got.frame_seq >= 10, "zombie state became visible");
+                    last_epoch = got.epoch;
+                    reads += 1;
+                }
+                last_epoch
+            });
+            // The zombie replays its stale pre-death frames, interleaved
+            // with the live pipeline publishing fresh ones.
+            s.spawn(move || {
+                for i in 0..ZOMBIE_ATTEMPTS {
+                    let stale = i % 10; // always <= frame 9 < current
+                    let err = store.publish(snap(stale, 16)).unwrap_err();
+                    assert_eq!(err.frame_seq, stale);
+                    assert!(err.current_frame_seq >= 10);
+                }
+            });
+            for live in 11..=20u64 {
+                store.publish(snap(live, 16)).unwrap();
+            }
+            let final_epoch = reader.join().unwrap();
+            assert!(final_epoch >= epoch_at_death);
+        });
+
+        // Every zombie publish was refused: exactly the live publishes
+        // advanced the epoch, one each.
+        assert_eq!(store.current_epoch(), Some(epoch_at_death + 10));
+        assert_eq!(store.load().unwrap().frame_seq, 20);
+    }
+
     #[test]
     fn concurrent_readers_see_monotone_untorn_snapshots() {
         const PUBLISHES: u64 = 2_000;

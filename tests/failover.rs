@@ -1,0 +1,323 @@
+//! Chaos suite for the self-healing streaming service: the acceptance
+//! criteria of the supervision / checkpoint / failover subsystem.
+//!
+//! * a **worker kill** mid-stream is detected on the deterministic round
+//!   clock, the worker restarts warm from its checkpoint, and its area is
+//!   publishing fresh again within the bounded recovery window
+//!   (`dead_after + 1` rounds);
+//! * a **whole-cluster kill** triggers live failover: the decomposition
+//!   graph is repartitioned over the survivors, every orphaned area is
+//!   re-hosted (all redistribution moves originate at the dead cluster),
+//!   and the service keeps publishing with strictly monotone epochs;
+//! * the widened accounting identity `ingested + requeued == solved +
+//!   shed` closes exactly, from both the StreamReport and the ObsReport
+//!   counters;
+//! * same-seed chaos runs produce **byte-identical** deterministic
+//!   ObsReports;
+//! * network chaos (the medici fault proxy) stacked on top of worker
+//!   kills still leaves every frame accounted.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use pgse::grid::cases::ieee118_like;
+use pgse::medici::FaultPlan;
+use pgse::stream::{
+    KillSchedule, PublishRejected, StreamConfig, StreamService, SupervisionEvent, SystemSnapshot,
+};
+
+/// Each test runs a full multi-threaded service; serialize the file so
+/// lockstep timeouts stay load-independent.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The recovery bound, in rounds, from the kill to a fresh publish: one
+/// round per missed deadline until death, plus the restart round.
+fn recovery_bound(cfg: &StreamConfig) -> u64 {
+    cfg.supervision.dead_after + 1
+}
+
+#[test]
+fn killed_worker_is_declared_dead_restarts_warm_and_recovers_within_bound() {
+    let _serial = serial();
+    let net = ieee118_like();
+    let kill_seq = 3u64;
+    let cfg = StreamConfig {
+        n_frames: 12,
+        seed: 17,
+        deterministic_rounds: true,
+        kills: KillSchedule { worker_kills: vec![(kill_seq, 2)], ..KillSchedule::default() },
+        ..StreamConfig::default()
+    };
+    let service = StreamService::deploy(&net, cfg.clone()).unwrap();
+
+    // Concurrent reader: the kill must never make the published epoch
+    // regress or go torn.
+    let done = AtomicBool::new(false);
+    let report = std::thread::scope(|s| {
+        let service_ref = &service;
+        let done_ref = &done;
+        s.spawn(move || {
+            let mut last_epoch = 0u64;
+            loop {
+                if let Some(snap) = service_ref.store().load() {
+                    assert!(snap.epoch >= last_epoch, "epoch regressed across the kill");
+                    last_epoch = snap.epoch;
+                    assert!(snap.vm.iter().all(|v| v.is_finite()));
+                }
+                if done_ref.load(Ordering::Acquire) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        });
+        let report = service.run();
+        done.store(true, Ordering::Release);
+        report
+    });
+
+    // Detection on the deterministic clock: suspect at the kill round,
+    // dead one deadline later, restarted in place the same round (its
+    // cluster survived), fresh again the round after that.
+    let dead_seq = kill_seq + cfg.supervision.dead_after - 1;
+    assert!(report.events.contains(&SupervisionEvent::Suspected { area: 2, seq: kill_seq }));
+    assert!(report.events.contains(&SupervisionEvent::Died { area: 2, seq: dead_seq }));
+    assert!(report
+        .events
+        .contains(&SupervisionEvent::Restarted { area: 2, seq: dead_seq, warm: true }));
+    let recovered_seq = report
+        .events
+        .iter()
+        .find_map(|e| match *e {
+            SupervisionEvent::Recovered { area: 2, seq } => Some(seq),
+            _ => None,
+        })
+        .expect("area 2 never recovered");
+    assert!(
+        recovered_seq - kill_seq <= recovery_bound(&cfg),
+        "recovery took {} rounds, bound is {}",
+        recovered_seq - kill_seq,
+        recovery_bound(&cfg)
+    );
+
+    // The service never stopped publishing: every frame has a snapshot,
+    // and the killed worker's in-flight frame re-entered the accounting
+    // through the requeued leg.
+    assert_eq!(report.frames_published, 12);
+    assert_eq!(report.last_epoch, Some(11));
+    assert_eq!(report.workers_declared_dead, 1);
+    assert_eq!(report.workers_restarted, 1);
+    assert_eq!(report.checkpoints_restored, 1);
+    assert_eq!(report.cold_restarts, 0);
+    assert_eq!(report.requeued, 1);
+    assert!(report.degraded_area_rounds >= cfg.supervision.dead_after);
+    assert_eq!(report.unaccounted(), 0, "{report:?}");
+
+    // The same identity from the ObsReport counters alone.
+    let obs = service.obs_report();
+    let ingested = obs.counter("stream", "stream.ingested");
+    let requeued = obs.counter("stream", "stream.requeued");
+    let solved = obs.counter("stream", "stream.solved");
+    let shed = obs.counter("stream", "stream.shed.stale")
+        + obs.counter("stream", "stream.shed.overflow")
+        + obs.counter("stream", "stream.shed.superseded");
+    assert_eq!(ingested + requeued, solved + shed, "identity open in ObsReport");
+    assert_eq!(obs.counter("stream.supervise", "failover.dead"), 1);
+    assert_eq!(obs.counter("stream.supervise", "failover.restarts"), 1);
+    assert_eq!(obs.counter("stream.supervise", "failover.cluster_deaths"), 0);
+
+    // The final state is the last frame, fully fresh.
+    let snap = service.store().load().unwrap();
+    assert_eq!(snap.frame_seq, 11);
+    assert!(snap.degraded_areas.is_empty());
+}
+
+#[test]
+fn cluster_kill_fails_over_to_survivors_and_keeps_publishing() {
+    let _serial = serial();
+    let net = ieee118_like();
+    let kill_seq = 4u64;
+    let dead_cluster = 1usize;
+    let cfg = StreamConfig {
+        n_frames: 14,
+        seed: 29,
+        deterministic_rounds: true,
+        kills: KillSchedule {
+            cluster_kills: vec![(kill_seq, dead_cluster)],
+            ..KillSchedule::default()
+        },
+        ..StreamConfig::default()
+    };
+    let service = StreamService::deploy(&net, cfg.clone()).unwrap();
+    let orphans: Vec<usize> = service
+        .cluster_assignment()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c == dead_cluster)
+        .map(|(a, _)| a)
+        .collect();
+    assert!(!orphans.is_empty(), "cluster {dead_cluster} hosts nothing");
+
+    let report = service.run();
+
+    // The cluster was declared lost exactly once, one deadline after the
+    // kill, and every orphaned area was re-hosted off it.
+    let dead_seq = kill_seq + cfg.supervision.dead_after - 1;
+    assert_eq!(report.cluster_deaths, 1);
+    assert!(report
+        .events
+        .contains(&SupervisionEvent::ClusterDied { cluster: dead_cluster, seq: dead_seq }));
+    let rehosts: Vec<(usize, usize, usize)> = report
+        .events
+        .iter()
+        .filter_map(|e| match *e {
+            SupervisionEvent::Rehosted { area, from_cluster, to_cluster, .. } => {
+                Some((area, from_cluster, to_cluster))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(rehosts.len(), orphans.len(), "{rehosts:?}");
+    for &(area, from, to) in &rehosts {
+        assert!(orphans.contains(&area), "rehosted a non-orphan area {area}");
+        assert_eq!(from, dead_cluster, "move does not originate at the dead cluster");
+        assert_ne!(to, dead_cluster, "move lands on the dead cluster");
+    }
+    assert_eq!(report.areas_rehosted, orphans.len() as u64);
+    assert!(report.failover_bytes > 0, "checkpoint handoff shipped nothing");
+    assert_eq!(report.checkpoints_restored, orphans.len() as u64);
+    assert_eq!(report.cold_restarts, 0);
+
+    // Every re-hosted area came back fresh within the bound.
+    for &a in &orphans {
+        let recovered_seq = report
+            .events
+            .iter()
+            .find_map(|e| match *e {
+                SupervisionEvent::Recovered { area, seq } if area == a => Some(seq),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("area {a} never recovered: {:?}", report.events));
+        assert!(recovered_seq - kill_seq <= recovery_bound(&cfg));
+    }
+
+    // Publishing never stopped and the identity closes with the requeued
+    // leg (one in-flight frame per orphaned worker).
+    assert_eq!(report.frames_published, 14);
+    assert_eq!(report.last_epoch, Some(13));
+    assert_eq!(report.requeued, orphans.len() as u64);
+    assert_eq!(report.unaccounted(), 0, "{report:?}");
+    let snap = service.store().load().unwrap();
+    assert_eq!(snap.frame_seq, 13);
+    assert!(snap.degraded_areas.is_empty(), "{snap:?}");
+
+    // Failover surfaced in the supervision obs scope.
+    let obs = service.obs_report();
+    assert_eq!(obs.counter("stream.supervise", "failover.cluster_deaths"), 1);
+    assert_eq!(obs.counter("stream.supervise", "failover.migrations"), orphans.len() as u64);
+    assert_eq!(obs.counter("stream.supervise", "failover.bytes"), report.failover_bytes);
+}
+
+#[test]
+fn same_seed_chaos_runs_are_byte_identical() {
+    let _serial = serial();
+    let net = ieee118_like();
+    let cfg = StreamConfig {
+        n_frames: 10,
+        seed: 71,
+        deterministic_rounds: true,
+        kills: KillSchedule {
+            worker_kills: vec![(6, 0)],
+            cluster_kills: vec![(3, 2)],
+            panics: vec![(8, 4)],
+        },
+        ..StreamConfig::default()
+    };
+
+    let run = || {
+        let service = StreamService::deploy(&net, cfg.clone()).unwrap();
+        let report = service.run();
+        (report, service.obs_report().to_json_deterministic())
+    };
+    let (report_a, json_a) = run();
+    let (report_b, json_b) = run();
+
+    // The chaos actually happened, identically.
+    assert!(report_a.cluster_deaths >= 1);
+    assert!(report_a.worker_panics >= 1);
+    assert_eq!(report_a.events, report_b.events, "supervision event streams diverge");
+    assert_eq!(report_a.rounds, report_b.rounds);
+    assert_eq!(report_a.requeued, report_b.requeued);
+    assert_eq!(report_a.shed_superseded, report_b.shed_superseded);
+    assert_eq!(report_a.gn_iterations, report_b.gn_iterations);
+    assert_eq!(report_a.unaccounted(), 0);
+    assert_eq!(report_b.unaccounted(), 0);
+
+    // Byte-identical deterministic observability export.
+    assert_eq!(json_a, json_b, "same-seed ObsReports diverge");
+}
+
+#[test]
+fn zombie_publish_after_the_run_is_rejected_by_the_stale_guard() {
+    let _serial = serial();
+    let net = ieee118_like();
+    let cfg = StreamConfig { n_frames: 4, seed: 5, ..StreamConfig::default() };
+    let service = StreamService::deploy(&net, cfg).unwrap();
+    let report = service.run();
+    assert_eq!(report.frames_published, 4);
+
+    // A zombie worker replays an old frame into the live store: the
+    // monotonicity guard refuses it and the epoch stands.
+    let before = service.store().current_epoch().unwrap();
+    let stale = SystemSnapshot {
+        epoch: 0,
+        frame_seq: 1, // long since published
+        dt_seconds: 0.0,
+        vm: vec![1.0; net.n_buses()],
+        va: vec![0.0; net.n_buses()],
+        degraded_areas: Vec::new(),
+    };
+    let err = service.store().publish(stale).unwrap_err();
+    assert_eq!(err, PublishRejected { frame_seq: 1, current_frame_seq: 3 });
+    assert_eq!(service.store().current_epoch(), Some(before));
+    assert_eq!(service.store().load().unwrap().frame_seq, 3);
+}
+
+#[test]
+fn network_chaos_stacked_on_worker_kills_still_accounts_every_frame() {
+    let _serial = serial();
+    let net = ieee118_like();
+    let cfg = StreamConfig {
+        n_frames: 20,
+        seed: 43,
+        lockstep_timeout: Duration::from_millis(400),
+        chaos: Some(FaultPlan {
+            seed: 19,
+            drop_prob: 0.06,
+            truncate_prob: 0.05,
+            delay_prob: 0.08,
+            delay: Duration::from_millis(6),
+            duplicate_prob: 0.08,
+        }),
+        kills: KillSchedule {
+            worker_kills: vec![(5, 1), (11, 6)],
+            ..KillSchedule::default()
+        },
+        ..StreamConfig::default()
+    };
+    let service = StreamService::deploy(&net, cfg).unwrap();
+    let report = service.run();
+
+    // Both fault layers engaged…
+    assert!(report.faults_injected > 0, "{report:?}");
+    assert!(report.workers_declared_dead >= 1, "{report:?}");
+    // …and the widened identity still closes exactly: every decoded frame
+    // is solved, shed, or requeued-then-solved/shed.
+    assert_eq!(report.unaccounted(), 0, "{report:?}");
+    assert!(report.frames_published > 0);
+    assert_eq!(service.store().current_epoch(), Some(report.frames_published - 1));
+}

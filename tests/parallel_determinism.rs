@@ -150,6 +150,67 @@ fn wls_solve_bitwise_identical_parallel_vs_sequential() {
 }
 
 #[test]
+fn checkpoint_restored_solve_bitwise_identical_to_uninterrupted_cache() {
+    engage_parallel_kernels();
+    // The failover contract: a worker restarted from a checkpoint (warm
+    // vm/va profile only — symbolic structures rebuild from the frame's
+    // measurement layout) must converge **bitwise identically** to the
+    // worker that never died, at any pool size.
+    let net = ieee118_like();
+    let pf = solve_pf(&net, &PfOptions::default()).unwrap();
+    let plan = TelemetryPlan::full(&net, vec![net.slack()]);
+    let opts = WlsOptions {
+        solver: GainSolver::Pcg { precond: PrecondKind::Ic0, parallel: true },
+        ..WlsOptions::default()
+    };
+    let est = WlsEstimator::new(
+        net.clone(),
+        StateSpace::with_reference(net.n_buses(), net.slack()),
+        opts,
+    );
+    // Same measurement structure, fresh noise per frame: the streaming
+    // workload shape.
+    let frame = |seq: u64| plan.generate(&net, &pf, 1.0, seq);
+
+    for threads in POOL_SIZES {
+        let (survivor, restored, ckpt_desc, restored_desc) = with_pool(threads, || {
+            // The uninterrupted worker solves frames 0..=2 and keeps going.
+            let mut cache_a = pgse::estimation::wls::SolveCache::new();
+            for seq in 0..3u64 {
+                let sol = est.estimate_cached(&frame(seq), None, &mut cache_a).unwrap();
+                cache_a.restore_warm(sol.vm.clone(), sol.va.clone());
+            }
+            // Checkpoint taken at the frame-2 boundary, then the worker dies.
+            let warm = cache_a.export_warm().expect("warm profile after 3 frames");
+            let ckpt_desc = cache_a.structure_descriptor().expect("structures built");
+
+            // The replacement comes up with a fresh cache and only the
+            // checkpoint's warm profile.
+            let mut cache_b = pgse::estimation::wls::SolveCache::new();
+            cache_b.restore_warm(warm.0, warm.1);
+
+            let survivor = est.estimate_cached(&frame(3), None, &mut cache_a).unwrap();
+            let restored = est.estimate_cached(&frame(3), None, &mut cache_b).unwrap();
+            let restored_desc = cache_b.structure_descriptor().expect("rebuilt structures");
+            // The restart costs exactly one symbolic rebuild, nothing else.
+            assert_eq!(cache_b.symbolic_builds, 1);
+            assert_eq!(cache_b.warm_solves, 1);
+            (survivor, restored, ckpt_desc, restored_desc)
+        });
+        // The rebuilt symbolic structures are the ones the lost worker ran.
+        assert_eq!(restored_desc, ckpt_desc, "@ {threads} threads");
+        assert_eq!(restored.iterations, survivor.iterations, "@ {threads} threads");
+        assert_eq!(restored.solver_iterations, survivor.solver_iterations, "@ {threads} threads");
+        for (p, q) in restored.vm.iter().zip(&survivor.vm) {
+            assert_eq!(p.to_bits(), q.to_bits(), "restored vm @ {threads} threads");
+        }
+        for (p, q) in restored.va.iter().zip(&survivor.va) {
+            assert_eq!(p.to_bits(), q.to_bits(), "restored va @ {threads} threads");
+        }
+    }
+}
+
+#[test]
 fn same_seed_obsreport_byte_identical_with_parallelism_on() {
     engage_parallel_kernels();
     // PrototypeConfig's WLS options now default to parallel kernels, and the
