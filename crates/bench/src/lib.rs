@@ -5,5 +5,6 @@
 //! them). See DESIGN.md §4 for the experiment index.
 
 pub mod experiments;
+pub mod timing;
 
 pub use experiments::*;

@@ -1,6 +1,6 @@
 //! One subsystem's state estimator: local telemetry, Step 1, Step 2.
 
-use pgse_estimation::jacobian::StateSpace;
+use pgse_estimation::jacobian::{assemble_jacobian, evaluate_h, StateSpace};
 use pgse_estimation::measurement::{FlowSide, Measurement, MeasurementKind, MeasurementSet};
 use pgse_estimation::telemetry::{SigmaSet, TelemetryPlan};
 use pgse_estimation::wls::{SolveCache, WlsError, WlsEstimator, WlsOptions};
@@ -172,6 +172,36 @@ impl AreaEstimator {
             noise_level,
             seed ^ (self.info.area as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
         )
+    }
+
+    /// The first Gauss–Newton gain system `(G, rhs)` of a Step-1 solve:
+    /// `G = HᵀWH` and `rhs = HᵀWr` evaluated at the flat start. This is
+    /// exactly the linear system [`AreaEstimator::step1`] solves on its
+    /// first iteration — exposed so conformance tests and benchmarks can
+    /// exercise the sparse solvers on *real* per-area gain matrices
+    /// instead of synthetic ones.
+    pub fn step1_gain_system(
+        &self,
+        set: &MeasurementSet,
+    ) -> (pgse_sparsela::Csr, Vec<f64>) {
+        let net = self.step1_est.network();
+        let space = self.step1_est.space();
+        let ybus = Ybus::new(net);
+        let n = net.n_buses();
+        let (vm, va) = (vec![1.0; n], vec![0.0; n]);
+        let h = evaluate_h(net, &ybus, set, &vm, &va);
+        let jac = assemble_jacobian(net, &ybus, set, space, &vm, &va);
+        let w = set.weights();
+        let wr: Vec<f64> = set
+            .values()
+            .iter()
+            .zip(&h)
+            .zip(&w)
+            .map(|((zi, hi), wi)| (zi - hi) * wi)
+            .collect();
+        let mut rhs = vec![0.0; space.dim()];
+        jac.spmv_transpose(&wr, &mut rhs);
+        (jac.ata_weighted(&w), rhs)
     }
 
     /// DSE Step 1: local WLS on the area's own measurements.
@@ -521,6 +551,32 @@ mod tests {
         assert_eq!(s1_cache.symbolic_builds, 1);
         assert_eq!(s1_cache.symbolic_reuses, 1);
         assert_eq!(s1_cache.warm_solves, 1);
+    }
+
+    #[test]
+    fn gain_system_is_solvable_and_pattern_stable_across_frames() {
+        let (net, pf, d) = setup();
+        let est = AreaEstimator::new(d.areas[0].clone(), &net, &pf, WlsOptions::default());
+        let set_a = est.generate_telemetry(1.0, 7);
+        let set_b = est.generate_telemetry(1.0, 8);
+        let (gain_a, rhs_a) = est.step1_gain_system(&set_a);
+        let (gain_b, _) = est.step1_gain_system(&set_b);
+        let dim = 2 * est.info.subnet.n_buses();
+        assert_eq!(gain_a.nrows(), dim);
+        assert_eq!(rhs_a.len(), dim);
+        // Same telemetry plan → same Jacobian structure → the gain
+        // matrices of successive frames share one sparsity pattern. That
+        // is what lets the batched solver stack warm frames as lanes.
+        assert_eq!(gain_a.row_ptr(), gain_b.row_ptr());
+        assert_eq!(gain_a.col_idx(), gain_b.col_idx());
+        // And each frame's system is SPD: the direct solver must accept it
+        // and produce a genuine solution.
+        let chol = pgse_sparsela::SparseCholesky::factor(&gain_a).unwrap();
+        let x = chol.solve(&rhs_a);
+        let gx = gain_a.mul_vec(&x);
+        for (g, r) in gx.iter().zip(&rhs_a) {
+            assert!((g - r).abs() < 1e-6 * rhs_a.len() as f64, "residual {g} vs {r}");
+        }
     }
 
     #[test]

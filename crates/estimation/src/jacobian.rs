@@ -234,6 +234,32 @@ pub fn set_fingerprint(set: &MeasurementSet) -> u64 {
     h
 }
 
+/// A structural fingerprint of an admittance matrix: FNV-1a over the
+/// dimension and the per-row column indices (values excluded — parameter
+/// changes on an unchanged topology keep the Jacobian pattern valid). A
+/// topology change that adds or removes Ybus entries changes this hash,
+/// which is what lets a cached [`JacobianPattern`] detect that its
+/// structure is stale even when the measurement set itself is unchanged.
+pub fn ybus_fingerprint(ybus: &Ybus) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |x: u64| {
+        for byte in x.to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(ybus.dim() as u64);
+    for i in 0..ybus.dim() {
+        let (cols, _) = ybus.row(i);
+        eat(cols.len() as u64);
+        for &c in cols {
+            eat(c as u64);
+        }
+    }
+    h
+}
+
 /// The cached sparsity pattern of one measurement Jacobian.
 ///
 /// Built once per (topology, telemetry-plan) pair, it records the CSR
@@ -246,6 +272,7 @@ pub fn set_fingerprint(set: &MeasurementSet) -> u64 {
 #[derive(Debug, Clone)]
 pub struct JacobianPattern {
     fingerprint: u64,
+    ybus_fp: u64,
     row_ptr: Vec<usize>,
     col_idx: Vec<usize>,
     /// Emission order → CSR value index (duplicates map to the same slot
@@ -292,6 +319,7 @@ impl JacobianPattern {
 
         JacobianPattern {
             fingerprint: set_fingerprint(set),
+            ybus_fp: ybus_fingerprint(ybus),
             row_ptr,
             col_idx,
             perm,
@@ -299,9 +327,15 @@ impl JacobianPattern {
         }
     }
 
-    /// Whether `set` still has the structure this pattern was built from.
-    pub fn matches(&self, set: &MeasurementSet) -> bool {
-        set.len() + 1 == self.row_ptr.len() && set_fingerprint(set) == self.fingerprint
+    /// Whether `set` and `ybus` still have the structure this pattern was
+    /// built from. Both inputs shape the Jacobian: a topology change that
+    /// alters the Ybus pattern invalidates the cache even when the
+    /// measurement set is unchanged (the staleness hole the
+    /// refactorization-reuse path must never fall into).
+    pub fn matches(&self, set: &MeasurementSet, ybus: &Ybus) -> bool {
+        set.len() + 1 == self.row_ptr.len()
+            && set_fingerprint(set) == self.fingerprint
+            && ybus_fingerprint(ybus) == self.ybus_fp
     }
 
     /// Stored entries (structural zeros included).
@@ -336,7 +370,7 @@ impl JacobianPattern {
     ) {
         assert_eq!(jac.nnz(), self.col_idx.len(), "JacobianPattern: buffer nnz");
         assert_eq!(jac.row_ptr(), self.row_ptr.as_slice(), "JacobianPattern: buffer pattern");
-        debug_assert!(self.matches(set), "JacobianPattern: set mismatch");
+        debug_assert!(self.matches(set, ybus), "JacobianPattern: set/ybus mismatch");
         for v in jac.values_mut() {
             *v = 0.0;
         }
@@ -451,7 +485,7 @@ mod tests {
         let set = all_kinds_set();
         let space = StateSpace::full(14);
         let pattern = JacobianPattern::new(&net, &ybus, &set, &space);
-        assert!(pattern.matches(&set));
+        assert!(pattern.matches(&set, &ybus));
         let mut jac = pattern.template();
         // Two different operating points through the same cached pattern.
         for phase in [0.9, 1.7] {
@@ -484,13 +518,33 @@ mod tests {
         // Same values, different structure → mismatch.
         let mut grown = set.clone();
         grown.push(Measurement::new(MeasurementKind::Vmag { bus: 7 }, 1.0, 0.01));
-        assert!(!pattern.matches(&grown));
+        assert!(!pattern.matches(&grown, &ybus));
 
         // Same structure, different values → still matches.
         let mut renoised = set.clone();
         renoised.retain(|_| true);
-        assert!(pattern.matches(&renoised));
+        assert!(pattern.matches(&renoised, &ybus));
         assert_eq!(set_fingerprint(&set), set_fingerprint(&renoised));
+    }
+
+    #[test]
+    fn pattern_detects_changed_ybus_structure() {
+        let net = ieee14();
+        let ybus = Ybus::new(&net);
+        let set = all_kinds_set();
+        let space = StateSpace::full(14);
+        let pattern = JacobianPattern::new(&net, &ybus, &set, &space);
+        assert!(pattern.matches(&set, &ybus));
+
+        // A topology change (new branch) with the *same* measurement set
+        // must invalidate the cached pattern: the Jacobian of any injection
+        // measurement at the touched buses gains entries.
+        let mut grown = net.clone();
+        let proto = grown.branches[0].clone();
+        grown.branches.push(pgse_grid::Branch { from: 2, to: 11, ..proto });
+        let ybus2 = Ybus::new(&grown);
+        assert_ne!(ybus_fingerprint(&ybus), ybus_fingerprint(&ybus2));
+        assert!(!pattern.matches(&set, &ybus2));
     }
 
     #[test]

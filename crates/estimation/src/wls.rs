@@ -7,7 +7,7 @@
 
 use pgse_grid::{Network, Ybus};
 use pgse_sparsela::pcg::{pcg, CgOptions, Preconditioner};
-use pgse_sparsela::{AtaSymbolic, Csr, EnvelopeCholesky, LaError};
+use pgse_sparsela::{AtaSymbolic, Csr, EnvelopeCholesky, LaError, SparseCholesky};
 
 use crate::jacobian::{assemble_jacobian, evaluate_h, JacobianPattern, StateSpace};
 use crate::measurement::MeasurementSet;
@@ -36,6 +36,14 @@ pub enum GainSolver {
     },
     /// Direct envelope Cholesky after RCM ordering (baseline).
     Cholesky,
+    /// Direct sparse Cholesky (elimination-tree, minimum-degree ordered)
+    /// with **numeric refactorization reuse**: on the cached path
+    /// ([`WlsEstimator::estimate_cached`]) the factor's symbolic structure
+    /// is kept in the [`SolveCache`], and warm frames whose gain pattern is
+    /// unchanged refresh only the numeric values — bitwise identical to a
+    /// from-scratch factorization, at a fraction of the cost. The
+    /// streaming default (see `pgse-stream`).
+    Direct,
 }
 
 impl GainSolver {
@@ -69,6 +77,14 @@ pub struct WlsOptions {
     pub solver: GainSolver,
     /// Inner PCG controls (ignored by the direct solver).
     pub cg: CgOptions,
+}
+
+impl WlsOptions {
+    /// The defaults with the [`GainSolver::Direct`] refactorization-reuse
+    /// solver — the streaming warm-frame configuration.
+    pub fn direct() -> Self {
+        WlsOptions { solver: GainSolver::Direct, ..WlsOptions::default() }
+    }
 }
 
 impl Default for WlsOptions {
@@ -158,6 +174,10 @@ pub struct SolveCache {
     jac_buf: Option<Csr>,
     gain_sym: Option<AtaSymbolic>,
     gain_buf: Option<Csr>,
+    /// Cached direct factor of the gain matrix; warm frames with an
+    /// unchanged gain pattern refresh its numeric values only
+    /// ([`GainSolver::Direct`]).
+    chol: Option<SparseCholesky>,
     warm: Option<(Vec<f64>, Vec<f64>)>,
     /// Symbolic structures built from scratch (topology/plan changes).
     pub symbolic_builds: u64,
@@ -167,6 +187,12 @@ pub struct SolveCache {
     pub warm_solves: u64,
     /// Solves that fell back to a flat start.
     pub cold_solves: u64,
+    /// Direct gain solves that refreshed the cached numeric factor
+    /// (pattern unchanged — the cheap path).
+    pub refactor_reuse: u64,
+    /// Direct gain solves that factored from scratch (first frame, or the
+    /// gain pattern changed).
+    pub refactor_full: u64,
 }
 
 impl SolveCache {
@@ -187,6 +213,7 @@ impl SolveCache {
         self.jac_buf = None;
         self.gain_sym = None;
         self.gain_buf = None;
+        self.chol = None;
         self.warm = None;
     }
 
@@ -240,6 +267,14 @@ pub struct StructureDescriptor {
     pub gain_dim: usize,
     /// Gain-matrix stored nonzeros.
     pub gain_nnz: usize,
+}
+
+/// Mutable view into a [`SolveCache`]'s direct-solver state, handed to
+/// [`WlsEstimator::solve_gain`] by the cached path.
+struct DirectCtx<'a> {
+    slot: &'a mut Option<SparseCholesky>,
+    reuse: &'a mut u64,
+    full: &'a mut u64,
 }
 
 /// A WLS estimator bound to one (sub)network and state-space convention.
@@ -346,7 +381,7 @@ impl WlsEstimator {
             };
 
             let solve_span = pgse_obs::span("wls.gain_solve");
-            let (dx, inner) = self.solve_gain(&gain, &rhs)?;
+            let (dx, inner) = self.solve_gain(&gain, &rhs, None)?;
             drop(solve_span);
             solver_iterations.push(inner);
             iter_span.record("solver_iterations", inner);
@@ -401,9 +436,12 @@ impl WlsEstimator {
             )));
         }
 
-        // (Re)build the symbolic structures when the set's shape changed.
+        // (Re)build the symbolic structures when the set's shape or the
+        // network topology (Ybus pattern) changed. The Ybus check is what
+        // keeps a cached direct factor from being numerically refreshed
+        // against a stale structure after a topology change.
         let rebuild = match &cache.pattern {
-            Some(p) => !p.matches(set),
+            Some(p) => !p.matches(set, &self.ybus),
             None => true,
         };
         if rebuild {
@@ -427,6 +465,7 @@ impl WlsEstimator {
             cache.jac_buf = Some(jac);
             cache.gain_sym = Some(sym);
             cache.pattern = Some(pattern);
+            cache.chol = None;
             cache.symbolic_builds += 1;
             pgse_obs::counter_add("wls.symbolic.build", 1);
         } else {
@@ -454,7 +493,17 @@ impl WlsEstimator {
         est_span.record("cached", true);
         let mut solver_iterations = Vec::new();
         let mut last_step = f64::INFINITY;
-        let SolveCache { pattern, gain_sym, jac_buf, gain_buf, warm: warm_slot, .. } = cache;
+        let SolveCache {
+            pattern,
+            gain_sym,
+            jac_buf,
+            gain_buf,
+            chol,
+            warm: warm_slot,
+            refactor_reuse,
+            refactor_full,
+            ..
+        } = cache;
         let pattern = pattern.as_ref().expect("built above");
         let gain_sym = gain_sym.as_ref().expect("built above");
         let jac = jac_buf.as_mut().expect("built above");
@@ -478,7 +527,15 @@ impl WlsEstimator {
             }
 
             let solve_span = pgse_obs::span("wls.gain_solve");
-            let (dx, inner) = self.solve_gain(gain, &rhs)?;
+            let (dx, inner) = self.solve_gain(
+                gain,
+                &rhs,
+                Some(DirectCtx {
+                    slot: &mut *chol,
+                    reuse: &mut *refactor_reuse,
+                    full: &mut *refactor_full,
+                }),
+            )?;
             drop(solve_span);
             solver_iterations.push(inner);
             iter_span.record("solver_iterations", inner);
@@ -510,15 +567,55 @@ impl WlsEstimator {
     }
 
     /// Solves one gain system `G·Δx = rhs` with the configured solver,
-    /// returning the step and the inner-solver iteration count.
-    fn solve_gain(&self, gain: &Csr, rhs: &[f64]) -> Result<(Vec<f64>, usize), WlsError> {
+    /// returning the step and the inner-solver iteration count. `direct`
+    /// carries the cached-factor slot and refactorization counters of the
+    /// cached path; without it the [`GainSolver::Direct`] solver factors
+    /// from scratch every call.
+    fn solve_gain(
+        &self,
+        gain: &Csr,
+        rhs: &[f64],
+        direct: Option<DirectCtx<'_>>,
+    ) -> Result<(Vec<f64>, usize), WlsError> {
+        fn spd_err(e: LaError) -> WlsError {
+            match e {
+                LaError::NotPositiveDefinite { .. } => WlsError::NotObservable(e.to_string()),
+                other => WlsError::Solver(other),
+            }
+        }
         match self.opts.solver {
             GainSolver::Cholesky => {
-                let chol = EnvelopeCholesky::factor(gain).map_err(|e| match e {
-                    LaError::NotPositiveDefinite { .. } => WlsError::NotObservable(e.to_string()),
-                    other => WlsError::Solver(other),
-                })?;
+                let chol = EnvelopeCholesky::factor(gain).map_err(spd_err)?;
                 Ok((chol.solve(rhs), 0usize))
+            }
+            GainSolver::Direct => {
+                let Some(ctx) = direct else {
+                    let chol = SparseCholesky::factor(gain).map_err(spd_err)?;
+                    pgse_obs::counter_add("wls.refactor.full", 1);
+                    return Ok((chol.solve(rhs), 0usize));
+                };
+                let reusable =
+                    ctx.slot.as_ref().map(|c| c.pattern_matches(gain)).unwrap_or(false);
+                if reusable {
+                    let chol = ctx.slot.as_mut().expect("checked above");
+                    if let Err(e) = chol.refactor(gain) {
+                        // The values turned indefinite (or similar): drop
+                        // the factor so the next frame starts clean, and
+                        // fail this solve like a from-scratch one would.
+                        *ctx.slot = None;
+                        return Err(spd_err(e));
+                    }
+                    *ctx.reuse += 1;
+                    pgse_obs::counter_add("wls.refactor.reuse", 1);
+                    Ok((chol.solve(rhs), 0usize))
+                } else {
+                    let chol = SparseCholesky::factor(gain).map_err(spd_err)?;
+                    *ctx.full += 1;
+                    pgse_obs::counter_add("wls.refactor.full", 1);
+                    let x = chol.solve(rhs);
+                    *ctx.slot = Some(chol);
+                    Ok((x, 0usize))
+                }
             }
             GainSolver::Pcg { precond, parallel } => {
                 let m = match precond {
@@ -789,6 +886,91 @@ mod tests {
             est.estimate_cached(&set, None, &mut cache),
             Err(WlsError::NotObservable(_))
         ));
+    }
+
+    #[test]
+    fn direct_solver_agrees_with_pcg_and_envelope() {
+        let net = ieee14();
+        let set = exact_set(&net, &[0]);
+        let space = || StateSpace::with_reference(14, 0);
+        let direct = WlsEstimator::new(net.clone(), space(), WlsOptions::direct());
+        let pcg_est = WlsEstimator::new(net, space(), WlsOptions::default());
+        let a = direct.estimate(&set).unwrap();
+        let b = pcg_est.estimate(&set).unwrap();
+        for i in 0..14 {
+            assert!((a.vm[i] - b.vm[i]).abs() < 1e-8);
+            assert!((a.va[i] - b.va[i]).abs() < 1e-8);
+        }
+        // The direct solver reports no inner iterations.
+        assert!(a.solver_iterations.iter().all(|&i| i == 0));
+    }
+
+    #[test]
+    fn direct_cached_reuses_numeric_factor_and_counts_exactly() {
+        let net = ieee14();
+        let set = exact_set(&net, &[0]);
+        let est = WlsEstimator::new(net, StateSpace::with_reference(14, 0), WlsOptions::direct());
+        let mut cache = SolveCache::new();
+        let first = est.estimate_cached(&set, None, &mut cache).unwrap();
+        // First frame: iteration 1 factors from scratch, later iterations
+        // of the same frame already refresh the cached factor.
+        assert_eq!(cache.refactor_full, 1);
+        assert_eq!(cache.refactor_reuse, first.iterations as u64 - 1);
+        let second = est.estimate_cached(&set, None, &mut cache).unwrap();
+        // Warm frame: every gain solve is a numeric-only refresh, and each
+        // Gauss–Newton iteration does exactly one gain solve.
+        assert_eq!(cache.refactor_full, 1);
+        assert_eq!(
+            cache.refactor_reuse + cache.refactor_full,
+            (first.iterations + second.iterations) as u64
+        );
+        // The cached result matches an uncached direct solve.
+        let plain = est.estimate(&set).unwrap();
+        for i in 0..14 {
+            assert!((plain.vm[i] - second.vm[i]).abs() < 1e-8);
+            assert!((plain.va[i] - second.va[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn ybus_pattern_change_forces_clean_refactor() {
+        // The staleness pin at the estimator level: a topology change that
+        // alters the Ybus pattern (same measurement set!) must rebuild the
+        // symbolic structures and take a full factorization — never a
+        // numeric refresh of the stale factor.
+        let net = ieee14();
+        let set = exact_set(&net, &[0]);
+        let est = WlsEstimator::new(
+            net.clone(),
+            StateSpace::with_reference(14, 0),
+            WlsOptions::direct(),
+        );
+        let mut cache = SolveCache::new();
+        est.estimate_cached(&set, None, &mut cache).unwrap();
+        est.estimate_cached(&set, None, &mut cache).unwrap();
+        assert_eq!(cache.symbolic_builds, 1);
+        assert_eq!(cache.refactor_full, 1);
+        let reuses_before = cache.refactor_reuse;
+
+        // New branch → new Ybus pattern, measurement set unchanged.
+        let mut grown = net.clone();
+        let proto = grown.branches[0].clone();
+        grown.branches.push(pgse_grid::Branch { from: 2, to: 11, ..proto });
+        let est2 = WlsEstimator::new(
+            grown,
+            StateSpace::with_reference(14, 0),
+            WlsOptions::direct(),
+        );
+        let out = est2.estimate_cached(&set, None, &mut cache).unwrap();
+        assert_eq!(cache.symbolic_builds, 2, "Ybus change must rebuild structures");
+        assert_eq!(cache.refactor_full, 2, "first solve after rebuild is a full factorization");
+        assert!(cache.refactor_reuse > reuses_before, "later iterations refresh the new factor");
+        // And the result matches a fresh estimator with no cache history.
+        let fresh = est2.estimate(&set).unwrap();
+        for i in 0..14 {
+            assert!((out.vm[i] - fresh.vm[i]).abs() < 1e-7);
+            assert!((out.va[i] - fresh.va[i]).abs() < 1e-7);
+        }
     }
 
     #[test]

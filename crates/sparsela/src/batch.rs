@@ -1,0 +1,759 @@
+//! Batched multi-area solves: identical-pattern SPD systems factored and
+//! solved together as *lanes* of one blocked sparse Cholesky.
+//!
+//! The distributed state estimator's Step-1 hot path is one WLS gain solve
+//! per area per Gauss–Newton iteration. The per-area gain matrices are
+//! independent, similarly sized, and — for areas on a steady topology —
+//! carry patterns that repeat frame after frame. Solving them one at a
+//! time repeats the expensive part of sparse factorization (index
+//! traversal, pattern-driven control flow) once per area; the batched path
+//! walks the shared symbolic structure ([`crate::CholSymbolic`]) **once**
+//! and carries `n_lanes` numeric values per stored entry, laid out
+//! lane-interleaved (`lx[p · n_lanes + l]`) so the lane-inner loops are
+//! fixed-stride, vectorizable [`crate::vecops`] kernels
+//! ([`crate::vecops::lanes_mul_sub`], [`crate::vecops::lanes_div`]).
+//!
+//! This is the SIMD-over-systems formulation of the batched-solver
+//! literature (cf. the internal-block/boundary split of block-bordered
+//! power-system matrices): amortize the sparse index work across systems,
+//! keep the floating-point work per system unchanged. Because the lane
+//! kernels are elementwise, **every lane performs exactly the
+//! floating-point operation sequence of a scalar
+//! [`crate::SparseCholesky`] factorization/solve of that system alone**,
+//! so batched results are bitwise identical to per-system results — the
+//! conformance contract `tests/solver_batch.rs` pins (DESIGN.md §12).
+//!
+//! [`BoundaryCondenser`] implements the companion decomposition: condense
+//! the boundary variables of one system out via a Schur complement over
+//! the internal block, so the internal solve (the large, repeating part)
+//! and the small dense boundary system factor separately.
+
+use std::sync::Arc;
+
+use crate::csr::Csr;
+use crate::scholesky::{CholSymbolic, SparseCholesky};
+use crate::vecops::{lanes_div, lanes_mul_sub};
+use crate::{tuning, Coo, LaError, LaResult};
+
+/// Groups systems by exact sparsity pattern (dimensions + `row_ptr` +
+/// `col_idx`), preserving first-occurrence order. Each group's members can
+/// share one symbolic analysis and one batched factorization.
+pub fn group_by_pattern(lanes: &[&Csr]) -> Vec<Vec<usize>> {
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, a) in lanes.iter().enumerate() {
+        match groups.iter_mut().find(|g| {
+            let r = lanes[g[0]];
+            r.nrows() == a.nrows()
+                && r.ncols() == a.ncols()
+                && r.row_ptr() == a.row_ptr()
+                && r.col_idx() == a.col_idx()
+        }) {
+            Some(g) => g.push(i),
+            None => groups.push(vec![i]),
+        }
+    }
+    groups
+}
+
+/// A batched sparse Cholesky factorization: `n_lanes` SPD systems with the
+/// same sparsity pattern, factored together over one shared
+/// [`CholSymbolic`]. Values are lane-interleaved — entry `p` of lane `l`
+/// lives at `lx[p · n_lanes + l]` — so the lane-inner loops are contiguous
+/// fixed-width blocks.
+#[derive(Debug, Clone)]
+pub struct BatchCholesky {
+    sym: Arc<CholSymbolic>,
+    n_lanes: usize,
+    lx: Vec<f64>,
+}
+
+/// The batched numeric pass: the exact up-looking recurrence of
+/// [`CholSymbolic::factor_values`], with every scalar operation widened to
+/// an elementwise lane block. Per lane the operation sequence (and hence
+/// every result bit) is identical to the scalar pass on that lane alone.
+fn factor_values_batched(sym: &CholSymbolic, lanes: &[&Csr]) -> LaResult<Vec<f64>> {
+    let n = sym.dim();
+    let nl = lanes.len();
+    let lp = sym.lp();
+    let li = sym.li();
+    let rp = sym.rp();
+    let ri = sym.ri();
+    let app = sym.ap_row_ptr();
+    let apc = sym.ap_col_idx();
+    let apv = sym.ap_val_of_a();
+    // Per-lane pivot thresholds, matching each lane's scalar factorization.
+    let tiny: Vec<f64> = lanes.iter().map(|a| sym.tiny_of(a.values())).collect();
+    let mut lx = vec![0.0f64; lp[n] * nl];
+    let mut free: Vec<usize> = lp[..n].to_vec();
+    let mut x = vec![0.0f64; n * nl];
+    let mut d = vec![0.0f64; nl];
+    let mut lki = vec![0.0f64; nl];
+    for k in 0..n {
+        // Scatter the lower row A(k, 0..=k) of every lane.
+        d.fill(0.0);
+        for p in app[k]..app[k + 1] {
+            let c = apc[p];
+            if c < k {
+                for (l, a) in lanes.iter().enumerate() {
+                    x[c * nl + l] = a.values()[apv[p]];
+                }
+            } else if c == k {
+                for (l, a) in lanes.iter().enumerate() {
+                    d[l] = a.values()[apv[p]];
+                }
+            }
+        }
+        // Solve L(0..k, 0..k) · l = A(0..k, k) across all lanes at once.
+        for &i in &ri[rp[k]..rp[k + 1]] {
+            lki.copy_from_slice(&x[i * nl..(i + 1) * nl]);
+            lanes_div(&mut lki, &lx[lp[i] * nl..(lp[i] + 1) * nl]);
+            x[i * nl..(i + 1) * nl].fill(0.0);
+            for q in (lp[i] + 1)..free[i] {
+                let r = li[q];
+                lanes_mul_sub(&mut x[r * nl..(r + 1) * nl], &lx[q * nl..(q + 1) * nl], &lki);
+            }
+            lanes_mul_sub(&mut d, &lki, &lki);
+            lx[free[i] * nl..(free[i] + 1) * nl].copy_from_slice(&lki);
+            free[i] += 1;
+        }
+        for l in 0..nl {
+            if d[l] <= tiny[l] || !d[l].is_finite() {
+                return Err(LaError::Lane {
+                    lane: l,
+                    source: Box::new(LaError::NotPositiveDefinite { step: k, value: d[l] }),
+                });
+            }
+        }
+        let row = free[k] * nl;
+        for l in 0..nl {
+            lx[row + l] = d[l].sqrt();
+        }
+        free[k] += 1;
+    }
+    Ok(lx)
+}
+
+impl BatchCholesky {
+    /// Factors the given systems together. All lanes must be square, SPD,
+    /// and carry the same pattern; the fill-reducing permutation is
+    /// computed once from the shared pattern (so it equals the one a
+    /// scalar [`SparseCholesky::factor`] of any lane would pick).
+    ///
+    /// # Errors
+    /// [`LaError::DimensionMismatch`] on an empty batch;
+    /// [`LaError::Lane`] wrapping [`LaError::PatternMismatch`] when a lane
+    /// deviates from lane 0's pattern, or [`LaError::NotPositiveDefinite`]
+    /// when a lane is not SPD (at the same elimination step its scalar
+    /// factorization would report).
+    pub fn factor(lanes: &[&Csr]) -> LaResult<Self> {
+        let first = *lanes.first().ok_or(LaError::DimensionMismatch { expected: 1, found: 0 })?;
+        let sym = Arc::new(CholSymbolic::analyze(first));
+        Self::factor_with_symbolic(sym, lanes)
+    }
+
+    /// Factors over a pre-built symbolic structure (e.g. one shared with a
+    /// [`SparseCholesky`] of the same pattern).
+    pub fn factor_with_symbolic(sym: Arc<CholSymbolic>, lanes: &[&Csr]) -> LaResult<Self> {
+        if lanes.is_empty() {
+            return Err(LaError::DimensionMismatch { expected: 1, found: 0 });
+        }
+        for (l, a) in lanes.iter().enumerate() {
+            if !sym.matches(a) {
+                return Err(LaError::Lane {
+                    lane: l,
+                    source: Box::new(LaError::PatternMismatch {
+                        expected_nnz: sym.a_nnz(),
+                        found_nnz: a.nnz(),
+                    }),
+                });
+            }
+        }
+        let lx = factor_values_batched(&sym, lanes)?;
+        Ok(BatchCholesky { sym, n_lanes: lanes.len(), lx })
+    }
+
+    /// Numeric-only refresh of every lane for new values with unchanged
+    /// patterns (the warm-frame path). Bitwise identical to a from-scratch
+    /// [`BatchCholesky::factor`] of the same lanes. On error the previous
+    /// factor is retained untouched.
+    ///
+    /// # Errors
+    /// [`LaError::DimensionMismatch`] on a lane-count change;
+    /// [`LaError::Lane`] wrapping [`LaError::PatternMismatch`] or
+    /// [`LaError::NotPositiveDefinite`] per lane.
+    pub fn refactor(&mut self, lanes: &[&Csr]) -> LaResult<()> {
+        if lanes.len() != self.n_lanes {
+            return Err(LaError::DimensionMismatch {
+                expected: self.n_lanes,
+                found: lanes.len(),
+            });
+        }
+        for (l, a) in lanes.iter().enumerate() {
+            if !self.sym.matches(a) {
+                return Err(LaError::Lane {
+                    lane: l,
+                    source: Box::new(LaError::PatternMismatch {
+                        expected_nnz: self.sym.a_nnz(),
+                        found_nnz: a.nnz(),
+                    }),
+                });
+            }
+        }
+        self.lx = factor_values_batched(&self.sym, lanes)?;
+        Ok(())
+    }
+
+    /// Number of lanes in the batch.
+    pub fn n_lanes(&self) -> usize {
+        self.n_lanes
+    }
+
+    /// Matrix dimension (shared by all lanes).
+    pub fn dim(&self) -> usize {
+        self.sym.dim()
+    }
+
+    /// Nonzeros in `L` per lane.
+    pub fn l_nnz(&self) -> usize {
+        self.sym.l_nnz()
+    }
+
+    /// The shared symbolic structure.
+    pub fn symbolic(&self) -> &CholSymbolic {
+        &self.sym
+    }
+
+    /// Solves `A_lane · x = b` for one lane with scalar loops — bitwise
+    /// identical to [`SparseCholesky::solve`] on that lane's own factor.
+    ///
+    /// # Panics
+    /// Panics on a bad lane index or rhs length.
+    pub fn solve_lane(&self, lane: usize, b: &[f64]) -> Vec<f64> {
+        assert!(lane < self.n_lanes, "solve_lane: lane {lane} of {}", self.n_lanes);
+        let sym = &*self.sym;
+        let n = sym.dim();
+        assert_eq!(b.len(), n, "solve_lane: rhs length");
+        let (perm, lp, li) = (sym.perm(), sym.lp(), sym.li());
+        let nl = self.n_lanes;
+        let at = |p: usize| self.lx[p * nl + lane];
+        let mut y: Vec<f64> = perm.iter().map(|&old| b[old]).collect();
+        for j in 0..n {
+            y[j] /= at(lp[j]);
+            let yj = y[j];
+            for p in (lp[j] + 1)..lp[j + 1] {
+                y[li[p]] -= at(p) * yj;
+            }
+        }
+        for j in (0..n).rev() {
+            let mut s = y[j];
+            for p in (lp[j] + 1)..lp[j + 1] {
+                s -= at(p) * y[li[p]];
+            }
+            y[j] = s / at(lp[j]);
+        }
+        let mut out = vec![0.0; n];
+        for (new, &old) in perm.iter().enumerate() {
+            out[old] = y[new];
+        }
+        out
+    }
+
+    /// Solves all lanes at once with lane-interleaved sweeps: one pass over
+    /// the shared index structure serves every system. Per lane, bitwise
+    /// identical to [`BatchCholesky::solve_lane`] (and hence to the scalar
+    /// solver).
+    ///
+    /// # Panics
+    /// Panics if `rhs.len() != n_lanes` or any rhs has the wrong length.
+    pub fn solve_all(&self, rhs: &[&[f64]]) -> Vec<Vec<f64>> {
+        let sym = &*self.sym;
+        let n = sym.dim();
+        let nl = self.n_lanes;
+        assert_eq!(rhs.len(), nl, "solve_all: lane count");
+        for b in rhs {
+            assert_eq!(b.len(), n, "solve_all: rhs length");
+        }
+        let (perm, lp, li) = (sym.perm(), sym.lp(), sym.li());
+        let mut y = vec![0.0f64; n * nl];
+        for (new, &old) in perm.iter().enumerate() {
+            for (l, b) in rhs.iter().enumerate() {
+                y[new * nl + l] = b[old];
+            }
+        }
+        let mut yj = vec![0.0f64; nl];
+        // Forward: L z = y.
+        for j in 0..n {
+            let dj = lp[j];
+            lanes_div(&mut y[j * nl..(j + 1) * nl], &self.lx[dj * nl..(dj + 1) * nl]);
+            yj.copy_from_slice(&y[j * nl..(j + 1) * nl]);
+            for p in (dj + 1)..lp[j + 1] {
+                let r = li[p];
+                lanes_mul_sub(&mut y[r * nl..(r + 1) * nl], &self.lx[p * nl..(p + 1) * nl], &yj);
+            }
+        }
+        // Backward: Lᵀ x = z.
+        let mut s = vec![0.0f64; nl];
+        for j in (0..n).rev() {
+            let dj = lp[j];
+            s.copy_from_slice(&y[j * nl..(j + 1) * nl]);
+            for p in (dj + 1)..lp[j + 1] {
+                let r = li[p];
+                lanes_mul_sub(&mut s, &self.lx[p * nl..(p + 1) * nl], &y[r * nl..(r + 1) * nl]);
+            }
+            lanes_div(&mut s, &self.lx[dj * nl..(dj + 1) * nl]);
+            y[j * nl..(j + 1) * nl].copy_from_slice(&s);
+        }
+        let mut out = vec![vec![0.0f64; n]; nl];
+        for (new, &old) in perm.iter().enumerate() {
+            for (l, x) in out.iter_mut().enumerate() {
+                x[old] = y[new * nl + l];
+            }
+        }
+        out
+    }
+}
+
+/// Factors and solves a set of independent SPD systems, batching the ones
+/// that share a sparsity pattern. Groups smaller than
+/// [`crate::tuning::batch_lanes_min`] fall back to scalar per-system
+/// solves; both paths are bitwise identical, so the threshold only trades
+/// setup cost against amortized index traversal.
+///
+/// # Errors
+/// [`LaError::Lane`] (indexed by position in `systems`) wrapping
+/// [`LaError::DimensionMismatch`] for a non-square matrix or wrong-length
+/// rhs, or [`LaError::NotPositiveDefinite`] for a non-SPD system.
+pub fn solve_systems(systems: &[(&Csr, &[f64])]) -> LaResult<Vec<Vec<f64>>> {
+    for (i, (a, b)) in systems.iter().enumerate() {
+        if a.nrows() != a.ncols() || b.len() != a.nrows() {
+            return Err(LaError::Lane {
+                lane: i,
+                source: Box::new(LaError::DimensionMismatch {
+                    expected: a.nrows(),
+                    found: if a.nrows() != a.ncols() { a.ncols() } else { b.len() },
+                }),
+            });
+        }
+    }
+    let mats: Vec<&Csr> = systems.iter().map(|(a, _)| *a).collect();
+    let groups = group_by_pattern(&mats);
+    let mut out: Vec<Vec<f64>> = vec![Vec::new(); systems.len()];
+    for g in &groups {
+        if g.len() < tuning::batch_lanes_min() {
+            for &i in g {
+                let chol = SparseCholesky::factor(mats[i])
+                    .map_err(|e| LaError::Lane { lane: i, source: Box::new(e) })?;
+                out[i] = chol.solve(systems[i].1);
+            }
+        } else {
+            let lanes: Vec<&Csr> = g.iter().map(|&i| mats[i]).collect();
+            let batch = BatchCholesky::factor(&lanes).map_err(|e| match e {
+                LaError::Lane { lane, source } => LaError::Lane { lane: g[lane], source },
+                other => other,
+            })?;
+            let rhs: Vec<&[f64]> = g.iter().map(|&i| systems[i].1).collect();
+            for (slot, x) in g.iter().zip(batch.solve_all(&rhs)) {
+                out[*slot] = x;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Boundary condensation of one SPD system: splits the variables into an
+/// internal block `I` and a boundary block `B`, factors the internal block
+/// alone, and eliminates the boundary through the Schur complement
+/// `S = A_BB − A_BI · A_II⁻¹ · A_IB`. This is the internal-block/boundary
+/// split of block-bordered power-system matrices: the large internal
+/// factor is reusable across whatever couples the areas at the boundary,
+/// and the boundary system is small and dense.
+///
+/// The condensed solve takes a different floating-point path than a direct
+/// factorization, so its results agree to solver tolerance, **not**
+/// bitwise — it is an accuracy-checked decomposition, not a lane of the
+/// determinism contract.
+#[derive(Debug, Clone)]
+pub struct BoundaryCondenser {
+    n: usize,
+    internal: Vec<usize>,
+    boundary: Vec<usize>,
+    chol_ii: SparseCholesky,
+    a_bi: Csr,
+    chol_s: SparseCholesky,
+}
+
+impl BoundaryCondenser {
+    /// Builds the condensation of `a` for the given boundary variable set
+    /// (deduplicated; order irrelevant).
+    ///
+    /// # Errors
+    /// [`LaError::DimensionMismatch`] for a non-square matrix, an
+    /// out-of-range index, or an empty internal/boundary block;
+    /// [`LaError::NotPositiveDefinite`] when the internal block or the
+    /// Schur complement is not SPD.
+    pub fn new(a: &Csr, boundary: &[usize]) -> LaResult<Self> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(LaError::DimensionMismatch { expected: n, found: a.ncols() });
+        }
+        let mut is_boundary = vec![false; n];
+        for &b in boundary {
+            if b >= n {
+                return Err(LaError::DimensionMismatch { expected: n, found: b });
+            }
+            is_boundary[b] = true;
+        }
+        let boundary: Vec<usize> = (0..n).filter(|&i| is_boundary[i]).collect();
+        let internal: Vec<usize> = (0..n).filter(|&i| !is_boundary[i]).collect();
+        if boundary.is_empty() || internal.is_empty() {
+            return Err(LaError::DimensionMismatch { expected: n, found: boundary.len() });
+        }
+        let a_ii = a.submatrix(&internal, &internal);
+        let a_bi = a.submatrix(&boundary, &internal);
+        let a_bb = a.submatrix(&boundary, &boundary);
+        let chol_ii = SparseCholesky::factor(&a_ii)?;
+
+        // Schur complement column by column: S·e_j = A_BB e_j − A_BI ·
+        // (A_II⁻¹ · A_IB e_j), with A_IB e_j read off row j of A_BI by
+        // symmetry. Dense in general — the boundary block is small.
+        let (ni, nb) = (internal.len(), boundary.len());
+        let mut coo = Coo::new(nb, nb);
+        let mut col = vec![0.0f64; ni];
+        for j in 0..nb {
+            col.fill(0.0);
+            let (cols, vals) = a_bi.row(j);
+            for (c, v) in cols.iter().zip(vals) {
+                col[*c] = *v;
+            }
+            let t = chol_ii.solve(&col);
+            let down = a_bi.mul_vec(&t);
+            let mut s_col = vec![0.0f64; nb];
+            let (bcols, bvals) = a_bb.row(j);
+            for (c, v) in bcols.iter().zip(bvals) {
+                s_col[*c] = *v;
+            }
+            for (i, s) in s_col.iter_mut().enumerate() {
+                *s -= down[i];
+                coo.push(i, j, *s);
+            }
+        }
+        let chol_s = SparseCholesky::factor_natural(&coo.to_csr())?;
+        Ok(BoundaryCondenser { n, internal, boundary, chol_ii, a_bi, chol_s })
+    }
+
+    /// Number of boundary variables after deduplication.
+    pub fn n_boundary(&self) -> usize {
+        self.boundary.len()
+    }
+
+    /// Number of internal variables.
+    pub fn n_internal(&self) -> usize {
+        self.internal.len()
+    }
+
+    /// Solves `A x = b` through the condensed system: forward-eliminate
+    /// the internal block, solve the boundary Schur system, back-substitute.
+    ///
+    /// # Panics
+    /// Panics on a wrong-length rhs.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "condensed solve: rhs length");
+        let b_i: Vec<f64> = self.internal.iter().map(|&i| b[i]).collect();
+        let b_b: Vec<f64> = self.boundary.iter().map(|&i| b[i]).collect();
+        // Boundary system: S x_B = b_B − A_BI · A_II⁻¹ b_I.
+        let u = self.chol_ii.solve(&b_i);
+        let coupled = self.a_bi.mul_vec(&u);
+        let t: Vec<f64> = b_b.iter().zip(&coupled).map(|(p, q)| p - q).collect();
+        let x_b = self.chol_s.solve(&t);
+        // Internal back-substitution: A_II x_I = b_I − A_IB x_B.
+        let mut w = vec![0.0f64; self.internal.len()];
+        self.a_bi.spmv_transpose(&x_b, &mut w);
+        let rhs_i: Vec<f64> = b_i.iter().zip(&w).map(|(p, q)| p - q).collect();
+        let x_i = self.chol_ii.solve(&rhs_i);
+        let mut out = vec![0.0f64; self.n];
+        for (&slot, &v) in self.internal.iter().zip(&x_i) {
+            out[slot] = v;
+        }
+        for (&slot, &v) in self.boundary.iter().zip(&x_b) {
+            out[slot] = v;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplacian2d(k: usize) -> Csr {
+        let n = k * k;
+        let idx = |r: usize, c: usize| r * k + c;
+        let mut coo = Coo::new(n, n);
+        for r in 0..k {
+            for c in 0..k {
+                let i = idx(r, c);
+                coo.push(i, i, 5.0);
+                if r + 1 < k {
+                    coo.push(i, idx(r + 1, c), -1.0);
+                    coo.push(idx(r + 1, c), i, -1.0);
+                }
+                if c + 1 < k {
+                    coo.push(i, idx(r, c + 1), -1.0);
+                    coo.push(idx(r, c + 1), i, -1.0);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Same pattern, lane-specific values, still symmetric positive
+    /// definite: the perturbation is keyed on the unordered index pair so
+    /// `(i,j)` and `(j,i)` scale identically.
+    fn lane_variant(a: &Csr, seed: u64) -> Csr {
+        let n = a.nrows();
+        let mut b = a.clone();
+        for r in 0..n {
+            for p in a.row_ptr()[r]..a.row_ptr()[r + 1] {
+                let c = a.col_idx()[p];
+                let key = (seed.wrapping_mul(31) + (r.min(c) * n + r.max(c)) as u64) % 23;
+                b.values_mut()[p] *= 1.0 + 1e-3 * (key as f64 - 11.0);
+            }
+        }
+        b.add_scaled(&Csr::identity(n), 1.0 + 0.1 * seed as f64)
+    }
+
+    fn rhs_for(n: usize, seed: u64) -> Vec<f64> {
+        (0..n).map(|i| (((seed + i as u64) * 37 % 101) as f64) * 0.02 - 1.0).collect()
+    }
+
+    #[test]
+    fn batched_factor_solve_is_bitwise_identical_to_scalar() {
+        let base = laplacian2d(6);
+        let lanes: Vec<Csr> = (0..5).map(|s| lane_variant(&base, s)).collect();
+        let refs: Vec<&Csr> = lanes.iter().collect();
+        let batch = BatchCholesky::factor(&refs).unwrap();
+        assert_eq!(batch.n_lanes(), 5);
+        for (l, a) in lanes.iter().enumerate() {
+            let scalar = SparseCholesky::factor(a).unwrap();
+            assert_eq!(batch.l_nnz(), scalar.l_nnz());
+            let b = rhs_for(a.nrows(), l as u64);
+            let xb = batch.solve_lane(l, &b);
+            let xs = scalar.solve(&b);
+            for (p, q) in xb.iter().zip(&xs) {
+                assert_eq!(p.to_bits(), q.to_bits(), "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_all_matches_solve_lane_bitwise() {
+        let base = laplacian2d(5);
+        let lanes: Vec<Csr> = (0..4).map(|s| lane_variant(&base, s)).collect();
+        let refs: Vec<&Csr> = lanes.iter().collect();
+        let batch = BatchCholesky::factor(&refs).unwrap();
+        let rhs: Vec<Vec<f64>> = (0..4).map(|l| rhs_for(base.nrows(), 100 + l)).collect();
+        let rhs_refs: Vec<&[f64]> = rhs.iter().map(|b| b.as_slice()).collect();
+        let all = batch.solve_all(&rhs_refs);
+        for l in 0..4 {
+            let single = batch.solve_lane(l, &rhs[l]);
+            for (p, q) in all[l].iter().zip(&single) {
+                assert_eq!(p.to_bits(), q.to_bits(), "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_is_bitwise_identical_to_fresh_batch() {
+        let base = laplacian2d(5);
+        let frame0: Vec<Csr> = (0..3).map(|s| lane_variant(&base, s)).collect();
+        let refs0: Vec<&Csr> = frame0.iter().collect();
+        let mut batch = BatchCholesky::factor(&refs0).unwrap();
+        let frame1: Vec<Csr> = (10..13).map(|s| lane_variant(&base, s)).collect();
+        let refs1: Vec<&Csr> = frame1.iter().collect();
+        batch.refactor(&refs1).unwrap();
+        let fresh = BatchCholesky::factor(&refs1).unwrap();
+        let b = rhs_for(base.nrows(), 9);
+        for l in 0..3 {
+            let x1 = batch.solve_lane(l, &b);
+            let x2 = fresh.solve_lane(l, &b);
+            for (p, q) in x1.iter().zip(&x2) {
+                assert_eq!(p.to_bits(), q.to_bits(), "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_lane_reports_typed_error() {
+        let base = laplacian2d(4);
+        let odd = Csr::identity(base.nrows());
+        let refs: Vec<&Csr> = vec![&base, &odd, &base];
+        match BatchCholesky::factor(&refs) {
+            Err(LaError::Lane { lane: 1, source }) => {
+                assert!(matches!(*source, LaError::PatternMismatch { .. }), "{source:?}");
+            }
+            other => panic!("expected lane-1 pattern mismatch, got {other:?}"),
+        }
+        assert!(matches!(
+            BatchCholesky::factor(&[]),
+            Err(LaError::DimensionMismatch { found: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn indefinite_lane_reports_lane_and_step() {
+        let base = laplacian2d(4);
+        let good = lane_variant(&base, 1);
+        let mut bad = base.clone();
+        for v in bad.values_mut() {
+            *v = -*v;
+        }
+        let refs: Vec<&Csr> = vec![&good, &bad];
+        match BatchCholesky::factor(&refs) {
+            Err(LaError::Lane { lane: 1, source }) => match *source {
+                LaError::NotPositiveDefinite { step, .. } => {
+                    // The same step the scalar factorization reports.
+                    match SparseCholesky::factor(&bad) {
+                        Err(LaError::NotPositiveDefinite { step: s2, .. }) => {
+                            assert_eq!(step, s2)
+                        }
+                        other => panic!("scalar factor should fail, got {other:?}"),
+                    }
+                }
+                ref other => panic!("expected NotPositiveDefinite, got {other:?}"),
+            },
+            other => panic!("expected lane-1 failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refactor_failure_keeps_previous_lanes() {
+        let base = laplacian2d(4);
+        let lanes: Vec<Csr> = (0..2).map(|s| lane_variant(&base, s)).collect();
+        let refs: Vec<&Csr> = lanes.iter().collect();
+        let mut batch = BatchCholesky::factor(&refs).unwrap();
+        let mut bad = lanes[1].clone();
+        for v in bad.values_mut() {
+            *v = -*v;
+        }
+        let bad_refs: Vec<&Csr> = vec![&lanes[0], &bad];
+        assert!(batch.refactor(&bad_refs).is_err());
+        // Old factor still solves lane 0's original system.
+        let b = rhs_for(base.nrows(), 3);
+        let x = batch.solve_lane(0, &b);
+        let ax = lanes[0].mul_vec(&x);
+        for (p, q) in ax.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-8, "previous factor lost after failed refactor");
+        }
+    }
+
+    #[test]
+    fn group_by_pattern_separates_and_orders() {
+        let a = laplacian2d(4);
+        let b = lane_variant(&a, 2); // same pattern as a
+        let c = Csr::identity(a.nrows());
+        let d = laplacian2d(3);
+        let lanes: Vec<&Csr> = vec![&a, &c, &b, &d, &c];
+        assert_eq!(group_by_pattern(&lanes), vec![vec![0, 2], vec![1, 4], vec![3]]);
+    }
+
+    #[test]
+    fn solve_systems_matches_individual_scalar_solves_bitwise() {
+        let base_a = laplacian2d(5);
+        let base_b = laplacian2d(4);
+        let mats: Vec<Csr> = vec![
+            lane_variant(&base_a, 0),
+            lane_variant(&base_b, 1),
+            lane_variant(&base_a, 2),
+            lane_variant(&base_a, 3),
+            lane_variant(&base_b, 4),
+        ];
+        let rhs: Vec<Vec<f64>> =
+            mats.iter().enumerate().map(|(i, m)| rhs_for(m.nrows(), i as u64)).collect();
+        let systems: Vec<(&Csr, &[f64])> =
+            mats.iter().zip(&rhs).map(|(m, b)| (m, b.as_slice())).collect();
+        let xs = solve_systems(&systems).unwrap();
+        for (i, (m, b)) in systems.iter().enumerate() {
+            let scalar = SparseCholesky::factor(m).unwrap().solve(b);
+            for (p, q) in xs[i].iter().zip(&scalar) {
+                assert_eq!(p.to_bits(), q.to_bits(), "system {i}");
+            }
+        }
+        // Forcing the scalar fallback must not change a single bit.
+        let saved = crate::tuning::batch_lanes_min();
+        crate::tuning::set_batch_lanes_min(usize::MAX);
+        let xs_scalar = solve_systems(&systems).unwrap();
+        crate::tuning::set_batch_lanes_min(saved);
+        for (batched, scalar) in xs.iter().zip(&xs_scalar) {
+            for (p, q) in batched.iter().zip(scalar) {
+                assert_eq!(p.to_bits(), q.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn solve_systems_rejects_bad_lanes_with_positions() {
+        let a = laplacian2d(4);
+        let good = lane_variant(&a, 1);
+        let short_rhs = vec![1.0; 3];
+        let b = rhs_for(a.nrows(), 0);
+        let systems: Vec<(&Csr, &[f64])> = vec![(&good, &b), (&good, &short_rhs)];
+        match solve_systems(&systems) {
+            Err(LaError::Lane { lane: 1, source }) => {
+                assert!(matches!(*source, LaError::DimensionMismatch { .. }));
+            }
+            other => panic!("expected lane-1 dimension error, got {other:?}"),
+        }
+        let mut indef = a.clone();
+        for v in indef.values_mut() {
+            *v = -*v;
+        }
+        let bi = rhs_for(a.nrows(), 1);
+        let systems2: Vec<(&Csr, &[f64])> = vec![(&good, &b), (&good, &b), (&indef, &bi)];
+        match solve_systems(&systems2) {
+            Err(LaError::Lane { lane: 2, source }) => {
+                assert!(matches!(*source, LaError::NotPositiveDefinite { .. }));
+            }
+            other => panic!("expected lane-2 SPD failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boundary_condensation_agrees_with_direct_solve() {
+        let a = laplacian2d(6);
+        let n = a.nrows();
+        // The last grid row as the "boundary" with the neighbouring area.
+        let boundary: Vec<usize> = (n - 6..n).collect();
+        let cond = BoundaryCondenser::new(&a, &boundary).unwrap();
+        assert_eq!(cond.n_boundary(), 6);
+        assert_eq!(cond.n_internal(), n - 6);
+        let b = rhs_for(n, 5);
+        let x_cond = cond.solve(&b);
+        let x_direct = SparseCholesky::factor(&a).unwrap().solve(&b);
+        for (p, q) in x_cond.iter().zip(&x_direct) {
+            assert!((p - q).abs() < 1e-8, "condensed {p} vs direct {q}");
+        }
+    }
+
+    #[test]
+    fn boundary_condenser_rejects_bad_sets() {
+        let a = laplacian2d(3);
+        let n = a.nrows();
+        assert!(matches!(
+            BoundaryCondenser::new(&a, &[n]),
+            Err(LaError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            BoundaryCondenser::new(&a, &[]),
+            Err(LaError::DimensionMismatch { .. })
+        ));
+        let all: Vec<usize> = (0..n).collect();
+        assert!(matches!(
+            BoundaryCondenser::new(&a, &all),
+            Err(LaError::DimensionMismatch { .. })
+        ));
+        // Duplicates are tolerated (deduplicated).
+        let cond = BoundaryCondenser::new(&a, &[0, 0, 1]).unwrap();
+        assert_eq!(cond.n_boundary(), 2);
+    }
+}
+

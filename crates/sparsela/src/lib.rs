@@ -27,6 +27,7 @@
 //! * a minimal complex number type ([`complex::Cplx`]) shared by the power
 //!   system crates.
 
+pub mod batch;
 pub mod cholesky;
 pub mod complex;
 pub mod coo;
@@ -41,6 +42,7 @@ pub mod symbolic;
 pub mod tuning;
 pub mod vecops;
 
+pub use batch::{group_by_pattern, solve_systems, BatchCholesky, BoundaryCondenser};
 pub use cholesky::EnvelopeCholesky;
 pub use complex::Cplx;
 pub use coo::Coo;
@@ -48,7 +50,7 @@ pub use csc::Csc;
 pub use csr::Csr;
 pub use dense::DenseMatrix;
 pub use lu::SparseLu;
-pub use scholesky::SparseCholesky;
+pub use scholesky::{CholSymbolic, SparseCholesky};
 pub use pcg::{pcg, CgOptions, CgOutcome, Preconditioner};
 pub use symbolic::AtaSymbolic;
 
@@ -65,6 +67,13 @@ pub enum LaError {
     NotPositiveDefinite { step: usize, value: f64 },
     /// An iterative solver failed to reach the requested tolerance.
     DidNotConverge { iterations: usize, residual: f64 },
+    /// The matrix handed to a numeric-only refactorization (or to a batched
+    /// lane) does not carry the pattern the symbolic structure was built
+    /// from; a fresh symbolic analysis is required.
+    PatternMismatch { expected_nnz: usize, found_nnz: usize },
+    /// A batched operation failed on one lane; `source` is the per-lane
+    /// failure.
+    Lane { lane: usize, source: Box<LaError> },
 }
 
 impl std::fmt::Display for LaError {
@@ -87,6 +96,15 @@ impl std::fmt::Display for LaError {
                     f,
                     "iterative solver stalled after {iterations} iterations (residual {residual:.3e})"
                 )
+            }
+            LaError::PatternMismatch { expected_nnz, found_nnz } => {
+                write!(
+                    f,
+                    "sparsity pattern mismatch: symbolic structure has {expected_nnz} entries, matrix has {found_nnz}"
+                )
+            }
+            LaError::Lane { lane, source } => {
+                write!(f, "batched lane {lane} failed: {source}")
             }
         }
     }

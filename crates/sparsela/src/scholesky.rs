@@ -1,4 +1,5 @@
-//! Up-looking sparse Cholesky with elimination-tree symbolic analysis.
+//! Up-looking sparse Cholesky with elimination-tree symbolic analysis and
+//! numeric-only refactorization.
 //!
 //! The envelope factorization ([`crate::cholesky`]) is simple and fast on
 //! RCM-ordered banded systems, but pays for every zero inside the profile.
@@ -8,36 +9,38 @@
 //! exactly, and the numeric pass computes one row of `L` at a time touching
 //! only true nonzeros — time proportional to `flops(L)`.
 //!
+//! The symbolic side (permutation, elimination tree, row patterns, the full
+//! structure of `L`) lives in [`CholSymbolic`] and depends only on the
+//! matrix *pattern*. When the pattern is unchanged across solves — the warm
+//! frames of the streaming estimator, or the lanes of a batched multi-area
+//! solve ([`crate::batch`]) — the symbolic analysis is paid once and every
+//! later factorization is a numeric-only refresh
+//! ([`SparseCholesky::refactor`]) that replays exactly the same
+//! floating-point operation sequence as a from-scratch factorization, so
+//! the two are bitwise identical (see DESIGN.md §12).
+//!
 //! Reference: T. A. Davis, *Direct Methods for Sparse Linear Systems*,
 //! SIAM 2006, ch. 4 (the CSparse `cs_chol` family).
+
+use std::sync::Arc;
 
 use crate::csr::Csr;
 use crate::ordering;
 use crate::{LaError, LaResult};
 
-/// A sparse `L·Lᵀ` factorization with a fill-reducing symmetric
-/// permutation, `L` stored column-compressed.
-#[derive(Debug, Clone)]
-pub struct SparseCholesky {
-    n: usize,
-    /// `perm[new] = old`.
-    perm: Vec<usize>,
-    /// Column pointers of `L` (diagonal first in each column).
-    lp: Vec<usize>,
-    li: Vec<usize>,
-    lx: Vec<f64>,
-}
-
 /// The elimination tree of a symmetric matrix given by the *lower* pattern
 /// in CSR (`parent[k] = usize::MAX` for roots).
 pub fn elimination_tree(a: &Csr) -> Vec<usize> {
     assert_eq!(a.nrows(), a.ncols(), "etree: square only");
-    let n = a.nrows();
+    etree_from_pattern(a.nrows(), a.row_ptr(), a.col_idx())
+}
+
+/// [`elimination_tree`] on a raw CSR pattern.
+fn etree_from_pattern(n: usize, row_ptr: &[usize], col_idx: &[usize]) -> Vec<usize> {
     let mut parent = vec![usize::MAX; n];
     let mut ancestor = vec![usize::MAX; n];
     for k in 0..n {
-        let (cols, _) = a.row(k);
-        for &i0 in cols.iter().filter(|&&c| c < k) {
+        for &i0 in col_idx[row_ptr[k]..row_ptr[k + 1]].iter().filter(|&&c| c < k) {
             // Walk from i0 to the root of its subtree with path compression.
             let mut i = i0;
             while i != usize::MAX && i != k {
@@ -55,9 +58,10 @@ pub fn elimination_tree(a: &Csr) -> Vec<usize> {
 
 /// Computes the pattern of row `k` of `L` (excluding the diagonal) into
 /// `pattern`, using the elimination tree; `mark` is a workspace keyed by
-/// `k`. The pattern is emitted in topological (ascending-ancestor) order.
+/// `k`. The pattern is emitted sorted ascending.
 fn ereach(
-    a: &Csr,
+    row_ptr: &[usize],
+    col_idx: &[usize],
     k: usize,
     parent: &[usize],
     mark: &mut [usize],
@@ -66,8 +70,7 @@ fn ereach(
 ) {
     pattern.clear();
     mark[k] = k;
-    let (cols, _) = a.row(k);
-    for &i0 in cols.iter().filter(|&&c| c < k) {
+    for &i0 in col_idx[row_ptr[k]..row_ptr[k + 1]].iter().filter(|&&c| c < k) {
         // Climb the tree until an already-marked node, collecting the path.
         stack.clear();
         let mut i = i0;
@@ -84,6 +87,260 @@ fn ereach(
         }
     }
     pattern.sort_unstable();
+}
+
+/// The pattern-only half of a sparse Cholesky factorization, reusable
+/// across every matrix that carries the same sparsity pattern.
+///
+/// Holds the fill-reducing permutation, the permuted input pattern with a
+/// value map back into the original matrix, the full structure of `L`
+/// (column pointers + row indices, diagonal first per column), and the
+/// per-row elimination patterns (`ereach` output) the numeric pass replays.
+/// Building it runs the elimination-tree analysis once; every
+/// [`CholSymbolic::factor_values`] afterwards is numeric-only work
+/// proportional to `flops(L)` with no pattern discovery at all.
+#[derive(Debug, Clone)]
+pub struct CholSymbolic {
+    n: usize,
+    /// `perm[new] = old`.
+    perm: Vec<usize>,
+    /// Pattern of the (unpermuted) input matrix, for staleness checks.
+    a_row_ptr: Vec<usize>,
+    a_col_idx: Vec<usize>,
+    /// Permuted pattern `P·A·Pᵀ` with, per stored entry, the index of the
+    /// matching value in the input matrix's `values()`.
+    ap_row_ptr: Vec<usize>,
+    ap_col_idx: Vec<usize>,
+    ap_val_of_a: Vec<usize>,
+    /// Column pointers of `L` (diagonal first in each column).
+    lp: Vec<usize>,
+    /// Row indices of `L`'s entries, in the exact fill order of the
+    /// numeric pass.
+    li: Vec<usize>,
+    /// Concatenated row patterns of `L` (diagonal excluded, ascending):
+    /// row `k`'s pattern is `ri[rp[k]..rp[k + 1]]`.
+    rp: Vec<usize>,
+    ri: Vec<usize>,
+}
+
+impl CholSymbolic {
+    /// Runs the symbolic analysis on `a`'s pattern after a minimum-degree
+    /// permutation (values ignored).
+    pub fn analyze(a: &Csr) -> Self {
+        let perm = ordering::minimum_degree(a);
+        Self::analyze_with_perm(a, perm)
+    }
+
+    /// Runs the symbolic analysis under the given `perm[new] = old`.
+    pub fn analyze_with_perm(a: &Csr, perm: Vec<usize>) -> Self {
+        assert_eq!(a.nrows(), a.ncols(), "cholesky: square only");
+        assert_eq!(perm.len(), a.nrows(), "cholesky: perm length");
+        let n = a.nrows();
+        let mut inv = vec![0usize; n];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old] = new;
+        }
+
+        // Permuted pattern with columns sorted ascending per row, plus the
+        // value map back into `a` so later numeric passes never permute.
+        let mut ap_row_ptr = Vec::with_capacity(n + 1);
+        ap_row_ptr.push(0usize);
+        let mut ap_col_idx = Vec::with_capacity(a.nnz());
+        let mut ap_val_of_a = Vec::with_capacity(a.nnz());
+        let mut rowbuf: Vec<(usize, usize)> = Vec::new();
+        for new_r in 0..n {
+            let old_r = perm[new_r];
+            rowbuf.clear();
+            for p in a.row_ptr()[old_r]..a.row_ptr()[old_r + 1] {
+                rowbuf.push((inv[a.col_idx()[p]], p));
+            }
+            rowbuf.sort_unstable();
+            for &(c, p) in &rowbuf {
+                ap_col_idx.push(c);
+                ap_val_of_a.push(p);
+            }
+            ap_row_ptr.push(ap_col_idx.len());
+        }
+
+        let parent = etree_from_pattern(n, &ap_row_ptr, &ap_col_idx);
+
+        // One ereach sweep: row patterns (stored for every later numeric
+        // pass) and exact column counts of L.
+        let mut mark = vec![usize::MAX; n];
+        let mut stack = Vec::new();
+        let mut pattern = Vec::new();
+        let mut counts = vec![1usize; n]; // diagonals
+        let mut rp = Vec::with_capacity(n + 1);
+        rp.push(0usize);
+        let mut ri = Vec::new();
+        for k in 0..n {
+            ereach(&ap_row_ptr, &ap_col_idx, k, &parent, &mut mark, &mut stack, &mut pattern);
+            for &i in &pattern {
+                counts[i] += 1;
+            }
+            ri.extend_from_slice(&pattern);
+            rp.push(ri.len());
+        }
+        let mut lp = Vec::with_capacity(n + 1);
+        lp.push(0usize);
+        for k in 0..n {
+            lp.push(lp[k] + counts[k]);
+        }
+
+        // Replay the numeric fill order structurally to fix li once: at
+        // step k the diagonal of column k goes in first (nothing reaches
+        // column k before step k), then later rows append below it.
+        let mut li = vec![0usize; lp[n]];
+        let mut free: Vec<usize> = lp[..n].to_vec();
+        for k in 0..n {
+            for &i in &ri[rp[k]..rp[k + 1]] {
+                li[free[i]] = k;
+                free[i] += 1;
+            }
+            li[free[k]] = k;
+            free[k] += 1;
+        }
+
+        CholSymbolic {
+            n,
+            perm,
+            a_row_ptr: a.row_ptr().to_vec(),
+            a_col_idx: a.col_idx().to_vec(),
+            ap_row_ptr,
+            ap_col_idx,
+            ap_val_of_a,
+            lp,
+            li,
+            rp,
+            ri,
+        }
+    }
+
+    /// Whether `a` has exactly the pattern this structure was built from.
+    pub fn matches(&self, a: &Csr) -> bool {
+        a.nrows() == self.n
+            && a.ncols() == self.n
+            && a.row_ptr() == self.a_row_ptr.as_slice()
+            && a.col_idx() == self.a_col_idx.as_slice()
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Stored entries of the input pattern.
+    pub fn a_nnz(&self) -> usize {
+        self.a_col_idx.len()
+    }
+
+    /// Nonzeros in `L` (per lane, for batched factors).
+    pub fn l_nnz(&self) -> usize {
+        self.li.len()
+    }
+
+    /// Crate-internal accessors for the batched factorization/solve, which
+    /// share this structure across lanes.
+    pub(crate) fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+    pub(crate) fn lp(&self) -> &[usize] {
+        &self.lp
+    }
+    pub(crate) fn li(&self) -> &[usize] {
+        &self.li
+    }
+    pub(crate) fn rp(&self) -> &[usize] {
+        &self.rp
+    }
+    pub(crate) fn ri(&self) -> &[usize] {
+        &self.ri
+    }
+    pub(crate) fn ap_row_ptr(&self) -> &[usize] {
+        &self.ap_row_ptr
+    }
+    pub(crate) fn ap_col_idx(&self) -> &[usize] {
+        &self.ap_col_idx
+    }
+    pub(crate) fn ap_val_of_a(&self) -> &[usize] {
+        &self.ap_val_of_a
+    }
+
+    /// The pivot-rejection threshold of the numeric pass on `values`
+    /// (`1e-10 · max |diag|`, matching the from-scratch factorization).
+    pub(crate) fn tiny_of(&self, values: &[f64]) -> f64 {
+        let mut scale = 0.0f64;
+        for k in 0..self.n {
+            for p in self.ap_row_ptr[k]..self.ap_row_ptr[k + 1] {
+                if self.ap_col_idx[p] == k {
+                    scale = scale.max(values[self.ap_val_of_a[p]].abs());
+                }
+            }
+        }
+        1e-10 * scale
+    }
+
+    /// Numeric factorization of `a` over this structure: the up-looking
+    /// pass with all pattern discovery pre-resolved. The floating-point
+    /// operation sequence is identical to a from-scratch factorization of
+    /// the same matrix, so the returned values are bitwise identical to
+    /// that factor's.
+    ///
+    /// # Errors
+    /// [`LaError::NotPositiveDefinite`] when the matrix is not SPD.
+    pub(crate) fn factor_values(&self, a: &Csr) -> LaResult<Vec<f64>> {
+        debug_assert!(self.matches(a), "CholSymbolic: pattern mismatch");
+        let n = self.n;
+        let av = a.values();
+        let mut lx = vec![0.0f64; self.lp[n]];
+        let mut free: Vec<usize> = self.lp[..n].to_vec();
+        let mut x = vec![0.0f64; n];
+        let tiny = self.tiny_of(av);
+        for k in 0..n {
+            // Scatter the lower row A(k, 0..=k) of the permuted matrix.
+            let mut d = 0.0;
+            for p in self.ap_row_ptr[k]..self.ap_row_ptr[k + 1] {
+                let c = self.ap_col_idx[p];
+                let v = av[self.ap_val_of_a[p]];
+                if c < k {
+                    x[c] = v;
+                } else if c == k {
+                    d = v;
+                }
+            }
+            // Solve L(0..k, 0..k) · l = A(0..k, k) over the stored pattern.
+            for &i in &self.ri[self.rp[k]..self.rp[k + 1]] {
+                let lii = lx[self.lp[i]];
+                let lki = x[i] / lii;
+                x[i] = 0.0;
+                // Update x with column i's below-diagonal entries computed
+                // so far.
+                for q in (self.lp[i] + 1)..free[i] {
+                    x[self.li[q]] -= lx[q] * lki;
+                }
+                d -= lki * lki;
+                debug_assert_eq!(self.li[free[i]], k);
+                lx[free[i]] = lki;
+                free[i] += 1;
+            }
+            if d <= tiny || !d.is_finite() {
+                return Err(LaError::NotPositiveDefinite { step: k, value: d });
+            }
+            lx[free[k]] = d.sqrt();
+            free[k] += 1;
+        }
+        Ok(lx)
+    }
+}
+
+/// A sparse `L·Lᵀ` factorization with a fill-reducing symmetric
+/// permutation, `L` stored column-compressed. The symbolic structure is
+/// shared (`Arc`) so refactorizations and batched solves never re-run the
+/// pattern analysis.
+#[derive(Debug, Clone)]
+pub struct SparseCholesky {
+    sym: Arc<CholSymbolic>,
+    lx: Vec<f64>,
 }
 
 impl SparseCholesky {
@@ -103,81 +360,69 @@ impl SparseCholesky {
 
     /// Factors `P·a·Pᵀ` for `perm[new] = old`.
     pub fn factor_with_perm(a: &Csr, perm: Vec<usize>) -> LaResult<Self> {
-        assert_eq!(a.nrows(), a.ncols(), "cholesky: square only");
-        assert_eq!(perm.len(), a.nrows(), "cholesky: perm length");
-        let ap = a.permute_sym(&perm);
-        let n = ap.nrows();
-        let parent = elimination_tree(&ap);
+        let sym = Arc::new(CholSymbolic::analyze_with_perm(a, perm));
+        let lx = sym.factor_values(a)?;
+        Ok(SparseCholesky { sym, lx })
+    }
 
-        // Pass 1: column counts of L. Row k of L contributes one entry to
-        // column i for every i in ereach(k), plus the diagonal of column k.
-        let mut mark = vec![usize::MAX; n];
-        let mut stack = Vec::new();
-        let mut pattern = Vec::new();
-        let mut counts = vec![1usize; n]; // diagonals
-        for k in 0..n {
-            ereach(&ap, k, &parent, &mut mark, &mut stack, &mut pattern);
-            for &i in &pattern {
-                counts[i] += 1;
-            }
+    /// Factors `a` over a pre-built symbolic structure (which `a` must
+    /// match), skipping the pattern analysis entirely.
+    ///
+    /// # Errors
+    /// [`LaError::PatternMismatch`] when `a` does not carry the analyzed
+    /// pattern; [`LaError::NotPositiveDefinite`] when it is not SPD.
+    pub fn factor_with_symbolic(sym: Arc<CholSymbolic>, a: &Csr) -> LaResult<Self> {
+        if !sym.matches(a) {
+            return Err(LaError::PatternMismatch {
+                expected_nnz: sym.a_nnz(),
+                found_nnz: a.nnz(),
+            });
         }
-        let mut lp = Vec::with_capacity(n + 1);
-        lp.push(0usize);
-        for k in 0..n {
-            lp.push(lp[k] + counts[k]);
-        }
-        let nnz = lp[n];
-        let mut li = vec![0usize; nnz];
-        let mut lx = vec![0.0f64; nnz];
-        // Next free slot per column; the diagonal goes in first.
-        let mut free: Vec<usize> = lp[..n].to_vec();
+        let lx = sym.factor_values(a)?;
+        Ok(SparseCholesky { sym, lx })
+    }
 
-        // Pass 2: up-looking numeric factorization.
-        let mut mark2 = vec![usize::MAX; n];
-        let mut x = vec![0.0f64; n];
-        let scale = (0..n).map(|i| ap.get(i, i).abs()).fold(0.0f64, f64::max);
-        let tiny = 1e-10 * scale;
-        for k in 0..n {
-            ereach(&ap, k, &parent, &mut mark2, &mut stack, &mut pattern);
-            // Scatter the lower row A(k, 0..=k).
-            let (cols, vals) = ap.row(k);
-            let mut d = 0.0;
-            for (c, v) in cols.iter().zip(vals) {
-                if *c < k {
-                    x[*c] = *v;
-                } else if *c == k {
-                    d = *v;
-                }
-            }
-            // Solve L(0..k, 0..k) · l = A(0..k, k) over the pattern, in
-            // topological order.
-            for &i in &pattern {
-                let lii = lx[lp[i]];
-                let lki = x[i] / lii;
-                x[i] = 0.0;
-                // Update x with column i's below-diagonal entries computed
-                // so far.
-                for q in (lp[i] + 1)..free[i] {
-                    x[li[q]] -= lx[q] * lki;
-                }
-                d -= lki * lki;
-                li[free[i]] = k;
-                lx[free[i]] = lki;
-                free[i] += 1;
-            }
-            if d <= tiny || !d.is_finite() {
-                return Err(LaError::NotPositiveDefinite { step: k, value: d });
-            }
-            li[free[k]] = k;
-            lx[free[k]] = d.sqrt();
-            free[k] += 1;
+    /// Whether `a` carries the pattern this factor was built from — the
+    /// gate for [`SparseCholesky::refactor`].
+    pub fn pattern_matches(&self, a: &Csr) -> bool {
+        self.sym.matches(a)
+    }
+
+    /// Numeric-only refactorization: refreshes the factor for new values of
+    /// a matrix with the *same* pattern, skipping the symbolic analysis.
+    /// The result is bitwise identical to a from-scratch
+    /// [`SparseCholesky::factor`] of `a` (same permutation, same operation
+    /// order). On error the previous factor is retained untouched.
+    ///
+    /// # Errors
+    /// [`LaError::PatternMismatch`] when `a`'s pattern differs from the
+    /// cached structure (the caller must refactor from scratch);
+    /// [`LaError::NotPositiveDefinite`] when `a` is not SPD.
+    pub fn refactor(&mut self, a: &Csr) -> LaResult<()> {
+        if !self.sym.matches(a) {
+            return Err(LaError::PatternMismatch {
+                expected_nnz: self.sym.a_nnz(),
+                found_nnz: a.nnz(),
+            });
         }
-        Ok(SparseCholesky { n, perm, lp, li, lx })
+        self.lx = self.sym.factor_values(a)?;
+        Ok(())
+    }
+
+    /// The shared symbolic structure.
+    pub fn symbolic(&self) -> &CholSymbolic {
+        &self.sym
+    }
+
+    /// A handle to the symbolic structure, for sharing with other factors
+    /// of the same pattern (see [`crate::batch`]).
+    pub fn symbolic_arc(&self) -> Arc<CholSymbolic> {
+        Arc::clone(&self.sym)
     }
 
     /// Matrix dimension.
     pub fn dim(&self) -> usize {
-        self.n
+        self.sym.n
     }
 
     /// Nonzeros in `L` (fill metric, comparable with
@@ -188,26 +433,28 @@ impl SparseCholesky {
 
     /// Solves `A x = b`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        assert_eq!(b.len(), self.n, "cholesky solve: rhs length");
-        let mut y: Vec<f64> = self.perm.iter().map(|&old| b[old]).collect();
+        let sym = &*self.sym;
+        let n = sym.n;
+        assert_eq!(b.len(), n, "cholesky solve: rhs length");
+        let mut y: Vec<f64> = sym.perm.iter().map(|&old| b[old]).collect();
         // Forward: L z = y (column-oriented, diagonal first).
-        for j in 0..self.n {
-            y[j] /= self.lx[self.lp[j]];
+        for j in 0..n {
+            y[j] /= self.lx[sym.lp[j]];
             let yj = y[j];
-            for p in (self.lp[j] + 1)..self.lp[j + 1] {
-                y[self.li[p]] -= self.lx[p] * yj;
+            for p in (sym.lp[j] + 1)..sym.lp[j + 1] {
+                y[sym.li[p]] -= self.lx[p] * yj;
             }
         }
         // Backward: Lᵀ x = z.
-        for j in (0..self.n).rev() {
+        for j in (0..n).rev() {
             let mut s = y[j];
-            for p in (self.lp[j] + 1)..self.lp[j + 1] {
-                s -= self.lx[p] * y[self.li[p]];
+            for p in (sym.lp[j] + 1)..sym.lp[j + 1] {
+                s -= self.lx[p] * y[sym.li[p]];
             }
-            y[j] = s / self.lx[self.lp[j]];
+            y[j] = s / self.lx[sym.lp[j]];
         }
-        let mut out = vec![0.0; self.n];
-        for (new, &old) in self.perm.iter().enumerate() {
+        let mut out = vec![0.0; n];
+        for (new, &old) in sym.perm.iter().enumerate() {
             out[old] = y[new];
         }
         out
@@ -353,5 +600,93 @@ mod tests {
                 assert!((p - q).abs() < 1e-8);
             }
         }
+    }
+
+    /// Same pattern, different values: the workload of a warm streaming
+    /// frame. Perturbations are keyed on the unordered index pair so the
+    /// matrix stays symmetric.
+    fn rescaled(a: &Csr, seed: u64) -> Csr {
+        let n = a.nrows();
+        let mut b = a.clone();
+        for r in 0..n {
+            for p in a.row_ptr()[r]..a.row_ptr()[r + 1] {
+                let c = a.col_idx()[p];
+                let key = (seed + (r.min(c) * n + r.max(c)) as u64) % 17;
+                b.values_mut()[p] *= 1.0 + 1e-3 * (key as f64 - 8.0);
+            }
+        }
+        // Strengthen the diagonal so the perturbed matrix stays SPD.
+        b.add_scaled(&Csr::identity(n), 0.5)
+    }
+
+    #[test]
+    fn refactor_is_bitwise_identical_to_from_scratch() {
+        let a = laplacian2d(9);
+        let mut chol = SparseCholesky::factor(&a).unwrap();
+        let b: Vec<f64> = (0..a.nrows()).map(|i| ((i * 7 % 11) as f64) - 5.0).collect();
+        for seed in [1u64, 2, 3] {
+            let a2 = rescaled(&a, seed);
+            assert!(chol.pattern_matches(&a2));
+            chol.refactor(&a2).unwrap();
+            let fresh = SparseCholesky::factor(&a2).unwrap();
+            assert_eq!(chol.l_nnz(), fresh.l_nnz());
+            let x1 = chol.solve(&b);
+            let x2 = fresh.solve(&b);
+            for (p, q) in x1.iter().zip(&x2) {
+                assert_eq!(p.to_bits(), q.to_bits(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_rejects_changed_pattern() {
+        let a = laplacian2d(5);
+        let mut chol = SparseCholesky::factor(&a).unwrap();
+        // A different pattern: drop the grid couplings, keep the diagonal.
+        let diag = Csr::identity(a.nrows());
+        assert!(!chol.pattern_matches(&diag));
+        assert!(matches!(chol.refactor(&diag), Err(LaError::PatternMismatch { .. })));
+        // The previous factor is still usable after the rejection.
+        let b = vec![1.0; a.nrows()];
+        let x = chol.solve(&b);
+        let ax = a.mul_vec(&x);
+        for (p, q) in ax.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn refactor_failure_keeps_previous_factor() {
+        let a = laplacian2d(4);
+        let mut chol = SparseCholesky::factor(&a).unwrap();
+        // Same pattern, indefinite values.
+        let mut bad = a.clone();
+        for v in bad.values_mut() {
+            *v = -*v;
+        }
+        assert!(matches!(chol.refactor(&bad), Err(LaError::NotPositiveDefinite { .. })));
+        let b = vec![1.0; a.nrows()];
+        let ax = a.mul_vec(&chol.solve(&b));
+        for (p, q) in ax.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-10, "previous factor lost after failed refactor");
+        }
+    }
+
+    #[test]
+    fn shared_symbolic_factors_match_independent_ones() {
+        let a = laplacian2d(6);
+        let sym = Arc::new(CholSymbolic::analyze(&a));
+        let a2 = rescaled(&a, 9);
+        let shared = SparseCholesky::factor_with_symbolic(Arc::clone(&sym), &a2).unwrap();
+        let fresh = SparseCholesky::factor(&a2).unwrap();
+        let b: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.3).cos()).collect();
+        for (p, q) in shared.solve(&b).iter().zip(&fresh.solve(&b)) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        // And the structure rejects a mismatched matrix.
+        assert!(matches!(
+            SparseCholesky::factor_with_symbolic(sym, &Csr::identity(a.nrows())),
+            Err(LaError::PatternMismatch { .. })
+        ));
     }
 }

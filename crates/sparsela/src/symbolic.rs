@@ -8,6 +8,12 @@
 //! pass once and replays only the numeric accumulation afterwards: no
 //! per-row pattern discovery, no column sorting, no allocation. This is
 //! the cross-frame structure reuse the streaming service leans on.
+//!
+//! The same split powers the solve side: [`crate::scholesky::CholSymbolic`]
+//! caches the Cholesky elimination structure of the gain pattern so warm
+//! frames refresh numeric factors without re-analysis, and
+//! [`crate::batch`] stacks identical-pattern gain systems into lanes over
+//! one shared symbolic structure.
 
 use crate::csr::Csr;
 

@@ -11,9 +11,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 const DEFAULT_PAR_ELEMS: usize = 4096;
 const DEFAULT_PAR_ROWS: usize = 256;
+const DEFAULT_BATCH_LANES_MIN: usize = 2;
 
 static PAR_ELEMS: AtomicUsize = AtomicUsize::new(DEFAULT_PAR_ELEMS);
 static PAR_ROWS: AtomicUsize = AtomicUsize::new(DEFAULT_PAR_ROWS);
+static BATCH_LANES_MIN: AtomicUsize = AtomicUsize::new(DEFAULT_BATCH_LANES_MIN);
 
 /// Minimum vector length before BLAS-1 kernels split across threads.
 pub fn par_elems_threshold() -> usize {
@@ -33,4 +35,18 @@ pub fn par_rows_threshold() -> usize {
 /// Sets the SpMV parallelism threshold (process-wide).
 pub fn set_par_rows_threshold(n: usize) {
     PAR_ROWS.store(n, Ordering::Relaxed);
+}
+
+/// Minimum number of identical-pattern systems in a group before
+/// [`crate::batch::solve_systems`] uses the lane-interleaved batched
+/// factorization; smaller groups solve scalar per-lane. Both paths are
+/// bitwise identical, so this knob only trades setup cost against
+/// amortized index traversal.
+pub fn batch_lanes_min() -> usize {
+    BATCH_LANES_MIN.load(Ordering::Relaxed)
+}
+
+/// Sets the batched-solve lane threshold (process-wide).
+pub fn set_batch_lanes_min(n: usize) {
+    BATCH_LANES_MIN.store(n, Ordering::Relaxed);
 }

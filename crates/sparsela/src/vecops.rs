@@ -29,6 +29,20 @@ use crate::tuning;
 /// tree-reduce them, so results never depend on thread count.
 pub const DET_CHUNK: usize = 1024;
 
+/// Fixed lane width of the in-chunk reduction kernels and the batched-solve
+/// lane loops ([`crate::batch`]). Reductions keep `LANE_WIDTH` independent
+/// accumulators combined in a fixed order, so the compiler can vectorize
+/// the loop body while the result stays a pure function of the input —
+/// never of thread count or ISA. `DET_CHUNK` is a multiple of
+/// `LANE_WIDTH`, so full chunks have no scalar tail and the lane
+/// assignment of every element depends only on vector length.
+pub const LANE_WIDTH: usize = 4;
+
+// The in-chunk kernels below rely on full chunks splitting evenly into
+// lanes; a tail inside a *full* chunk would make the lane assignment
+// depend on chunk position.
+const _: () = assert!(DET_CHUNK.is_multiple_of(LANE_WIDTH));
+
 /// Combines chunk partials in a fixed pairwise tree order (adjacent pairs
 /// per level). The order depends only on `partials.len()`.
 fn tree_reduce(mut partials: Vec<f64>) -> f64 {
@@ -56,14 +70,77 @@ pub(crate) fn tree_reduce_partials(partials: Vec<f64>) -> f64 {
     tree_reduce(partials)
 }
 
-/// Plain left-fold dot over one chunk (the shared in-chunk kernel).
+/// Dot over one chunk with [`LANE_WIDTH`] independent accumulators (the
+/// shared in-chunk kernel). Element `i` of the chunk always feeds
+/// accumulator `i % LANE_WIDTH`, and the accumulators combine in the fixed
+/// order `(a₀+a₁) + (a₂+a₃) + tail`, so the result is a pure function of
+/// the chunk contents — vectorizable, still deterministic. Any kernel
+/// whose reduction is pinned bitwise against this one (the fused PCG
+/// update) must use the exact same lane assignment and combine order.
 #[inline]
 fn chunk_dot(x: &[f64], y: &[f64]) -> f64 {
-    let mut acc = 0.0;
-    for (a, b) in x.iter().zip(y) {
-        acc += a * b;
+    let main = x.len() - x.len() % LANE_WIDTH;
+    let mut acc = [0.0f64; LANE_WIDTH];
+    let mut i = 0;
+    while i < main {
+        acc[0] += x[i] * y[i];
+        acc[1] += x[i + 1] * y[i + 1];
+        acc[2] += x[i + 2] * y[i + 2];
+        acc[3] += x[i + 3] * y[i + 3];
+        i += LANE_WIDTH;
     }
-    acc
+    let mut tail = 0.0;
+    for j in main..x.len() {
+        tail += x[j] * y[j];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Elementwise fused multiply-subtract across a lane block:
+/// `acc[i] ← acc[i] − a[i]·b[i]`. The lane-inner kernel of the batched
+/// Cholesky ([`crate::batch`]): each output element is written from
+/// exactly one input position, so it is trivially deterministic, and the
+/// fixed-width body lets the compiler keep the lanes in vector registers.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn lanes_mul_sub(acc: &mut [f64], a: &[f64], b: &[f64]) {
+    assert_eq!(acc.len(), a.len(), "lanes_mul_sub: length mismatch");
+    assert_eq!(acc.len(), b.len(), "lanes_mul_sub: length mismatch");
+    let mut chunks = acc.chunks_exact_mut(LANE_WIDTH);
+    let mut ca = a.chunks_exact(LANE_WIDTH);
+    let mut cb = b.chunks_exact(LANE_WIDTH);
+    for ((acc4, a4), b4) in (&mut chunks).zip(&mut ca).zip(&mut cb) {
+        acc4[0] -= a4[0] * b4[0];
+        acc4[1] -= a4[1] * b4[1];
+        acc4[2] -= a4[2] * b4[2];
+        acc4[3] -= a4[3] * b4[3];
+    }
+    for ((ai, &xi), &yi) in chunks.into_remainder().iter_mut().zip(ca.remainder()).zip(cb.remainder()) {
+        *ai -= xi * yi;
+    }
+}
+
+/// Elementwise division across a lane block: `num[i] ← num[i] / den[i]`.
+/// Companion of [`lanes_mul_sub`] for the batched forward/backward solves.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn lanes_div(num: &mut [f64], den: &[f64]) {
+    assert_eq!(num.len(), den.len(), "lanes_div: length mismatch");
+    let mut chunks = num.chunks_exact_mut(LANE_WIDTH);
+    let mut cd = den.chunks_exact(LANE_WIDTH);
+    for (n4, d4) in (&mut chunks).zip(&mut cd) {
+        n4[0] /= d4[0];
+        n4[1] /= d4[1];
+        n4[2] /= d4[2];
+        n4[3] /= d4[3];
+    }
+    for (ni, &di) in chunks.into_remainder().iter_mut().zip(cd.remainder()) {
+        *ni /= di;
+    }
 }
 
 /// Dot product `xᵀy`, deterministic fixed-chunk reduction.
@@ -154,16 +231,44 @@ pub fn par_xpby(z: &[f64], beta: f64, p: &mut [f64]) {
 
 /// In-chunk body of the fused PCG update: `x ← x + α·p`, `r ← r − α·ap`,
 /// returning the chunk's `Σ rᵢ²` after the update.
+///
+/// The residual reduction uses the exact lane assignment and combine order
+/// of [`chunk_dot`] (element `i` → accumulator `i % LANE_WIDTH`,
+/// `(a₀+a₁) + (a₂+a₃) + tail`), so the fused `Σ rᵢ²` stays bitwise equal
+/// to a separate `sumsq` sweep over the updated residual.
 #[inline]
 fn fused_update_chunk(alpha: f64, cp: &[f64], cap: &[f64], cx: &mut [f64], cr: &mut [f64]) -> f64 {
-    let mut rr = 0.0;
-    for i in 0..cx.len() {
+    let len = cx.len();
+    let main = len - len % LANE_WIDTH;
+    let mut acc = [0.0f64; LANE_WIDTH];
+    let mut i = 0;
+    while i < main {
         cx[i] += alpha * cp[i];
-        let r = cr[i] - alpha * cap[i];
-        cr[i] = r;
-        rr += r * r;
+        cx[i + 1] += alpha * cp[i + 1];
+        cx[i + 2] += alpha * cp[i + 2];
+        cx[i + 3] += alpha * cp[i + 3];
+        let r0 = cr[i] - alpha * cap[i];
+        let r1 = cr[i + 1] - alpha * cap[i + 1];
+        let r2 = cr[i + 2] - alpha * cap[i + 2];
+        let r3 = cr[i + 3] - alpha * cap[i + 3];
+        cr[i] = r0;
+        cr[i + 1] = r1;
+        cr[i + 2] = r2;
+        cr[i + 3] = r3;
+        acc[0] += r0 * r0;
+        acc[1] += r1 * r1;
+        acc[2] += r2 * r2;
+        acc[3] += r3 * r3;
+        i += LANE_WIDTH;
     }
-    rr
+    let mut tail = 0.0;
+    for j in main..len {
+        cx[j] += alpha * cp[j];
+        let r = cr[j] - alpha * cap[j];
+        cr[j] = r;
+        tail += r * r;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 /// Fused PCG update: `x ← x + α·p`, `r ← r − α·Ap`, and the post-update
@@ -346,5 +451,54 @@ mod tests {
         let mut out = vec![0.0; 2];
         sub_into(&[5.0, 7.0], &[2.0, 10.0], &mut out);
         assert_eq!(out, vec![3.0, -3.0]);
+    }
+
+    #[test]
+    fn lanes_mul_sub_matches_scalar_loop_bitwise() {
+        // Lane blocks of every residue class mod LANE_WIDTH.
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 13] {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos()).collect();
+            let mut acc: Vec<f64> = (0..n).map(|i| i as f64 * 0.09 - 0.4).collect();
+            let mut reference = acc.clone();
+            lanes_mul_sub(&mut acc, &a, &b);
+            for i in 0..n {
+                reference[i] -= a[i] * b[i];
+            }
+            for (p, q) in acc.iter().zip(&reference) {
+                assert_eq!(p.to_bits(), q.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_div_matches_scalar_loop_bitwise() {
+        for n in [0usize, 1, 4, 6, 9] {
+            let den: Vec<f64> = (0..n).map(|i| 1.5 + (i as f64 * 0.23).sin()).collect();
+            let mut num: Vec<f64> = (0..n).map(|i| i as f64 * 0.7 - 1.0).collect();
+            let mut reference = num.clone();
+            lanes_div(&mut num, &den);
+            for i in 0..n {
+                reference[i] /= den[i];
+            }
+            for (p, q) in num.iter().zip(&reference) {
+                assert_eq!(p.to_bits(), q.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn widened_chunk_dot_is_length_pure() {
+        // The lane assignment depends only on position within the chunk, so
+        // computing a dot of a prefix as its own vector gives identical
+        // bits to slicing that prefix from a longer computation's chunks
+        // (full chunks carry no tail: DET_CHUNK % LANE_WIDTH == 0).
+        let x: Vec<f64> = (0..3 * DET_CHUNK).map(|i| (i as f64 * 0.013).sin()).collect();
+        let y: Vec<f64> = (0..3 * DET_CHUNK).map(|i| (i as f64 * 0.029).cos()).collect();
+        let full = dot(&x, &y);
+        let parts: Vec<f64> = (0..3)
+            .map(|c| dot(&x[c * DET_CHUNK..(c + 1) * DET_CHUNK], &y[c * DET_CHUNK..(c + 1) * DET_CHUNK]))
+            .collect();
+        assert_eq!(full.to_bits(), tree_reduce(parts).to_bits());
     }
 }

@@ -143,7 +143,7 @@ impl Default for StreamConfig {
             kills: KillSchedule::default(),
             deterministic_rounds: false,
             noise: NoiseProcess::default(),
-            wls: WlsOptions::default(),
+            wls: WlsOptions::direct(),
             decomposition: DecompositionOptions::default(),
         }
     }
@@ -213,6 +213,12 @@ pub struct StreamReport {
     pub symbolic_reuses: u64,
     /// Solves warm-started from the previous frame's state.
     pub warm_solves: u64,
+    /// Gain solves that refreshed a cached numeric factorization in place
+    /// (direct solver, unchanged sparsity pattern).
+    pub refactor_reuse: u64,
+    /// Gain solves that factored from scratch (first iteration of a
+    /// frame, pattern change, or an uncached/PCG configuration).
+    pub refactor_full: u64,
     /// Frames requeued by the supervisor after their worker died between
     /// popping and solving (each re-enters the solve/shed accounting).
     pub requeued: u64,
@@ -948,6 +954,8 @@ impl StreamService {
         report.symbolic_builds = sup.retired.builds;
         report.symbolic_reuses = sup.retired.reuses;
         report.warm_solves = sup.retired.warm;
+        report.refactor_reuse = sup.retired.refac_reuse;
+        report.refactor_full = sup.retired.refac_full;
         report.heartbeats = sup.watchdog.beats();
         let ck = sup.ckpts.stats();
         report.checkpoints_saved = ck.saves;
@@ -977,6 +985,8 @@ impl StreamService {
         self.rec.counter_add("stream.corrupt", report.corrupt);
         self.rec.counter_add("stream.requeued", report.requeued);
         self.rec.counter_add("stream.worker_panics", report.worker_panics);
+        self.rec.counter_add("stream.refactor_reuse", report.refactor_reuse);
+        self.rec.counter_add("stream.refactor_full", report.refactor_full);
         self.sup_rec.counter_add("failover.suspected", report.suspected);
         self.sup_rec.counter_add("failover.dead", report.workers_declared_dead);
         self.sup_rec.counter_add("failover.restarts", report.workers_restarted);
@@ -1016,6 +1026,8 @@ struct CacheTotals {
     builds: u64,
     reuses: u64,
     warm: u64,
+    refac_reuse: u64,
+    refac_full: u64,
 }
 
 impl CacheTotals {
@@ -1023,6 +1035,8 @@ impl CacheTotals {
         self.builds += c.symbolic_builds;
         self.reuses += c.symbolic_reuses;
         self.warm += c.warm_solves;
+        self.refac_reuse += c.refactor_reuse;
+        self.refac_full += c.refactor_full;
     }
 }
 
@@ -1244,6 +1258,15 @@ mod tests {
         assert!(report.symbolic_builds >= 2 * n_areas, "{report:?}");
         assert!(report.symbolic_reuses > 0);
         assert!(report.warm_solves > 0);
+        // The default direct solver refreshed numeric factorizations on
+        // warm iterations; every Gauss–Newton iteration is either a
+        // refresh or a full refactorization, exactly.
+        assert!(report.refactor_reuse > 0, "{report:?}");
+        assert_eq!(
+            report.refactor_reuse + report.refactor_full,
+            report.gn_iterations,
+            "{report:?}"
+        );
 
         // The obs counters tell the same story as the report.
         let obs = service.obs_report();
@@ -1314,6 +1337,10 @@ mod tests {
         assert_eq!(report.symbolic_builds, 0);
         assert_eq!(report.symbolic_reuses, 0);
         assert_eq!(report.warm_solves, 0);
+        // Uncached solves factor fresh each iteration and never touch the
+        // per-cache refactorization counters.
+        assert_eq!(report.refactor_reuse, 0);
+        assert_eq!(report.refactor_full, 0);
         assert_eq!(report.unaccounted(), 0);
     }
 }

@@ -1,0 +1,287 @@
+//! Solver conformance + regression suite for the batched multi-area gain
+//! solve and numeric refactorization reuse.
+//!
+//! The acceptance criteria of this subsystem, pinned as tests:
+//!
+//! * **Batched == sequential, bitwise.** Stacking identical-pattern
+//!   per-area gain systems into lanes and solving them together produces
+//!   bit-for-bit the same solutions as factoring each system alone — on
+//!   thread pools of 1, 2, and 8 workers.
+//! * **Refactorization reuse == from-scratch, bitwise.** Refreshing a
+//!   cached numeric factorization across warm frames (pattern unchanged,
+//!   values moved) equals a clean factorization of every frame, again
+//!   across 1|2|8-thread pools.
+//! * **The warm round got faster.** One warm round — every area's gain
+//!   system of several in-flight frames solved — must run ≥1.5× faster
+//!   through the batched direct path than through the pre-batch path
+//!   (per-lane IC(0) build + PCG). Amortization, not parallelism: the
+//!   floor holds on any core count.
+//! * **No stale factors.** A topology change that keeps the measurement
+//!   set's shape invalidates the cached pattern and numeric factor; the
+//!   `refactor_reuse`/`refactor_full` counters account for every
+//!   Gauss–Newton iteration exactly, in the report and the obs scope.
+
+use std::sync::{Arc, Mutex};
+
+use pgse::dse::decomposition::{decompose, DecompositionOptions};
+use pgse::dse::AreaEstimator;
+use pgse::estimation::measurement::MeasurementSet;
+use pgse::estimation::wls::{SolveCache, WlsEstimator, WlsOptions};
+use pgse::grid::cases::ieee118_like;
+use pgse::powerflow::{solve, PfOptions};
+use pgse::sparsela::pcg::{pcg, CgOptions, Preconditioner};
+use pgse::sparsela::{solve_systems, BatchCholesky, CholSymbolic, Csr, SparseCholesky};
+use pgse::stream::{StreamConfig, StreamService};
+use pgse_bench::timing::{paired_best_until, time_ns};
+
+/// The timing comparison and the pool sweeps are load-sensitive;
+/// serialize the file like `tests/streaming.rs` does.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Real per-area gain systems: one `(G, rhs)` per area per frame, where a
+/// frame differs only in telemetry values — every frame of one area
+/// shares that area's gain sparsity pattern.
+fn area_frame_systems(frames: u64) -> Vec<Vec<(Csr, Vec<f64>)>> {
+    let net = ieee118_like();
+    let pf = solve(&net, &PfOptions::default()).unwrap();
+    let d = decompose(&net, &DecompositionOptions::default());
+    d.areas
+        .iter()
+        .map(|a| {
+            let est = AreaEstimator::new(a.clone(), &net, &pf, WlsOptions::default());
+            (0..frames)
+                .map(|f| {
+                    let set = est.generate_telemetry(1.0, 100 + f);
+                    est.step1_gain_system(&set)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn pools() -> Vec<rayon::ThreadPool> {
+    [1usize, 2, 8]
+        .iter()
+        .map(|&n| rayon::ThreadPoolBuilder::new().num_threads(n).build().unwrap())
+        .collect()
+}
+
+#[test]
+fn batched_solve_is_bitwise_identical_to_scalar_across_pools() {
+    let _serial = serial();
+    let areas = area_frame_systems(3);
+
+    // Scalar reference: every system factored and solved on its own.
+    let reference: Vec<Vec<Vec<f64>>> = areas
+        .iter()
+        .map(|frames| {
+            frames
+                .iter()
+                .map(|(g, b)| SparseCholesky::factor(g).unwrap().solve(b))
+                .collect()
+        })
+        .collect();
+
+    // One flat list mixing all areas' frames exercises pattern grouping:
+    // solve_systems must regroup each area's frames into one batch.
+    let flat: Vec<(&Csr, &[f64])> = areas
+        .iter()
+        .flat_map(|frames| frames.iter().map(|(g, b)| (g, b.as_slice())))
+        .collect();
+    let flat_ref: Vec<&Vec<f64>> = reference.iter().flatten().collect();
+
+    for pool in pools() {
+        let sols = pool.install(|| solve_systems(&flat).unwrap());
+        assert_eq!(sols.len(), flat_ref.len());
+        for (i, (got, want)) in sols.iter().zip(&flat_ref).enumerate() {
+            assert_eq!(got.len(), want.len());
+            for (a, b) in got.iter().zip(want.iter()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "system {i} diverged on a {}-thread pool",
+                    pool.current_num_threads()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn refactor_reuse_is_bitwise_identical_to_from_scratch_across_pools() {
+    let _serial = serial();
+    let areas = area_frame_systems(5);
+
+    for pool in pools() {
+        pool.install(|| {
+            for frames in &areas {
+                // Warm path: factor frame 0 once, refresh the numeric
+                // factor for every later frame.
+                let lane_refs: Vec<&Csr> = vec![&frames[0].0];
+                let mut batch = BatchCholesky::factor(&lane_refs).unwrap();
+                let mut scalar = SparseCholesky::factor(&frames[0].0).unwrap();
+                for (g, b) in &frames[1..] {
+                    batch.refactor(&[g]).unwrap();
+                    scalar.refactor(g).unwrap();
+                    // From-scratch path on the same frame.
+                    let fresh = SparseCholesky::factor(g).unwrap();
+                    let sym = Arc::new(CholSymbolic::analyze(g));
+                    let shared = SparseCholesky::factor_with_symbolic(sym, g).unwrap();
+                    let want = fresh.solve(b);
+                    for got in
+                        [batch.solve_lane(0, b), scalar.solve(b), shared.solve(b)]
+                    {
+                        for (x, y) in got.iter().zip(&want) {
+                            assert_eq!(
+                                x.to_bits(),
+                                y.to_bits(),
+                                "refactor diverged on a {}-thread pool",
+                                pool.current_num_threads()
+                            );
+                        }
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn warm_round_batched_solve_beats_prebatch_path() {
+    let _serial = serial();
+    // One warm round: 4 in-flight frames of every area's gain system.
+    let areas = area_frame_systems(4);
+
+    // The batched path carries its symbolic analysis and factor memory
+    // across frames (the stream cache does the same), so build the
+    // per-area batches once, outside the timed region.
+    let mut batches: Vec<BatchCholesky> = areas
+        .iter()
+        .map(|frames| {
+            let refs: Vec<&Csr> = frames.iter().map(|(g, _)| g).collect();
+            BatchCholesky::factor(&refs).unwrap()
+        })
+        .collect();
+
+    let cg = CgOptions { rel_tol: 1e-8, max_iter: 10_000, parallel: false };
+    let (batch_ns, prebatch_ns) = paired_best_until(
+        6,
+        || {
+            time_ns(|| {
+                for (frames, batch) in areas.iter().zip(&mut batches) {
+                    let refs: Vec<&Csr> = frames.iter().map(|(g, _)| g).collect();
+                    batch.refactor(&refs).unwrap();
+                    let rhs: Vec<&[f64]> = frames.iter().map(|(_, b)| b.as_slice()).collect();
+                    std::hint::black_box(batch.solve_all(&rhs));
+                }
+            })
+        },
+        || {
+            time_ns(|| {
+                // Pre-batch warm round: every system rebuilds its IC(0)
+                // preconditioner and runs PCG on its own.
+                for frames in &areas {
+                    for (g, b) in frames {
+                        let m = Preconditioner::ic0(g).unwrap();
+                        std::hint::black_box(pcg(g, b, &m, &cg).unwrap());
+                    }
+                }
+            })
+        },
+        |fast, slow| fast.saturating_mul(3) < slow.saturating_mul(2),
+    );
+
+    let speedup = prebatch_ns as f64 / batch_ns as f64;
+    // The floor is a property of the optimized kernels; CI asserts it via
+    // `cargo test --release --test solver_batch`. A debug build still
+    // runs the comparison (both paths must work) but the unoptimized
+    // lane loops make its ratio meaningless, so it is reported only.
+    if cfg!(debug_assertions) {
+        eprintln!("warm round speedup {speedup:.2}x (floor not asserted in debug builds)");
+        return;
+    }
+    assert!(
+        speedup >= 1.5,
+        "warm round: batched {batch_ns} ns vs pre-batch {prebatch_ns} ns — \
+         {speedup:.2}x is below the 1.5x floor"
+    );
+}
+
+#[test]
+fn streaming_warm_run_accounts_every_refactorization() {
+    let _serial = serial();
+    let net = ieee118_like();
+    let cfg = StreamConfig { n_frames: 8, seed: 5, ..StreamConfig::default() };
+    let service = StreamService::deploy(&net, cfg).unwrap();
+    let report = service.run();
+
+    assert_eq!(report.frames_published, 8);
+    assert_eq!(report.unaccounted(), 0, "{report:?}");
+    // Warm frames refreshed cached numeric factors; every Gauss–Newton
+    // iteration was exactly one refresh or one full factorization.
+    assert!(report.refactor_reuse > 0, "{report:?}");
+    assert!(report.refactor_full > 0, "{report:?}");
+    assert!(report.refactor_reuse > report.refactor_full, "{report:?}");
+    assert_eq!(
+        report.refactor_reuse + report.refactor_full,
+        report.gn_iterations,
+        "{report:?}"
+    );
+
+    // The obs scope tells the same story.
+    let obs = service.obs_report();
+    assert_eq!(obs.counter("stream", "stream.refactor_reuse"), report.refactor_reuse);
+    assert_eq!(obs.counter("stream", "stream.refactor_full"), report.refactor_full);
+    assert!(obs.total_counter("wls.refactor.reuse") >= report.refactor_reuse);
+}
+
+#[test]
+fn topology_change_mid_stream_forces_clean_refactor() {
+    let _serial = serial();
+    // Drive the estimator's cache through a mid-stream topology change:
+    // same measurement-set shape, different Ybus pattern. The stale
+    // pattern and numeric factor must be discarded, never reused.
+    let net = ieee118_like();
+    let pf = solve(&net, &PfOptions::default()).unwrap();
+    let d = decompose(&net, &DecompositionOptions::default());
+    let est = AreaEstimator::new(d.areas[0].clone(), &net, &pf, WlsOptions::direct());
+    let sets: Vec<MeasurementSet> =
+        (0..3u64).map(|f| est.generate_telemetry(1.0, 200 + f)).collect();
+
+    let mut cache = SolveCache::new();
+    for set in &sets[..2] {
+        est.step1_cached(set, &mut cache).unwrap();
+    }
+    assert_eq!(cache.symbolic_builds, 1);
+    assert_eq!(cache.refactor_full, 1, "one full factorization per steady topology");
+    let reuse_before = cache.refactor_reuse;
+    assert!(reuse_before > 0);
+
+    // The same area with one extra internal branch between two buses that
+    // were NOT adjacent before: the measurement plan keeps its shape
+    // (same buses, flows indexed per branch are appended after), but the
+    // Ybus pattern changes.
+    let mut grown = d.areas[0].subnet.clone();
+    let ybus = pgse::grid::Ybus::new(&grown);
+    let (from, to) = (0..grown.n_buses())
+        .flat_map(|i| ((i + 1)..grown.n_buses()).map(move |j| (i, j)))
+        .find(|&(i, j)| !ybus.row(i).0.contains(&j))
+        .expect("area 0 is not a clique");
+    let proto = grown.branches[0].clone();
+    grown.branches.push(pgse::grid::Branch { from, to, ..proto });
+    let grown_est = WlsEstimator::new(
+        grown,
+        pgse::estimation::jacobian::StateSpace::full(d.areas[0].subnet.n_buses()),
+        WlsOptions::direct(),
+    );
+    grown_est.estimate_cached(&sets[2], None, &mut cache).unwrap();
+
+    // The cache rebuilt everything rather than reusing stale structures.
+    assert_eq!(cache.symbolic_builds, 2, "stale pattern silently reused");
+    assert_eq!(cache.refactor_full, 2, "stale numeric factor silently reused");
+    assert!(cache.refactor_reuse > reuse_before);
+}

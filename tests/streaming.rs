@@ -132,21 +132,27 @@ fn warm_started_frames_are_cheaper_than_cold_ones() {
     );
     // Wall time is load-sensitive, so compare the best observed time of
     // each mode over up to three paired runs instead of a single sample.
-    let mut warm_ns = warm.solve_nanos;
-    let mut cold_ns = cold.solve_nanos;
-    for _ in 0..2 {
-        if warm_ns < cold_ns {
-            break;
-        }
-        let w = StreamService::deploy(&net, StreamConfig { warm: true, ..base.clone() })
-            .unwrap()
-            .run();
-        let c = StreamService::deploy(&net, StreamConfig { warm: false, ..base.clone() })
-            .unwrap()
-            .run();
-        warm_ns = warm_ns.min(w.solve_nanos);
-        cold_ns = cold_ns.min(c.solve_nanos);
-    }
+    let mut first_warm = Some(warm.solve_nanos);
+    let mut first_cold = Some(cold.solve_nanos);
+    let (warm_ns, cold_ns) = pgse_bench::timing::paired_best(
+        3,
+        || {
+            first_warm.take().unwrap_or_else(|| {
+                StreamService::deploy(&net, StreamConfig { warm: true, ..base.clone() })
+                    .unwrap()
+                    .run()
+                    .solve_nanos
+            })
+        },
+        || {
+            first_cold.take().unwrap_or_else(|| {
+                StreamService::deploy(&net, StreamConfig { warm: false, ..base.clone() })
+                    .unwrap()
+                    .run()
+                    .solve_nanos
+            })
+        },
+    );
     assert!(warm_ns < cold_ns, "warm {warm_ns} ns vs cold {cold_ns} ns solve time");
 
     // The caches actually engaged — visible in the ObsReport too.
