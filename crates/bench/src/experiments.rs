@@ -461,7 +461,7 @@ pub fn exp_dse_vs_centralized() -> String {
     out
 }
 
-/// Decentralized vs hierarchical exchange (the [11] comparison the paper
+/// Decentralized vs hierarchical exchange (the \[11\] comparison the paper
 /// cites: decentralizing improves exchange latency).
 pub fn exp_coordination_modes() -> String {
     let run = |mode| {

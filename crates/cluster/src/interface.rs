@@ -2,8 +2,8 @@
 //!
 //! Paper §IV-A: "an interface layer is deployed on the master node of each
 //! HPC cluster … It includes a middleware client that wraps the
-//! communication code for disseminating and retrieving data [and] a data
-//! processor [that] acquires the data from a local data buffer, extracts
+//! communication code for disseminating and retrieving data \[and\] a data
+//! processor \[that\] acquires the data from a local data buffer, extracts
 //! the required fields … and assembles them as inputs to the parallel
 //! power models."
 //!

@@ -1,0 +1,263 @@
+//! DC screening tier: rank the full outage list by linearized post-outage
+//! loading before any AC machinery runs.
+//!
+//! [`DcScreener`] factors the reduced (slack-grounded) susceptance
+//! Laplacian `B` of the base case **once**, caches the base angle solve
+//! `θ = B⁻¹p`, and then prices every single-branch outage as a rank-1
+//! downdate `B' = B − w·u·uᵀ` through the Sherman–Morrison identity
+//! ([`pgse_sparsela::UpdatedFactor`]): one cached-factor solve of the
+//! two-nonzero incidence vector plus O(n + branches) arithmetic per case,
+//! against a full refactorization for the cold path. A vanishing
+//! Sherman–Morrison denominator is exactly the bridge-removal case, so
+//! islanding falls out of the algebra as [`ScreenVerdict::Islanding`]
+//! rather than needing a separate connectivity pass.
+
+use pgse_grid::Network;
+use pgse_powerflow::PfError;
+use pgse_sparsela::{Coo, LaError, SparseCholesky, UpdatedFactor};
+
+use crate::Limits;
+
+/// The outcome of screening one branch outage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScreenVerdict {
+    /// The outage disconnects the network: the downdated Laplacian is
+    /// singular, there is no post-outage flow pattern to price.
+    Islanding,
+    /// The network survives; `case` carries the linearized severity.
+    Screened(ScreenedCase),
+}
+
+/// Linearized severity of one survivable branch outage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScreenedCase {
+    /// The outaged branch.
+    pub branch: usize,
+    /// Worst post-outage loading over the remaining branches
+    /// (`|flow| / rating`; above 1.0 is a predicted overload).
+    pub max_loading: f64,
+    /// The branch carrying that worst loading.
+    pub worst_branch: usize,
+}
+
+/// A base-case DC model with a cached factorization, pricing branch
+/// outages by warm rank-1 updates (see module docs).
+#[derive(Debug, Clone)]
+pub struct DcScreener {
+    /// Bus → reduced-system row (`usize::MAX` for the grounded slack).
+    pos: Vec<usize>,
+    slack: usize,
+    /// Cached factor of the reduced base-case susceptance Laplacian.
+    chol: SparseCholesky,
+    /// Cached base solve `θ = B⁻¹p` (reduced coordinates).
+    theta: Vec<f64>,
+    /// Per-branch susceptance weight `1/(x·tap)`.
+    w: Vec<f64>,
+    /// Per-branch endpoint pair.
+    ends: Vec<(usize, usize)>,
+    /// Per-branch active-power emergency rating derived from the base DC
+    /// flows and [`Limits`].
+    ratings: Vec<f64>,
+}
+
+impl DcScreener {
+    /// Builds the screener for `net`: one reduced-Laplacian factorization
+    /// and one base angle solve, both cached for the whole sweep.
+    ///
+    /// # Errors
+    /// [`PfError::SingularJacobian`] when the base network is already
+    /// disconnected (the reduced Laplacian is then not positive definite).
+    pub fn new(net: &Network, limits: &Limits) -> Result<Self, PfError> {
+        let n = net.n_buses();
+        let slack = net.slack();
+        let mut pos = vec![usize::MAX; n];
+        let mut k = 0usize;
+        for (i, p) in pos.iter_mut().enumerate() {
+            if i != slack {
+                *p = k;
+                k += 1;
+            }
+        }
+        let mut b = Coo::new(k, k);
+        let mut w = Vec::with_capacity(net.n_branches());
+        let mut ends = Vec::with_capacity(net.n_branches());
+        for br in &net.branches {
+            let wk = 1.0 / (br.x * br.tap);
+            w.push(wk);
+            ends.push((br.from, br.to));
+            let (f, t) = (pos[br.from], pos[br.to]);
+            if f != usize::MAX {
+                b.push(f, f, wk);
+            }
+            if t != usize::MAX {
+                b.push(t, t, wk);
+            }
+            if f != usize::MAX && t != usize::MAX {
+                b.push(f, t, -wk);
+                b.push(t, f, -wk);
+            }
+        }
+        let chol = SparseCholesky::factor(&b.to_csr())
+            .map_err(|e| PfError::SingularJacobian(format!("DC B matrix: {e}")))?;
+        let p: Vec<f64> = (0..n)
+            .filter(|&i| i != slack)
+            .map(|i| net.buses[i].p_injection())
+            .collect();
+        let theta = chol.solve(&p);
+        let ratings = ends
+            .iter()
+            .zip(&w)
+            .map(|(&(f, t), &wk)| {
+                let flow = wk * (Self::angle(&pos, &theta, f) - Self::angle(&pos, &theta, t));
+                (limits.rating_factor * flow.abs()).max(limits.rating_floor)
+            })
+            .collect();
+        Ok(DcScreener { pos, slack, chol, theta, w, ends, ratings })
+    }
+
+    fn angle(pos: &[usize], theta: &[f64], bus: usize) -> f64 {
+        if pos[bus] == usize::MAX {
+            0.0
+        } else {
+            theta[pos[bus]]
+        }
+    }
+
+    /// Number of branches in the screened model.
+    pub fn n_branches(&self) -> usize {
+        self.w.len()
+    }
+
+    /// The derived per-branch DC emergency ratings.
+    pub fn ratings(&self) -> &[f64] {
+        &self.ratings
+    }
+
+    /// The reduced incidence vector `u = e_f − e_t` of branch `k`, the
+    /// rank-1 direction of its removal.
+    fn incidence(&self, k: usize) -> (Vec<usize>, Vec<f64>) {
+        let (f, t) = self.ends[k];
+        let mut idx = Vec::with_capacity(2);
+        let mut val = Vec::with_capacity(2);
+        if self.pos[f] != usize::MAX {
+            idx.push(self.pos[f]);
+            val.push(1.0);
+        }
+        if self.pos[t] != usize::MAX {
+            idx.push(self.pos[t]);
+            val.push(-1.0);
+        }
+        (idx, val)
+    }
+
+    /// Prices the outage of branch `k` by a warm rank-1 update: one cached
+    /// solve + O(n + branches), no refactorization.
+    ///
+    /// # Panics
+    /// Panics when `k` is out of range.
+    pub fn screen_outage(&self, k: usize) -> ScreenVerdict {
+        let (u_idx, u_val) = self.incidence(k);
+        let upd = match UpdatedFactor::new(&self.chol, &u_idx, &u_val, -self.w[k]) {
+            Ok(upd) => upd,
+            Err(LaError::SingularUpdate { .. }) => return ScreenVerdict::Islanding,
+            Err(e) => unreachable!("rank-1 screening can only fail singular: {e}"),
+        };
+        let theta = upd.update_solution(&self.theta);
+        let mut max_loading = 0.0f64;
+        let mut worst_branch = k;
+        for (j, (&(f, t), &wj)) in self.ends.iter().zip(&self.w).enumerate() {
+            if j == k {
+                continue;
+            }
+            let flow = wj * (Self::angle(&self.pos, &theta, f) - Self::angle(&self.pos, &theta, t));
+            let loading = flow.abs() / self.ratings[j];
+            if loading > max_loading {
+                max_loading = loading;
+                worst_branch = j;
+            }
+        }
+        ScreenVerdict::Screened(ScreenedCase { branch: k, max_loading, worst_branch })
+    }
+
+    /// Full-bus post-outage angles (slack at 0) of the warm update, or
+    /// `None` on islanding — the warm half of the warm-vs-cold conformance
+    /// check (`solve_dc` of the branch-removed network is the cold half).
+    pub fn post_outage_angles(&self, k: usize) -> Option<Vec<f64>> {
+        let (u_idx, u_val) = self.incidence(k);
+        let upd = UpdatedFactor::new(&self.chol, &u_idx, &u_val, -self.w[k]).ok()?;
+        let theta = upd.update_solution(&self.theta);
+        let mut va = vec![0.0; self.pos.len()];
+        for (bus, &p) in self.pos.iter().enumerate() {
+            if p != usize::MAX {
+                va[bus] = theta[p];
+            }
+        }
+        debug_assert_eq!(va[self.slack], 0.0);
+        Some(va)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgse_grid::cases::{ieee118_like, ieee14};
+    use pgse_powerflow::solve_dc;
+
+    #[test]
+    fn warm_outage_angles_match_cold_dc_solve() {
+        let net = ieee14();
+        let scr = DcScreener::new(&net, &Limits::default()).unwrap();
+        for k in 0..net.n_branches() {
+            let Some(warm) = scr.post_outage_angles(k) else {
+                continue; // islanding; pinned below
+            };
+            let mut reduced = net.clone();
+            reduced.branches.remove(k);
+            let cold = solve_dc(&reduced).unwrap();
+            for (bus, (a, b)) in warm.iter().zip(&cold.va).enumerate() {
+                assert!((a - b).abs() < 1e-9, "outage {k} bus {bus}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn islanding_outage_is_flagged_by_singular_update() {
+        let net = ieee14();
+        let scr = DcScreener::new(&net, &Limits::default()).unwrap();
+        // Branch 13 (7-8) is bus 8's only connection.
+        assert_eq!(scr.screen_outage(13), ScreenVerdict::Islanding);
+        assert!(scr.post_outage_angles(13).is_none());
+    }
+
+    #[test]
+    fn base_case_loads_within_ratings() {
+        let net = ieee118_like();
+        let scr = DcScreener::new(&net, &Limits::default()).unwrap();
+        // Every rating was derived as a multiple (>1) of the base flow, so
+        // a screened outage that predicts loading ≤ 1 everywhere is cleared
+        // consistently with the base case being secure.
+        for k in 0..scr.n_branches() {
+            if let ScreenVerdict::Screened(c) = scr.screen_outage(k) {
+                assert!(c.max_loading.is_finite());
+                assert!(c.worst_branch != k);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_line_outage_ranks_above_light_line_outage() {
+        let net = ieee14();
+        let scr = DcScreener::new(&net, &Limits::default()).unwrap();
+        // Outage of branch 0 (slack's main export path) must predict more
+        // stress than the lightest screened case.
+        let loadings: Vec<(usize, f64)> = (0..scr.n_branches())
+            .filter_map(|k| match scr.screen_outage(k) {
+                ScreenVerdict::Screened(c) => Some((k, c.max_loading)),
+                ScreenVerdict::Islanding => None,
+            })
+            .collect();
+        let heavy = loadings.iter().find(|(k, _)| *k == 0).unwrap().1;
+        let min = loadings.iter().map(|(_, l)| *l).fold(f64::INFINITY, f64::min);
+        assert!(heavy > min, "heavy {heavy} vs lightest {min}");
+    }
+}

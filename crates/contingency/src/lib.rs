@@ -2,32 +2,51 @@
 //!
 //! Massive N-1 contingency analysis — the companion HPC application the
 //! paper's state-estimation kernel descends from (Chen, Huang &
-//! Chavarría-Miranda [2]: *"Performance evaluation of counter-based dynamic
+//! Chavarría-Miranda \[2\]: *"Performance evaluation of counter-based dynamic
 //! load balancing schemes for massive contingency analysis"*), and one of
 //! the downstream consumers of the estimated state the paper lists
 //! (§I: "contingency analysis, optimal power flow, economic dispatch…").
 //!
-//! The module provides:
-//! * [`screen`] — enumerate non-islanding branch outages;
-//! * [`analyze_one`] — re-solve the AC power flow with one branch out and
-//!   check voltage/loading limits against the base case;
+//! The crate provides the tiers the streaming scenario engine
+//! (`pgse-stream`'s `scenarios` module) composes:
+//! * [`islanding_outages`] / [`screen`] — O(buses + branches) bridge
+//!   analysis of the branch multigraph separating survivable outages from
+//!   islanding ones;
+//! * [`DcScreener`] — the cheap screening tier: cached base-case
+//!   factorization + Sherman–Morrison rank-1 outage pricing ([`dc`]);
+//! * [`analyze_one`] / [`analyze_one_warm`] — the expensive tier: full AC
+//!   re-solve (flat- or warm-started from the base operating point) with
+//!   voltage/loading limit checks;
 //! * [`run_static`] / [`run_dynamic`] — distribute the contingency list
 //!   over worker threads with either static pre-partitioning or the
-//!   **counter-based dynamic scheme** of [2] (a shared atomic task counter
-//!   each worker increments to claim its next case), plus the balance
-//!   metrics that paper compares.
+//!   **counter-based dynamic scheme** of \[2\] (a shared atomic task counter
+//!   each worker increments to claim its next case), timed through
+//!   `pgse-obs` span recorders (`scenario.case` spans; no raw `Instant`
+//!   in this crate), plus the balance metrics that paper compares.
+
+pub mod dc;
+
+pub use dc::{DcScreener, ScreenVerdict, ScreenedCase};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
 
 use pgse_grid::Network;
-use pgse_powerflow::{solve, PfOptions, PfSolution};
+use pgse_obs::{Recorder, ScopeReport};
+use pgse_powerflow::{solve, solve_warm, PfOptions, PfSolution};
 
 /// One contingency case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Contingency {
     /// Outage of one branch (by index into `net.branches`).
     BranchOutage(usize),
+}
+
+impl Contingency {
+    /// The outaged branch index.
+    pub fn branch(&self) -> usize {
+        let Contingency::BranchOutage(k) = *self;
+        k
+    }
 }
 
 /// A post-contingency limit violation.
@@ -70,7 +89,7 @@ pub struct CtgResult {
     /// Limit violations found.
     pub violations: Vec<Violation>,
     /// Newton iterations the solve took (per-case cost varies — the reason
-    /// dynamic balancing wins in [2]).
+    /// dynamic balancing wins in \[2\]).
     pub iterations: usize,
 }
 
@@ -81,44 +100,148 @@ impl CtgResult {
     }
 }
 
+/// Branch indices whose outage disconnects the network: the **bridges** of
+/// the branch multigraph, found by one iterative Tarjan DFS in
+/// O(buses + branches) — replacing the old clone-the-network-and-BFS per
+/// branch screen, which was O(branches · (buses + branches)).
+///
+/// Parallel branches are handled by edge identity (a branch with a
+/// parallel companion is never a bridge), and self-loops can never
+/// disconnect anything. Assumes the base network is connected; on a
+/// disconnected base the bridges of each component are still returned.
+pub fn islanding_outages(net: &Network) -> Vec<usize> {
+    let n = net.n_buses();
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for (k, br) in net.branches.iter().enumerate() {
+        if br.from == br.to {
+            continue;
+        }
+        adj[br.from].push((br.to, k));
+        adj[br.to].push((br.from, k));
+    }
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut timer = 0usize;
+    let mut bridges = Vec::new();
+    // Explicit DFS stack: (node, entering branch id, next adjacency slot).
+    let mut stack: Vec<(usize, usize, usize)> = Vec::new();
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        stack.push((root, usize::MAX, 0));
+        while let Some(top) = stack.last_mut() {
+            let (u, pe) = (top.0, top.1);
+            if let Some(&(v, e)) = adj[u].get(top.2) {
+                top.2 += 1;
+                if e == pe {
+                    // The tree edge we came in on; a *parallel* branch has
+                    // a different id and correctly counts as a back edge.
+                    continue;
+                }
+                if disc[v] == usize::MAX {
+                    disc[v] = timer;
+                    low[v] = timer;
+                    timer += 1;
+                    stack.push((v, e, 0));
+                } else {
+                    low[u] = low[u].min(disc[v]);
+                }
+            } else {
+                let (u, pe, _) = stack.pop().expect("frame present");
+                if let Some(&(p, _, _)) = stack.last() {
+                    low[p] = low[p].min(low[u]);
+                    if low[u] > disc[p] {
+                        bridges.push(pe);
+                    }
+                }
+            }
+        }
+    }
+    bridges.sort_unstable();
+    bridges
+}
+
 /// Enumerates all single-branch outages that leave the network connected
 /// (islanding outages need remedial-action modelling, out of scope here —
-/// and in [2]).
+/// and in \[2\]). The complement of [`islanding_outages`].
 pub fn screen(net: &Network) -> Vec<Contingency> {
+    let mut islands = vec![false; net.n_branches()];
+    for k in islanding_outages(net) {
+        islands[k] = true;
+    }
     (0..net.n_branches())
-        .filter(|&k| {
-            let mut reduced = net.clone();
-            reduced.branches.remove(k);
-            reduced.is_connected()
-        })
+        .filter(|&k| !islands[k])
         .map(Contingency::BranchOutage)
         .collect()
 }
 
 /// Emergency ratings derived from the base case.
-pub fn ratings(net: &Network, base: &PfSolution, limits: &Limits) -> Vec<f64> {
-    net.branches
+pub fn ratings(_net: &Network, base: &PfSolution, limits: &Limits) -> Vec<f64> {
+    ratings_from_flows(&base.flows, limits)
+}
+
+/// Emergency ratings derived from an arbitrary operating state — the
+/// streaming path, where the base case arrives as an estimated vm/va
+/// profile rather than a solved [`PfSolution`].
+pub fn ratings_from_state(net: &Network, vm: &[f64], va: &[f64], limits: &Limits) -> Vec<f64> {
+    ratings_from_flows(&pgse_powerflow::branch_flows(net, vm, va), limits)
+}
+
+fn ratings_from_flows(flows: &[pgse_powerflow::BranchFlow], limits: &Limits) -> Vec<f64> {
+    flows
         .iter()
-        .enumerate()
-        .map(|(k, _)| {
-            let f = &base.flows[k];
+        .map(|f| {
             let s = (f.p_from * f.p_from + f.q_from * f.q_from).sqrt();
             (limits.rating_factor * s).max(limits.rating_floor)
         })
         .collect()
 }
 
-/// Analyzes one contingency: removes the branch, re-solves, checks limits.
+/// Analyzes one contingency from a flat start: removes the branch,
+/// re-solves, checks limits.
 pub fn analyze_one(
     net: &Network,
     contingency: Contingency,
     ratings: &[f64],
     limits: &Limits,
 ) -> CtgResult {
+    analyze_one_from(net, contingency, ratings, limits, None)
+}
+
+/// [`analyze_one`] warm-started from the base operating point — the
+/// post-outage solution sits close to the base case, so Newton converges
+/// in fewer iterations than from a flat start.
+pub fn analyze_one_warm(
+    net: &Network,
+    contingency: Contingency,
+    ratings: &[f64],
+    limits: &Limits,
+    base: &PfSolution,
+) -> CtgResult {
+    analyze_one_from(net, contingency, ratings, limits, Some((&base.vm, &base.va)))
+}
+
+/// Shared body of the cold/warm single-case analysis.
+pub fn analyze_one_from(
+    net: &Network,
+    contingency: Contingency,
+    ratings: &[f64],
+    limits: &Limits,
+    start: Option<(&[f64], &[f64])>,
+) -> CtgResult {
     let Contingency::BranchOutage(k) = contingency;
     let mut post = net.clone();
     post.branches.remove(k);
-    match solve(&post, &PfOptions::default()) {
+    let opts = PfOptions::default();
+    let solved = match start {
+        Some((vm0, va0)) => solve_warm(&post, &opts, vm0, va0),
+        None => solve(&post, &opts),
+    };
+    match solved {
         Err(_) => CtgResult { contingency, converged: false, violations: Vec::new(), iterations: 0 },
         Ok(sol) => {
             let mut violations = Vec::new();
@@ -145,30 +268,30 @@ pub fn analyze_one(
     }
 }
 
-/// A completed sweep with the balance metrics [2] reports.
+/// A completed sweep with the balance metrics \[2\] reports.
 #[derive(Debug)]
 pub struct SweepReport {
     /// Per-case results, in contingency-list order.
     pub results: Vec<CtgResult>,
     /// Cases processed by each worker.
     pub tasks_per_worker: Vec<usize>,
-    /// Busy time of each worker.
-    pub busy_per_worker: Vec<Duration>,
-    /// Wall time of the sweep.
-    pub wall: Duration,
+    /// Busy nanoseconds of each worker (sum of its `scenario.case` span
+    /// durations).
+    pub busy_ns_per_worker: Vec<u64>,
+    /// Wall nanoseconds of the sweep.
+    pub wall_ns: u64,
+    /// The per-worker obs scopes (`ctg.worker{w}`) plus the sweep scope
+    /// (`ctg.sweep`), mergeable into an `ObsReport`.
+    pub scopes: Vec<ScopeReport>,
 }
 
 impl SweepReport {
     /// Load-imbalance ratio across workers: max busy time over mean busy
     /// time (1.0 is perfect).
     pub fn imbalance(&self) -> f64 {
-        let total: f64 = self.busy_per_worker.iter().map(Duration::as_secs_f64).sum();
-        let mean = total / self.busy_per_worker.len() as f64;
-        let max = self
-            .busy_per_worker
-            .iter()
-            .map(Duration::as_secs_f64)
-            .fold(0.0f64, f64::max);
+        let total: f64 = self.busy_ns_per_worker.iter().map(|&b| b as f64).sum();
+        let mean = total / self.busy_ns_per_worker.len() as f64;
+        let max = self.busy_ns_per_worker.iter().map(|&b| b as f64).fold(0.0f64, f64::max);
         if mean > 0.0 {
             max / mean
         } else {
@@ -183,7 +306,7 @@ impl SweepReport {
 }
 
 /// Static scheme: the list is pre-split into contiguous chunks, one per
-/// worker.
+/// worker. Every case warm-starts from the base operating point.
 pub fn run_static(
     net: &Network,
     base: &PfSolution,
@@ -194,30 +317,26 @@ pub fn run_static(
     assert!(n_workers > 0, "need at least one worker");
     let rat = ratings(net, base, limits);
     let chunk = ctgs.len().div_ceil(n_workers);
-    let wall0 = Instant::now();
-    let per_worker: Vec<(Vec<(usize, CtgResult)>, Duration)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n_workers)
-            .map(|w| {
-                let rat = &rat;
-                scope.spawn(move || {
-                    let t0 = Instant::now();
-                    let lo = (w * chunk).min(ctgs.len());
-                    let hi = ((w + 1) * chunk).min(ctgs.len());
-                    let out: Vec<(usize, CtgResult)> = (lo..hi)
-                        .map(|i| (i, analyze_one(net, ctgs[i], rat, limits)))
-                        .collect();
-                    (out, t0.elapsed())
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    });
-    assemble_report(per_worker, ctgs.len(), wall0.elapsed())
+    // Pre-partitioned: worker w owns one contiguous chunk, tracked by a
+    // private cursor.
+    let cursors: Vec<AtomicUsize> =
+        (0..n_workers).map(|w| AtomicUsize::new((w * chunk).min(ctgs.len()))).collect();
+    run_sweep(
+        n_workers,
+        ctgs.len(),
+        |w| {
+            let hi = ((w + 1) * chunk).min(ctgs.len());
+            let i = cursors[w].fetch_add(1, Ordering::Relaxed);
+            (i < hi).then_some(i)
+        },
+        |i, rec| analyze_case(net, base, ctgs, &rat, limits, i, rec),
+    )
 }
 
-/// Counter-based dynamic scheme of [2]: workers claim the next case by a
+/// Counter-based dynamic scheme of \[2\]: workers claim the next case by a
 /// fetch-add on a shared counter, so fast workers absorb the expensive
-/// cases automatically.
+/// cases automatically. Every case warm-starts from the base operating
+/// point.
 pub fn run_dynamic(
     net: &Network,
     base: &PfSolution,
@@ -227,52 +346,99 @@ pub fn run_dynamic(
 ) -> SweepReport {
     assert!(n_workers > 0, "need at least one worker");
     let rat = ratings(net, base, limits);
+    let n = ctgs.len();
     let counter = AtomicUsize::new(0);
-    let wall0 = Instant::now();
-    let per_worker: Vec<(Vec<(usize, CtgResult)>, Duration)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n_workers)
-            .map(|_| {
-                let counter = &counter;
-                let rat = &rat;
-                scope.spawn(move || {
-                    let t0 = Instant::now();
-                    let mut out = Vec::new();
-                    loop {
-                        let i = counter.fetch_add(1, Ordering::Relaxed);
-                        if i >= ctgs.len() {
-                            break;
-                        }
-                        out.push((i, analyze_one(net, ctgs[i], rat, limits)));
-                    }
-                    (out, t0.elapsed())
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    });
-    assemble_report(per_worker, ctgs.len(), wall0.elapsed())
+    run_sweep(
+        n_workers,
+        n,
+        |_w| {
+            let i = counter.fetch_add(1, Ordering::Relaxed);
+            (i < n).then_some(i)
+        },
+        |i, rec| analyze_case(net, base, ctgs, &rat, limits, i, rec),
+    )
 }
 
-fn assemble_report(
-    per_worker: Vec<(Vec<(usize, CtgResult)>, Duration)>,
+fn analyze_case(
+    net: &Network,
+    base: &PfSolution,
+    ctgs: &[Contingency],
+    rat: &[f64],
+    limits: &Limits,
+    i: usize,
+    rec: &Recorder,
+) -> CtgResult {
+    let mut sp = rec.span_at("scenario.case", i as u64);
+    let r = analyze_one_warm(net, ctgs[i], rat, limits, base);
+    sp.record("branch", ctgs[i].branch());
+    sp.record("converged", r.converged);
+    sp.record("iterations", r.iterations);
+    sp.record("violations", r.violations.len());
+    r
+}
+
+/// Shared sweep skeleton: spawn `n_workers` scoped threads, let each claim
+/// its next case via `next` (interleaved with the solves, so dynamic
+/// claiming actually balances), analyze with `work` under a per-worker obs
+/// recorder, and assemble the report (busy time = per-worker
+/// `scenario.case` span totals; wall time = the `ctg.sweep` span).
+fn run_sweep(
+    n_workers: usize,
     n_cases: usize,
-    wall: Duration,
+    next: impl Fn(usize) -> Option<usize> + Sync,
+    work: impl Fn(usize, &Recorder) -> CtgResult + Sync,
 ) -> SweepReport {
+    let sweep_rec = Recorder::new("ctg.sweep");
+    let per_worker: Vec<(Vec<(usize, CtgResult)>, ScopeReport)> = {
+        let mut sweep_span = sweep_rec.span("scenario.sweep");
+        sweep_span.record("workers", n_workers);
+        sweep_span.record("cases", n_cases);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_workers)
+                .map(|w| {
+                    let next = &next;
+                    let work = &work;
+                    scope.spawn(move || {
+                        let rec = Recorder::new(&format!("ctg.worker{w}"));
+                        let mut out: Vec<(usize, CtgResult)> = Vec::new();
+                        while let Some(i) = next(w) {
+                            out.push((i, work(i, &rec)));
+                        }
+                        (out, rec.snapshot())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+    };
+    let wall_ns =
+        sweep_rec.snapshot().spans.first().map(|s| s.wall_nanos).unwrap_or(0);
     let mut slots: Vec<Option<CtgResult>> = vec![None; n_cases];
     let mut tasks_per_worker = Vec::with_capacity(per_worker.len());
-    let mut busy_per_worker = Vec::with_capacity(per_worker.len());
-    for (cases, busy) in per_worker {
+    let mut busy_ns_per_worker = Vec::with_capacity(per_worker.len());
+    let mut scopes = Vec::with_capacity(per_worker.len() + 1);
+    for (cases, scope_rep) in per_worker {
         tasks_per_worker.push(cases.len());
-        busy_per_worker.push(busy);
+        busy_ns_per_worker.push(
+            scope_rep
+                .spans
+                .iter()
+                .filter(|s| s.name == "scenario.case")
+                .map(|s| s.wall_nanos)
+                .sum(),
+        );
+        scopes.push(scope_rep);
         for (i, r) in cases {
             slots[i] = Some(r);
         }
     }
+    scopes.push(sweep_rec.snapshot());
     SweepReport {
         results: slots.into_iter().map(|s| s.expect("every case analyzed")).collect(),
         tasks_per_worker,
-        busy_per_worker,
-        wall,
+        busy_ns_per_worker,
+        wall_ns,
+        scopes,
     }
 }
 
@@ -296,6 +462,36 @@ mod tests {
     }
 
     #[test]
+    fn bridge_screen_agrees_with_clone_and_check() {
+        // The O(N+B) bridge screen must reproduce the old remove-one-and-
+        // test-connectivity semantics exactly.
+        for net in [ieee14(), ieee118_like()] {
+            let bridges = islanding_outages(&net);
+            for k in 0..net.n_branches() {
+                let mut reduced = net.clone();
+                reduced.branches.remove(k);
+                assert_eq!(
+                    !reduced.is_connected(),
+                    bridges.contains(&k),
+                    "branch {k}: bridge screen vs connectivity check"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_branches_are_never_bridges() {
+        let mut net = ieee14();
+        // Duplicate branch 13 (7-8), the only islanding outage: with a
+        // parallel companion neither copy is a bridge any more.
+        let dup = net.branches[13].clone();
+        net.branches.push(dup);
+        let bridges = islanding_outages(&net);
+        assert!(!bridges.contains(&13), "{bridges:?}");
+        assert!(!bridges.contains(&(net.n_branches() - 1)), "{bridges:?}");
+    }
+
+    #[test]
     fn base_case_within_its_own_ratings() {
         let net = ieee14();
         let b = base(&net);
@@ -316,6 +512,53 @@ mod tests {
         let r = analyze_one(&net, Contingency::BranchOutage(0), &rat, &limits);
         assert!(r.converged);
         assert!(r.iterations > 0);
+    }
+
+    /// How far a violation sits from its threshold: flips between two
+    /// solves of the same case are only legitimate inside solver tolerance.
+    fn margin(v: &Violation, limits: &Limits) -> f64 {
+        match v {
+            Violation::Voltage { vm, .. } => {
+                (vm - limits.v_min).abs().min((vm - limits.v_max).abs())
+            }
+            Violation::Overload { loading, rating, .. } => (loading - rating).abs(),
+        }
+    }
+
+    fn same_site(a: &Violation, b: &Violation) -> bool {
+        match (a, b) {
+            (Violation::Voltage { bus: x, .. }, Violation::Voltage { bus: y, .. }) => x == y,
+            (Violation::Overload { branch: x, .. }, Violation::Overload { branch: y, .. }) => {
+                x == y
+            }
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn warm_analysis_agrees_with_cold_in_fewer_iterations() {
+        let net = ieee14();
+        let b = base(&net);
+        let limits = Limits { rating_factor: 1.05, rating_floor: 0.01, ..Limits::default() };
+        let rat = ratings(&net, &b, &limits);
+        for ctg in screen(&net) {
+            let cold = analyze_one(&net, ctg, &rat, &limits);
+            let warm = analyze_one_warm(&net, ctg, &rat, &limits, &b);
+            assert_eq!(cold.converged, warm.converged, "{ctg:?}");
+            // Both solves land on the same operating point to tolerance, so
+            // any violation found by one and not the other must sit within
+            // solver tolerance of its threshold.
+            for (from, to) in [(&cold, &warm), (&warm, &cold)] {
+                for v in &from.violations {
+                    if !to.violations.iter().any(|w| same_site(v, w)) {
+                        assert!(margin(v, &limits) < 1e-6, "{ctg:?}: unmatched {v:?}");
+                    }
+                }
+            }
+            if cold.converged {
+                assert!(warm.iterations <= cold.iterations, "{ctg:?}");
+            }
+        }
     }
 
     #[test]
@@ -371,5 +614,26 @@ mod tests {
         let r = run_static(&net, &b, &ctgs, 1, &Limits::default());
         assert_eq!(r.tasks_per_worker, vec![ctgs.len()]);
         assert!(r.imbalance() - 1.0 < 1e-9);
+    }
+
+    #[test]
+    fn sweep_report_carries_case_spans() {
+        let net = ieee14();
+        let b = base(&net);
+        let ctgs = screen(&net);
+        let r = run_dynamic(&net, &b, &ctgs, 2, &Limits::default());
+        let case_spans: usize = r
+            .scopes
+            .iter()
+            .flat_map(|s| &s.spans)
+            .filter(|s| s.name == "scenario.case")
+            .count();
+        assert_eq!(case_spans, ctgs.len());
+        assert!(r.wall_ns > 0);
+        assert!(r.busy_ns_per_worker.iter().all(|&b| b > 0));
+        // No raw Instant left: the wall clock is the sweep span itself.
+        let sweep = r.scopes.iter().find(|s| s.scope == "ctg.sweep").unwrap();
+        assert_eq!(sweep.spans[0].name, "scenario.sweep");
+        assert_eq!(sweep.spans[0].wall_nanos, r.wall_ns);
     }
 }

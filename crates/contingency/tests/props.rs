@@ -1,0 +1,144 @@
+//! Property suite for the contingency crate, over randomized stitched
+//! multi-area networks:
+//!
+//! * the bridge-based islanding filter agrees with an independent
+//!   union-find connectivity oracle on every single-branch outage;
+//! * warm-started outage solves (rank-1 DC updates and warm-started AC)
+//!   agree with their cold counterparts to tolerance.
+
+use proptest::prelude::*;
+
+use pgse_contingency::{
+    analyze_one, analyze_one_warm, islanding_outages, ratings, Contingency, DcScreener, Limits,
+    ScreenVerdict,
+};
+use pgse_grid::cases::builder::{build, AreaPlan};
+use pgse_grid::Network;
+use pgse_powerflow::{solve, solve_dc, PfOptions};
+
+fn arb_plan() -> impl Strategy<Value = AreaPlan> {
+    (2usize..5, 3usize..8, 1usize..3, any::<u64>(), 10.0f64..25.0).prop_map(
+        |(n_areas, buses, ties, seed, load)| {
+            let edges: Vec<(usize, usize)> = (1..n_areas).map(|a| (a - 1, a)).collect();
+            AreaPlan {
+                name: "ctg-prop".into(),
+                bus_counts: vec![buses; n_areas],
+                area_edges: edges,
+                ties_per_edge: ties,
+                seed,
+                load_mw: (load, load + 8.0),
+                chord_fraction: 0.25,
+            }
+        },
+    )
+}
+
+/// Independent connectivity oracle: union-find over all branches except
+/// the outaged one.
+fn islands_without(net: &Network, skip: usize) -> bool {
+    let n = net.n_buses();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (k, br) in net.branches.iter().enumerate() {
+        if k == skip {
+            continue;
+        }
+        let (a, b) = (find(&mut parent, br.from), find(&mut parent, br.to));
+        if a != b {
+            parent[a] = b;
+        }
+    }
+    let root = find(&mut parent, 0);
+    (1..n).any(|i| find(&mut parent, i) != root)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The Tarjan bridge filter names exactly the outages the union-find
+    /// oracle says disconnect the network.
+    #[test]
+    fn islanding_filter_matches_union_find_oracle(plan in arb_plan()) {
+        let net = build(&plan);
+        let flagged = islanding_outages(&net);
+        for k in 0..net.n_branches() {
+            let oracle = islands_without(&net, k);
+            let bridged = flagged.binary_search(&k).is_ok();
+            prop_assert_eq!(
+                bridged, oracle,
+                "branch {} ({}-{}): bridge filter {} vs oracle {}",
+                k, net.branches[k].from, net.branches[k].to, bridged, oracle
+            );
+        }
+    }
+
+    /// Rank-1-updated post-outage DC angles equal a cold DC solve of the
+    /// branch-removed network, for every survivable outage.
+    #[test]
+    fn warm_dc_screen_matches_cold_outage_solve(plan in arb_plan()) {
+        let net = build(&plan);
+        let scr = DcScreener::new(&net, &Limits::default()).unwrap();
+        for k in 0..net.n_branches() {
+            let Some(warm_va) = scr.post_outage_angles(k) else {
+                prop_assert!(
+                    islands_without(&net, k),
+                    "branch {k}: screener refused a survivable outage"
+                );
+                continue;
+            };
+            prop_assert!(matches!(scr.screen_outage(k), ScreenVerdict::Screened(_)));
+            let mut reduced = net.clone();
+            reduced.branches.remove(k);
+            let cold = solve_dc(&reduced).unwrap();
+            for (i, (&w, &c)) in warm_va.iter().zip(&cold.va).enumerate() {
+                prop_assert!(
+                    (w - c).abs() < 1e-8,
+                    "branch {k}, bus {i}: warm {w} vs cold {c}"
+                );
+            }
+        }
+    }
+
+    /// Warm-started AC outage solves land on the same operating point as
+    /// cold ones, case by case, in no more iterations.
+    #[test]
+    fn warm_ac_outage_solves_match_cold(plan in arb_plan()) {
+        let net = build(&plan);
+        let Ok(base) = solve(&net, &PfOptions::default()) else {
+            // Builder occasionally produces stressed operating points the
+            // flat start cannot solve; nothing to compare then.
+            return Ok(());
+        };
+        let limits = Limits::default();
+        let rat = ratings(&net, &base, &limits);
+        // The full product (cases × branches) is too slow for a property
+        // runner; three spread-out survivable outages pin the behaviour.
+        let survivable: Vec<usize> = {
+            let isl = islanding_outages(&net);
+            (0..net.n_branches()).filter(|k| isl.binary_search(k).is_err()).collect()
+        };
+        for &k in survivable.iter().step_by(survivable.len().div_ceil(3).max(1)) {
+            let ctg = Contingency::BranchOutage(k);
+            let cold = analyze_one(&net, ctg, &rat, &limits);
+            let warm = analyze_one_warm(&net, ctg, &rat, &limits, &base);
+            prop_assert_eq!(cold.converged, warm.converged, "branch {}", k);
+            if cold.converged {
+                prop_assert!(
+                    warm.iterations <= cold.iterations,
+                    "branch {}: warm took {} > cold {}",
+                    k, warm.iterations, cold.iterations
+                );
+                prop_assert_eq!(
+                    cold.violations.len(), warm.violations.len(),
+                    "branch {}: {:?} vs {:?}", k, cold.violations, warm.violations
+                );
+            }
+        }
+    }
+}

@@ -13,7 +13,7 @@ use pgse_partition::repartition::RepartitionOptions;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoordinationMode {
     /// Peer-to-peer exchange between neighbouring estimators
-    /// (decentralized DSE — the paper's focus, after [5]).
+    /// (decentralized DSE — the paper's focus, after \[5\]).
     Decentralized,
     /// All exchange goes through a central coordinator (hierarchical state
     /// estimation — today's industry structure).

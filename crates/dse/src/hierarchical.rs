@@ -11,7 +11,7 @@
 //!
 //! This gives the architecture's hierarchical mode a real algorithm to
 //! run, and an accuracy/latency comparison point against the decentralized
-//! variant (the trade-off the paper's related work [11] discusses).
+//! variant (the trade-off the paper's related work \[11\] discusses).
 
 use pgse_estimation::jacobian::StateSpace;
 use pgse_estimation::measurement::{FlowSide, Measurement, MeasurementKind, MeasurementSet};

@@ -1,7 +1,7 @@
 //! # pgse-dse
 //!
 //! The decentralized distributed state estimation (DSE) algorithm of the
-//! paper's §II, following Jiang, Vittal & Heydt [5]:
+//! paper's §II, following Jiang, Vittal & Heydt \[5\]:
 //!
 //! * **Preliminary step** ([`decomposition`]): the interconnection is
 //!   decomposed into non-overlapping subsystems (areas) joined by tie

@@ -7,7 +7,7 @@
 //!   fixed (classical centralized SE);
 //! * **PMU-referenced** ([`StateSpace::full`]): all angles are unknowns and
 //!   synchronized PMU angle measurements anchor the frame — the convention
-//!   the distributed estimator relies on (Jiang et al. [5]).
+//!   the distributed estimator relies on (Jiang et al. \[5\]).
 
 use pgse_grid::{BranchAdmittance, Network, Ybus};
 use pgse_powerflow::equations::{

@@ -1,7 +1,7 @@
 //! Observability restoration.
 //!
 //! When telemetry loss leaves state variables unobserved (an RTU outage, a
-//! dropped PMU feed — the failure scenarios Bose et al. [6] exercise), the
+//! dropped PMU feed — the failure scenarios Bose et al. \[6\] exercise), the
 //! estimator can be kept runnable by adding *pseudo measurements* drawn
 //! from the last good estimate or from forecasts, with deliberately large
 //! σ so they carry almost no weight wherever real telemetry exists.

@@ -1,6 +1,6 @@
 //! Test cases.
 //!
-//! * [`ieee14`] — the true IEEE 14-bus test system, embedded verbatim; the
+//! * [`ieee14()`] — the true IEEE 14-bus test system, embedded verbatim; the
 //!   validation anchor for power flow and WLS estimation.
 //! * [`ieee118`] — an IEEE-118-like system whose 9-subsystem decomposition
 //!   reproduces the paper's Table I / Fig. 3 exactly (bus counts

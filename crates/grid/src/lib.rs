@@ -8,7 +8,7 @@
 //!   the paper's *subsystems* — and tie-line identification;
 //! * the complex bus admittance matrix ([`ybus::Ybus`]) and per-branch
 //!   two-port admittances used by power flow and the measurement model;
-//! * test cases: the true IEEE 14-bus system ([`cases::ieee14`]), an
+//! * test cases: the true IEEE 14-bus system ([`cases::ieee14()`]), an
 //!   IEEE-118-like system whose 9-subsystem decomposition matches the
 //!   paper's Table I exactly ([`cases::ieee118`]), and a scalable synthetic
 //!   multi-area generator ([`cases::synthetic`]) for WECC-sized studies;

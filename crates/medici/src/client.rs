@@ -8,7 +8,7 @@
 //!
 //! Every blocking operation is bounded: connects, writes, accept waits and
 //! reads all honour the [`MwConfig`] deadline, and transient send failures
-//! are retried on the deterministic [`RetryPolicy`] backoff schedule. A
+//! are retried on the deterministic [`RetryPolicy`](crate::RetryPolicy) backoff schedule. A
 //! dead destination therefore costs a bounded number of fast failures —
 //! never a hang.
 

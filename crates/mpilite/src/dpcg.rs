@@ -1,7 +1,7 @@
 //! Row-distributed preconditioned conjugate gradient.
 //!
 //! This is the structure of the paper's HPC state-estimation kernel
-//! (Chen et al. [2]): the SPD gain matrix is block-partitioned by rows
+//! (Chen et al. \[2\]): the SPD gain matrix is block-partitioned by rows
 //! across the ranks of one cluster; every iteration performs
 //!
 //! 1. an **allgather** of the shared direction vector,

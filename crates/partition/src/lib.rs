@@ -16,7 +16,7 @@
 //!   (load-imbalance ratio, edge cut, migration count);
 //! * [`kway`] — multilevel k-way partitioning (heavy-edge-matching
 //!   coarsening, greedy initial assignment, FM-style refinement);
-//! * [`repartition`] — adaptive repartitioning with a migration penalty;
+//! * [`repartition()`] — adaptive repartitioning with a migration penalty;
 //! * [`brute`] — exact enumeration for tiny graphs (test oracle; the
 //!   paper's 9-vertex graph is solved exactly);
 //! * [`weights`] — the paper's weight model `Wv = Nb·(g1·x + g2)`,

@@ -23,4 +23,4 @@ pub mod newton;
 pub use equations::{branch_flows, bus_injections, BranchFlow};
 pub use dcpf::{solve_dc, DcSolution};
 pub use fdpf::solve_fast_decoupled;
-pub use newton::{solve, PfError, PfOptions, PfSolution};
+pub use newton::{solve, solve_warm, PfError, PfOptions, PfSolution};

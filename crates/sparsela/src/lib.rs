@@ -22,7 +22,7 @@
 //!   ([`lu`]), envelope/profile Cholesky ([`cholesky`]), and an
 //!   elimination-tree up-looking sparse Cholesky ([`scholesky`]);
 //! * iterative solvers: CG and PCG with Jacobi and IC(0) preconditioners
-//!   ([`pcg`]);
+//!   ([`pcg()`]);
 //! * dense reference implementations used as test oracles ([`dense`]);
 //! * a minimal complex number type ([`complex::Cplx`]) shared by the power
 //!   system crates.
@@ -40,6 +40,7 @@ pub mod pcg;
 pub mod scholesky;
 pub mod symbolic;
 pub mod tuning;
+pub mod update;
 pub mod vecops;
 
 pub use batch::{group_by_pattern, solve_systems, BatchCholesky, BoundaryCondenser};
@@ -53,6 +54,7 @@ pub use lu::SparseLu;
 pub use scholesky::{CholSymbolic, SparseCholesky};
 pub use pcg::{pcg, CgOptions, CgOutcome, Preconditioner};
 pub use symbolic::AtaSymbolic;
+pub use update::UpdatedFactor;
 
 /// Errors produced by factorizations and solvers in this crate.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +76,10 @@ pub enum LaError {
     /// A batched operation failed on one lane; `source` is the per-lane
     /// failure.
     Lane { lane: usize, source: Box<LaError> },
+    /// A low-rank (Sherman–Morrison) update produced a singular modified
+    /// matrix: the denominator `1 + c·uᵀA⁻¹u` vanished. For a Laplacian
+    /// downdate this is the bridge-removal (islanding) case.
+    SingularUpdate { denom: f64 },
 }
 
 impl std::fmt::Display for LaError {
@@ -105,6 +111,12 @@ impl std::fmt::Display for LaError {
             }
             LaError::Lane { lane, source } => {
                 write!(f, "batched lane {lane} failed: {source}")
+            }
+            LaError::SingularUpdate { denom } => {
+                write!(
+                    f,
+                    "low-rank update is singular (Sherman–Morrison denominator {denom:.3e})"
+                )
             }
         }
     }

@@ -1,7 +1,7 @@
 //! Conjugate gradient and preconditioned conjugate gradient.
 //!
 //! This is the solver at the centre of the paper's HPC state estimation
-//! kernel (following Chen et al. [2]): each Gauss–Newton step solves the
+//! kernel (following Chen et al. \[2\]): each Gauss–Newton step solves the
 //! SPD gain-matrix system with PCG, where the preconditioner lowers the
 //! condition number so the iteration converges in far fewer steps.
 //!

@@ -97,7 +97,7 @@ fn ereach(
 /// (column pointers + row indices, diagonal first per column), and the
 /// per-row elimination patterns (`ereach` output) the numeric pass replays.
 /// Building it runs the elimination-tree analysis once; every
-/// [`CholSymbolic::factor_values`] afterwards is numeric-only work
+/// `CholSymbolic::factor_values` afterwards is numeric-only work
 /// proportional to `flops(L)` with no pattern discovery at all.
 #[derive(Debug, Clone)]
 pub struct CholSymbolic {

@@ -42,16 +42,33 @@
 //!   area (`catch_unwind`) and surface as degraded rounds, never as a
 //!   service crash. The accounting identity widens to
 //!   `ingested + requeued == solved + shed`.
+//!
+//! A fifth layer consumes the product stream:
+//!
+//! * **screen** ([`scenarios`]) — a streaming N-1 contingency screening
+//!   engine subscribes to the snapshot epochs: per base case it fans the
+//!   full branch-outage list out as a two-tier task graph (warm
+//!   rank-1-updated DC screening ranks the cases, full warm-started AC
+//!   re-solves confirm the suspects) under the counter-based dynamic
+//!   load balancing of \[2\], sheds the remainder the moment a newer epoch
+//!   supersedes the sweep, and publishes violations into a second
+//!   epoch-stamped store. `enumerated == screened + skipped_islanding`
+//!   and `screened == cleared + violated + shed_stale`, always.
 
 pub mod ingest;
+pub mod scenarios;
 pub mod service;
 pub mod snapshot;
 pub mod supervise;
 pub mod wire;
 
 pub use ingest::{IngestQueue, IngestStats, PushOutcome, ShedReason};
+pub use scenarios::{
+    CaseOutcome, CaseReport, EpochWatch, InsecureCase, ScenarioConfig, ScenarioEngine,
+    ScenarioProduct, ScenarioReport, ScenarioStore,
+};
 pub use service::{StreamConfig, StreamError, StreamReport, StreamService};
-pub use snapshot::{PublishRejected, SnapshotStore, SystemSnapshot};
+pub use snapshot::{EpochStore, PublishRejected, Sequenced, SnapshotStore, SystemSnapshot};
 pub use supervise::{
     AreaCheckpoint, CheckpointStats, CheckpointStore, KillSchedule, SupervisionEvent,
     SupervisorConfig, Watchdog, WorkerHealth,

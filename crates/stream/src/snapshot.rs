@@ -19,15 +19,33 @@
 //!   probing readers may have transient refcount increments in flight on
 //!   the claimed slot, and erasing those would let a later writer reclaim
 //!   a slot a reader is still dereferencing.
-//! * [`SnapshotStore::publish`] refuses any snapshot whose frame sequence
-//!   is not strictly newer than the current one, so late or duplicate
-//!   solver output can never regress the published epoch — the serve-side
-//!   half of the sequencing guarantee ([`crate::ingest`] holds the other
+//! * [`EpochStore::publish`] refuses any value whose sequence is not
+//!   strictly newer than the current one, so late or duplicate producer
+//!   output can never regress the published epoch — the serve-side half
+//!   of the sequencing guarantee ([`crate::ingest`] holds the other
 //!   half).
+//!
+//! The store is generic over the published product: [`SnapshotStore`]
+//! (`EpochStore<SystemSnapshot>`) serves the estimated state, and the
+//! contingency screening engine publishes its violation products through
+//! a second store of the same machinery (`scenarios::ScenarioStore`).
+//! Any [`Sequenced`] value gets the identical monotonicity and
+//! torn-read-freedom guarantees.
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// A value publishable into an [`EpochStore`]: it carries a producer-side
+/// strictly-monotone sequence (the staleness key) and receives the
+/// store-assigned publication epoch.
+pub trait Sequenced {
+    /// The producer-side sequence this value derives from (measurement
+    /// frame for state snapshots, base-case epoch for scenario products).
+    fn seq(&self) -> u64;
+    /// Called by the store on publish with the assigned epoch.
+    fn set_epoch(&mut self, epoch: u64);
+}
 
 /// One published system-wide state estimate.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +66,15 @@ pub struct SystemSnapshot {
     pub degraded_areas: Vec<usize>,
 }
 
+impl Sequenced for SystemSnapshot {
+    fn seq(&self) -> u64 {
+        self.frame_seq
+    }
+    fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+}
+
 /// Number of value slots; 1 current + 3 spare keeps the writer from ever
 /// waiting on a reader in practice.
 const N_SLOTS: usize = 4;
@@ -59,10 +86,10 @@ const EMPTY: u64 = u64::MAX;
 /// Writer-claim bit in a slot's state word; the low bits count readers.
 const WRITER: usize = 1 << (usize::BITS - 1);
 
-struct Slot {
+struct Slot<T> {
     /// `WRITER`-bit plus reader refcount.
     state: AtomicUsize,
-    value: UnsafeCell<Option<Arc<SystemSnapshot>>>,
+    value: UnsafeCell<Option<Arc<T>>>,
 }
 
 struct WriterState {
@@ -70,12 +97,12 @@ struct WriterState {
     last_frame_seq: Option<u64>,
 }
 
-/// A publish attempt that would regress the published frame sequence.
+/// A publish attempt that would regress the published sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PublishRejected {
-    /// The rejected snapshot's frame sequence.
+    /// The rejected value's sequence.
     pub frame_seq: u64,
-    /// The frame sequence currently published.
+    /// The sequence currently published.
     pub current_frame_seq: u64,
 }
 
@@ -92,25 +119,28 @@ impl std::fmt::Display for PublishRejected {
 impl std::error::Error for PublishRejected {}
 
 /// Lock-free-for-readers latest-value store (see the module docs for the
-/// protocol).
-pub struct SnapshotStore {
-    slots: [Slot; N_SLOTS],
+/// protocol), generic over the published product.
+pub struct EpochStore<T> {
+    slots: [Slot<T>; N_SLOTS],
     /// `(epoch << SLOT_BITS) | slot`, or [`EMPTY`].
     current: AtomicU64,
     writer: Mutex<WriterState>,
 }
 
+/// The estimated-state store: `EpochStore` serving [`SystemSnapshot`]s.
+pub type SnapshotStore = EpochStore<SystemSnapshot>;
+
 // SAFETY: the UnsafeCell in each slot is only written while the slot's
 // WRITER bit is held and its reader count is zero, and only read while a
 // reader holds a refcount increment taken *without* the WRITER bit set;
 // the two claims are mutually exclusive through `state`.
-unsafe impl Sync for SnapshotStore {}
-unsafe impl Send for SnapshotStore {}
+unsafe impl<T: Send + Sync> Sync for EpochStore<T> {}
+unsafe impl<T: Send + Sync> Send for EpochStore<T> {}
 
-impl SnapshotStore {
+impl<T: Sequenced> EpochStore<T> {
     /// An empty store.
     pub fn new() -> Self {
-        SnapshotStore {
+        EpochStore {
             slots: std::array::from_fn(|_| Slot {
                 state: AtomicUsize::new(0),
                 value: UnsafeCell::new(None),
@@ -120,12 +150,12 @@ impl SnapshotStore {
         }
     }
 
-    /// The latest published snapshot, or `None` before the first publish.
+    /// The latest published value, or `None` before the first publish.
     ///
     /// Wait-free in the absence of a concurrent publish; under one, a
     /// reader retries at most for the duration of the writer's slot
     /// installation (a pointer write).
-    pub fn load(&self) -> Option<Arc<SystemSnapshot>> {
+    pub fn load(&self) -> Option<Arc<T>> {
         loop {
             let cur = self.current.load(Ordering::Acquire);
             if cur == EMPTY {
@@ -152,7 +182,7 @@ impl SnapshotStore {
         }
     }
 
-    /// Epoch of the latest published snapshot.
+    /// Epoch of the latest published value.
     pub fn current_epoch(&self) -> Option<u64> {
         match self.current.load(Ordering::Acquire) {
             EMPTY => None,
@@ -160,32 +190,33 @@ impl SnapshotStore {
         }
     }
 
-    /// Frame sequence of the latest published snapshot.
+    /// Producer sequence of the latest published value (the frame
+    /// sequence for state snapshots).
     pub fn current_frame_seq(&self) -> Option<u64> {
         self.writer.lock().unwrap().last_frame_seq
     }
 
-    /// Publishes `snap` as the new current snapshot, stamping and
-    /// returning its epoch.
+    /// Publishes `snap` as the new current value, stamping and returning
+    /// its epoch.
     ///
     /// # Errors
-    /// [`PublishRejected`] when `snap.frame_seq` is not strictly newer
-    /// than the published one — late or duplicate solver output never
+    /// [`PublishRejected`] when `snap.seq()` is not strictly newer than
+    /// the published one — late or duplicate producer output never
     /// regresses the store.
-    pub fn publish(&self, mut snap: SystemSnapshot) -> Result<u64, PublishRejected> {
+    pub fn publish(&self, mut snap: T) -> Result<u64, PublishRejected> {
         let mut w = self.writer.lock().unwrap();
         if let Some(last) = w.last_frame_seq {
-            if snap.frame_seq <= last {
+            if snap.seq() <= last {
                 return Err(PublishRejected {
-                    frame_seq: snap.frame_seq,
+                    frame_seq: snap.seq(),
                     current_frame_seq: last,
                 });
             }
         }
         let epoch = w.next_epoch;
         assert!(epoch < 1 << (64 - SLOT_BITS), "epoch space exhausted");
-        snap.epoch = epoch;
-        let frame_seq = snap.frame_seq;
+        snap.set_epoch(epoch);
+        let frame_seq = snap.seq();
 
         let cur = self.current.load(Ordering::Relaxed);
         let cur_idx = if cur == EMPTY { usize::MAX } else { (cur & SLOT_MASK) as usize };
@@ -224,15 +255,15 @@ impl SnapshotStore {
     }
 }
 
-impl Default for SnapshotStore {
+impl<T: Sequenced> Default for EpochStore<T> {
     fn default() -> Self {
-        SnapshotStore::new()
+        EpochStore::new()
     }
 }
 
-impl std::fmt::Debug for SnapshotStore {
+impl<T: Sequenced> std::fmt::Debug for EpochStore<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SnapshotStore")
+        f.debug_struct("EpochStore")
             .field("current_epoch", &self.current_epoch())
             .finish_non_exhaustive()
     }

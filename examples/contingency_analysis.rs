@@ -42,13 +42,13 @@ fn main() {
     println!("---------+-----------+---------------------+--------------------");
     println!(
         "static   | {:>7.1} ms | {:?} | {:.3}",
-        s.wall.as_secs_f64() * 1e3,
+        s.wall_ns as f64 / 1e6,
         s.tasks_per_worker,
         s.imbalance()
     );
     println!(
         "dynamic  | {:>7.1} ms | {:?} | {:.3}",
-        d.wall.as_secs_f64() * 1e3,
+        d.wall_ns as f64 / 1e6,
         d.tasks_per_worker,
         d.imbalance()
     );

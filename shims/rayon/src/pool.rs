@@ -1,7 +1,7 @@
 //! The work-chunking executor behind the `par_iter` surface.
 //!
-//! A [`PoolCore`] owns a set of `std::thread` workers and one global
-//! injector queue of [`Broadcast`] tasks. A parallel operation posts a
+//! A `PoolCore` owns a set of `std::thread` workers and one global
+//! injector queue of `Broadcast` tasks. A parallel operation posts a
 //! single broadcast task describing `total` chunks; idle workers (and the
 //! posting thread itself) race on an atomic chunk counter, so chunks are
 //! claimed exactly once and the caller never blocks while claimable work
