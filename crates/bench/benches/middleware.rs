@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use pgse_medici::measure::OverheadProbe;
+use pgse_bench::overhead::OverheadProbe;
 use pgse_medici::throttle::PAPER_RELAY_RATE;
 
 fn bench_transfers(c: &mut Criterion) {

@@ -1,0 +1,349 @@
+//! Snapshot-serving benchmark → `target/obs/BENCH_serve.json`.
+//!
+//! Drives the `pgse-serve` read path at the scale the reactor design is
+//! for — **10,000 concurrent subscribers on one core** — and records:
+//!
+//! 1. **Reader throughput.** Deliveries per second across the full
+//!    publish → encode → fan-out → decode path (every delivered buffer is
+//!    PGSS-decoded, as a real reader would). A conservative floor is
+//!    asserted via `pgse_bench::timing` — fan-out is queue pushes of
+//!    shared `Arc` buffers, so even a slow runner clears it easily.
+//! 2. **Epoch-staleness p99.** Readers drain on a rotating schedule
+//!    (one sixth per epoch), so most lag the head — far enough, at a
+//!    queue cap of 4, that slow readers coalesce; staleness is `latest
+//!    published epoch − delivered epoch` sampled at every delivery.
+//! 3. **Bytes per reader** and the **delta/full encode ratio** on the
+//!    IEEE-118 state with ~10% of buses moving per epoch.
+//! 4. **The O(areas) pin:** the same publish schedule against 1,000 and
+//!    10,000 subscribers must produce *identical* `bytes_encoded` —
+//!    encode work scales with filter classes, never with readers.
+//! 5. A small **socket phase**: streamed `RemoteReader`s through the poll
+//!    reactor, timing the TCP delivery path end to end.
+//!
+//! ```text
+//! cargo run --release -p pgse-bench --bin serve_bench
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pgse_bench::timing::time_ns;
+use pgse_grid::cases::ieee118_like;
+use pgse_medici::EndpointRegistry;
+use pgse_powerflow::{solve, PfOptions};
+use pgse_serve::{
+    decode_msg, wire, AreaMap, Broadcaster, DeliveryMode, RemoteReader, ServeConfig, ServeMsg,
+    SnapshotServer, Subscribe, Subscription, SubscriptionFilter,
+};
+use pgse_stream::{SnapshotStore, SystemSnapshot};
+
+/// Concurrent in-process subscribers in the headline phase.
+const N_SUBSCRIBERS: usize = 10_000;
+/// Subscribers in the small run of the O(areas) comparison.
+const N_SMALL: usize = 1_000;
+/// Epochs published per phase.
+const N_EPOCHS: u64 = 32;
+/// Decomposition areas the filters resolve against.
+const N_AREAS: u32 = 6;
+/// Per-subscriber queue depth before latest-wins collapse.
+const QUEUE_CAP: usize = 4;
+/// Streamed TCP readers in the socket phase.
+const N_TCP: usize = 32;
+/// Asserted floor on full-path deliveries/second (publish + encode +
+/// fan-out + decode). A release build on one core sits far above this.
+const DELIVERIES_PER_SEC_FLOOR: f64 = 20_000.0;
+
+/// Base IEEE-118 state, then ~10% of buses perturbed per epoch — the
+/// regime delta encoding exists for.
+fn frames(base_vm: &[f64], base_va: &[f64]) -> Vec<SystemSnapshot> {
+    let n = base_vm.len();
+    (1..=N_EPOCHS)
+        .map(|f| {
+            let mut vm = base_vm.to_vec();
+            let mut va = base_va.to_vec();
+            let mut i = (f as usize * 7) % n;
+            for _ in 0..n / 10 {
+                vm[i] += 1e-4 * ((f % 13) as f64 + 1.0);
+                va[i] -= 1e-5 * ((f % 11) as f64 + 1.0);
+                i = (i + 11) % n;
+            }
+            SystemSnapshot {
+                epoch: 0,
+                frame_seq: f,
+                dt_seconds: f as f64 * 0.05,
+                vm,
+                va,
+                degraded_areas: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+fn subscriber_filter(i: usize) -> (SubscriptionFilter, DeliveryMode) {
+    match i % 10 {
+        // 80%: one area, delta-chained — the production reader shape.
+        0..=7 => (SubscriptionFilter::Area((i % N_AREAS as usize) as u32), DeliveryMode::Delta),
+        8 => (SubscriptionFilter::All, DeliveryMode::Delta),
+        _ => (SubscriptionFilter::BusRange { start: (i % 100) as u32, len: 12 }, DeliveryMode::Full),
+    }
+}
+
+struct PhaseOut {
+    wall_ns: u64,
+    deliveries: u64,
+    decoded: u64,
+    staleness: Vec<u64>,
+    bytes_encoded: u64,
+    bytes_delivered: u64,
+    encodes_full: u64,
+    encodes_delta: u64,
+}
+
+/// Publish `N_EPOCHS` frames to `n_subs` subscribers, draining a rotating
+/// sixth of them after each publish (plus a final full drain), decoding
+/// every delivered buffer. Six-epoch lag against a cap-4 queue means
+/// every reader periodically overflows and coalesces.
+fn drive(n_subs: usize, snaps: &[Arc<SystemSnapshot>]) -> PhaseOut {
+    let n_buses = snaps[0].vm.len() as u32;
+    let bc = Arc::new(Broadcaster::new(AreaMap::uniform(n_buses, N_AREAS), QUEUE_CAP));
+    let subs: Vec<Subscription> = (0..n_subs)
+        .map(|i| {
+            let (f, m) = subscriber_filter(i);
+            Subscription::open(&bc, f, m).expect("filters resolve on the 118-bus map")
+        })
+        .collect();
+
+    let mut deliveries = 0u64;
+    let mut decoded = 0u64;
+    let mut staleness = Vec::with_capacity(n_subs * N_EPOCHS as usize / 2);
+    let wall_ns = time_ns(|| {
+        for (e, snap) in snaps.iter().enumerate() {
+            bc.publish(snap);
+            let head = snap.epoch;
+            for (i, sub) in subs.iter().enumerate() {
+                if i % 6 != e % 6 {
+                    continue;
+                }
+                while let Some(buf) = sub.recv() {
+                    staleness.push(head - buf.epoch);
+                    match decode_msg(&buf.bytes).expect("served buffers decode") {
+                        ServeMsg::Full(_) | ServeMsg::Delta(_) => decoded += 1,
+                        other => panic!("unexpected {other:?}"),
+                    }
+                    deliveries += 1;
+                }
+            }
+        }
+        // Final drain: every reader catches up to the head.
+        let head = snaps.last().unwrap().epoch;
+        for sub in &subs {
+            while let Some(buf) = sub.recv() {
+                staleness.push(head - buf.epoch);
+                decoded += decode_msg(&buf.bytes).is_ok() as u64;
+                deliveries += 1;
+            }
+        }
+    });
+
+    for sub in subs {
+        sub.close();
+    }
+    let report = bc.report();
+    assert_eq!(report.unaccounted(), 0, "bench broke the accounting identity: {report:?}");
+    assert!(report.coalesced > 0, "rotating drains must lag enough to coalesce");
+    PhaseOut {
+        wall_ns,
+        deliveries,
+        decoded,
+        staleness,
+        bytes_encoded: report.bytes_encoded,
+        bytes_delivered: report.bytes_delivered,
+        encodes_full: report.encodes_full,
+        encodes_delta: report.encodes_delta,
+    }
+}
+
+fn main() {
+    let net = ieee118_like();
+    let sol = solve(&net, &PfOptions::default()).expect("base case");
+    let raw = frames(&sol.vm, &sol.va);
+
+    // Assign real store epochs once; both phases replay the same frames.
+    let store = SnapshotStore::new();
+    let snaps: Vec<Arc<SystemSnapshot>> = raw
+        .into_iter()
+        .map(|s| {
+            store.publish(s).expect("monotone frames");
+            store.load().expect("just published")
+        })
+        .collect();
+    let n_buses = snaps[0].vm.len();
+
+    // ---- Headline phase: 10k subscribers, one core ----------------------
+    let big = drive(N_SUBSCRIBERS, &snaps);
+    assert_eq!(big.decoded, big.deliveries, "every delivery must decode");
+    let deliveries_per_sec = big.deliveries as f64 * 1e9 / big.wall_ns as f64;
+    let mut st = big.staleness.clone();
+    st.sort_unstable();
+    let p99 = st[(st.len() - 1).min(st.len() * 99 / 100)];
+    let bytes_per_reader = big.bytes_delivered as f64 / N_SUBSCRIBERS as f64;
+    println!(
+        "case: ieee118 serving — {N_SUBSCRIBERS} subscribers, {N_EPOCHS} epochs, {N_AREAS} areas"
+    );
+    println!(
+        "fan-out:    {:>9.3} ms  ({deliveries_per_sec:.0} deliveries/s, {} delivered)",
+        big.wall_ns as f64 / 1e6,
+        big.deliveries
+    );
+    println!("staleness:  p99 {p99} epochs behind the head");
+    println!(
+        "bytes:      {:.0} per reader total, {} encoded for all {N_SUBSCRIBERS} readers",
+        bytes_per_reader, big.bytes_encoded
+    );
+
+    // ---- Delta/full encode ratio on the same state ----------------------
+    let ids: Vec<u32> = (0..n_buses as u32).collect();
+    let full_len =
+        wire::encode_full(&snaps[1], SubscriptionFilter::All, &ids).len();
+    let delta_len =
+        wire::encode_delta(&snaps[0], &snaps[1], SubscriptionFilter::All, &ids).len();
+    let delta_full_ratio = delta_len as f64 / full_len as f64;
+    println!(
+        "delta/full: {delta_len} / {full_len} bytes = {delta_full_ratio:.3} (~10% of buses moving)"
+    );
+
+    // ---- O(areas) pin: 1k vs 10k subscribers ----------------------------
+    let small = drive(N_SMALL, &snaps);
+    assert_eq!(
+        small.bytes_encoded, big.bytes_encoded,
+        "encode bytes must depend on filter classes, not subscriber count"
+    );
+    assert_eq!(small.encodes_full + small.encodes_delta, big.encodes_full + big.encodes_delta);
+    println!(
+        "O(areas):   bytes_encoded {} at {N_SMALL} subs == {} at {N_SUBSCRIBERS} subs",
+        small.bytes_encoded, big.bytes_encoded
+    );
+
+    // ---- Socket phase: streamed readers through the poll reactor --------
+    let registry = EndpointRegistry::new();
+    let url = "tcp://serve.bench:9000";
+    let bc = Arc::new(Broadcaster::new(AreaMap::uniform(n_buses as u32, N_AREAS), 64));
+    let server = SnapshotServer::start(
+        &registry,
+        ServeConfig { url: url.into(), ..ServeConfig::default() },
+        Arc::clone(&bc),
+    )
+    .expect("bind serve endpoint");
+    bc.publish(&snaps[0]);
+    let mut readers: Vec<RemoteReader> = (0..N_TCP)
+        .map(|i| {
+            RemoteReader::connect(
+                &registry,
+                url,
+                Subscribe {
+                    filter: SubscriptionFilter::Area((i % N_AREAS as usize) as u32),
+                    mode: DeliveryMode::Delta,
+                    deliver_url: None,
+                },
+            )
+            .expect("connect streamed reader")
+        })
+        .collect();
+    let deadline = Duration::from_secs(30);
+    for r in &mut readers {
+        r.next_within(deadline).expect("catch-up view");
+    }
+    let mut tcp_deliveries = 0u64;
+    let tcp_ns = time_ns(|| {
+        for snap in &snaps[1..] {
+            bc.publish(snap);
+            for r in &mut readers {
+                r.next_within(deadline).expect("streamed frame");
+                tcp_deliveries += 1;
+            }
+        }
+    });
+    let tcp_deliveries_per_sec = tcp_deliveries as f64 * 1e9 / tcp_ns as f64;
+    drop(readers);
+    server.stop();
+    assert_eq!(bc.report().unaccounted(), 0, "socket phase identity");
+    println!(
+        "tcp:        {:>9.3} ms  ({tcp_deliveries_per_sec:.0} framed deliveries/s over {N_TCP} readers)",
+        tcp_ns as f64 / 1e6
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"case\": \"ieee118_snapshot_serving\",\n",
+            "  \"subscribers\": {subs},\n",
+            "  \"epochs\": {epochs},\n",
+            "  \"areas\": {areas},\n",
+            "  \"queue_cap\": {cap},\n",
+            "  \"deliveries\": {deliveries},\n",
+            "  \"deliveries_per_sec\": {dps:.2},\n",
+            "  \"staleness_p99_epochs\": {p99},\n",
+            "  \"bytes_per_reader\": {bpr:.2},\n",
+            "  \"bytes_encoded\": {benc},\n",
+            "  \"bytes_encoded_small\": {benc_small},\n",
+            "  \"delta_bytes\": {dbytes},\n",
+            "  \"full_bytes\": {fbytes},\n",
+            "  \"delta_full_ratio\": {dfr:.4},\n",
+            "  \"tcp_readers\": {tcp_readers},\n",
+            "  \"tcp_deliveries_per_sec\": {tdps:.2}\n",
+            "}}\n"
+        ),
+        subs = N_SUBSCRIBERS,
+        epochs = N_EPOCHS,
+        areas = N_AREAS,
+        cap = QUEUE_CAP,
+        deliveries = big.deliveries,
+        dps = deliveries_per_sec,
+        p99 = p99,
+        bpr = bytes_per_reader,
+        benc = big.bytes_encoded,
+        benc_small = small.bytes_encoded,
+        dbytes = delta_len,
+        fbytes = full_len,
+        dfr = delta_full_ratio,
+        tcp_readers = N_TCP,
+        tdps = tcp_deliveries_per_sec,
+    );
+    // Round-trip through the parser so a malformed report can never ship.
+    #[derive(serde::Deserialize)]
+    #[allow(dead_code)]
+    struct ServeBenchReport {
+        case: String,
+        subscribers: usize,
+        epochs: u64,
+        areas: u32,
+        queue_cap: usize,
+        deliveries: u64,
+        deliveries_per_sec: f64,
+        staleness_p99_epochs: u64,
+        bytes_per_reader: f64,
+        bytes_encoded: u64,
+        bytes_encoded_small: u64,
+        delta_bytes: usize,
+        full_bytes: usize,
+        delta_full_ratio: f64,
+        tcp_readers: usize,
+        tcp_deliveries_per_sec: f64,
+    }
+    let parsed: ServeBenchReport = serde_json::from_str(&json).expect("valid JSON");
+    assert!(parsed.deliveries_per_sec > 0.0 && parsed.bytes_per_reader > 0.0);
+    std::fs::create_dir_all("target/obs").expect("create target/obs");
+    std::fs::write("target/obs/BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("benchmark JSON written to target/obs/BENCH_serve.json");
+
+    assert!(
+        deliveries_per_sec >= DELIVERIES_PER_SEC_FLOOR,
+        "full-path delivery rate {deliveries_per_sec:.0}/s is below the \
+         {DELIVERIES_PER_SEC_FLOOR} floor"
+    );
+    assert!(
+        delta_full_ratio < 0.9,
+        "delta encoding ({delta_full_ratio:.3}x of full) must pay for itself when \
+         ~10% of buses move per epoch"
+    );
+}

@@ -12,7 +12,7 @@ use pgse_estimation::wls::{WlsEstimator, WlsOptions};
 use pgse_grid::cases::ieee118::{SUBSYSTEM_BUS_COUNTS, SUBSYSTEM_EDGES};
 use pgse_grid::cases::{ieee118_like, ieee14};
 use pgse_grid::Network;
-use pgse_medici::measure::{OverheadProbe, OverheadReport};
+use crate::overhead::{OverheadProbe, OverheadReport};
 use pgse_medici::throttle::{PAPER_LAN_RATE, PAPER_RELAY_RATE};
 use pgse_partition::kway::KwayOptions;
 use pgse_partition::repartition::{repartition, RepartitionOptions};

@@ -20,9 +20,9 @@ use std::time::Duration;
 
 use pgse_obs::{with_recorder, Recorder, ScopeReport};
 
-use crate::client::MwClient;
-use crate::endpoint::EndpointRegistry;
-use crate::pipeline::{EndpointProtocol, MifPipeline, SeComponent};
+use pgse_medici::client::MwClient;
+use pgse_medici::endpoint::EndpointRegistry;
+use pgse_medici::pipeline::{EndpointProtocol, MifPipeline, SeComponent};
 
 /// One row of Table III/IV: direct time, middleware time, absolute
 /// overhead — all read back from `mw.measure.*` spans.
@@ -165,7 +165,7 @@ impl OverheadProbe {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::throttle::PAPER_RELAY_RATE;
+    use pgse_medici::throttle::PAPER_RELAY_RATE;
 
     #[test]
     fn middleware_adds_overhead_scaling_with_size() {

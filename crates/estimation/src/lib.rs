@@ -35,5 +35,7 @@ pub mod wls;
 
 pub use jacobian::{JacobianPattern, StateSpace};
 pub use measurement::{Measurement, MeasurementKind, MeasurementSet};
-pub use telemetry::{NoiseProcess, TelemetryPlan};
+// `telemetry` types are deliberately not re-exported at the crate root:
+// synthetic-telemetry generation is a test/benchmark concern, and callers
+// name it explicitly (`pgse_estimation::telemetry::TelemetryPlan`).
 pub use wls::{GainSolver, SolveCache, StateEstimate, WlsError, WlsEstimator, WlsOptions};

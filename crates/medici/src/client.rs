@@ -197,30 +197,13 @@ fn finish_send_span(sp: &mut pgse_obs::SpanGuard, attempts: u32, ok: bool, backo
     }
 }
 
-/// Accepts one connection within `deadline` by polling a non-blocking
-/// listener (the listener is left non-blocking). The accepted stream is
-/// switched back to blocking mode.
+/// Accepts one connection within `deadline`; see
+/// [`crate::endpoint::accept_polled`], which every accept path shares.
 pub(crate) fn accept_deadline(
     listener: &TcpListener,
     deadline: Duration,
 ) -> Result<TcpStream, MwError> {
-    listener.set_nonblocking(true)?;
-    let start = Instant::now();
-    loop {
-        match listener.accept() {
-            Ok((conn, _)) => {
-                conn.set_nonblocking(false)?;
-                return Ok(conn);
-            }
-            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                if start.elapsed() >= deadline {
-                    return Err(MwError::Timeout { what: "accept", after: deadline });
-                }
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            Err(e) => return Err(e.into()),
-        }
-    }
+    crate::endpoint::accept_polled(listener, deadline)
 }
 
 /// Maps a socket-timeout `io::Error` (`WouldBlock`/`TimedOut`, the kinds

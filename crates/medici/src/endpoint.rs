@@ -8,12 +8,16 @@
 //! simulated deployment differs from the laboratory testbed.
 
 use std::collections::HashMap;
-use std::net::{SocketAddr, TcpListener};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use crate::MwError;
+
+/// Poll granularity of every accept loop in the middleware.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
 
 /// A parsed `tcp://host:port` endpoint name.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -108,6 +112,131 @@ impl EndpointRegistry {
     }
 }
 
+/// Accepts one connection within `deadline` by polling a non-blocking
+/// listener (the listener is left non-blocking). The accepted stream is
+/// switched back to blocking mode.
+///
+/// Every accept path in the middleware goes through this poll (directly
+/// or via [`Acceptor`]): no component ever parks in a blocking `accept()`
+/// it cannot be recalled from, so listener shutdown is bounded by one
+/// poll interval plus the caller's stop-flag check.
+///
+/// # Errors
+/// [`MwError::Timeout`] when the deadline expires, [`MwError::Io`] on
+/// socket failure.
+pub fn accept_polled(listener: &TcpListener, deadline: Duration) -> Result<TcpStream, MwError> {
+    listener.set_nonblocking(true)?;
+    let start = Instant::now();
+    loop {
+        match listener.accept() {
+            Ok((conn, _)) => {
+                conn.set_nonblocking(false)?;
+                return Ok(conn);
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if start.elapsed() >= deadline {
+                    return Err(MwError::Timeout { what: "accept", after: deadline });
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// A deadline-bounded, capacity-limited accept loop over an owned
+/// listener.
+///
+/// The listener is kept non-blocking for its whole life: a sweep-style
+/// server calls [`Acceptor::try_accept`] once per loop iteration and is
+/// never parked inside the kernel, so its shutdown latency is bounded by
+/// the sweep period — the serve reactor depends on this. The optional
+/// connection cap turns overload into a *typed refusal*
+/// ([`MwError::ConnLimit`]) instead of an unbounded backlog.
+#[derive(Debug)]
+pub struct Acceptor {
+    listener: TcpListener,
+    limit: Option<usize>,
+}
+
+impl Acceptor {
+    /// Wraps `listener` (switched to non-blocking) with no connection cap.
+    ///
+    /// # Errors
+    /// [`MwError::Io`] when the non-blocking switch fails.
+    pub fn new(listener: TcpListener) -> Result<Self, MwError> {
+        listener.set_nonblocking(true)?;
+        Ok(Acceptor { listener, limit: None })
+    }
+
+    /// Wraps `listener` with a cap on concurrently open connections.
+    ///
+    /// # Errors
+    /// [`MwError::Io`] when the non-blocking switch fails.
+    pub fn with_limit(listener: TcpListener, limit: usize) -> Result<Self, MwError> {
+        let mut a = Acceptor::new(listener)?;
+        a.limit = Some(limit);
+        Ok(a)
+    }
+
+    /// The configured connection cap, if any.
+    pub fn limit(&self) -> Option<usize> {
+        self.limit
+    }
+
+    /// The listener's live socket address.
+    ///
+    /// # Errors
+    /// [`MwError::Io`] when the address cannot be read.
+    pub fn local_addr(&self) -> Result<SocketAddr, MwError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// One non-blocking accept poll. `open` is the number of connections
+    /// the caller currently has open against this acceptor.
+    ///
+    /// * `Ok(Some(stream))` — a connection was accepted (the stream stays
+    ///   non-blocking, ready for a sweep-style reactor);
+    /// * `Ok(None)` — nothing pending;
+    /// * `Err(ConnLimit)` — a connection was pending but `open` has
+    ///   reached the cap. The pending connection is accepted, handed to
+    ///   `refuse` (best-effort goodbye — write a refusal frame, or
+    ///   nothing), and closed.
+    ///
+    /// # Errors
+    /// [`MwError::ConnLimit`] as above, [`MwError::Io`] on socket failure.
+    pub fn try_accept(
+        &self,
+        open: usize,
+        refuse: impl FnOnce(&mut TcpStream),
+    ) -> Result<Option<TcpStream>, MwError> {
+        match self.listener.accept() {
+            Ok((mut conn, _)) => {
+                if let Some(limit) = self.limit {
+                    if open >= limit {
+                        refuse(&mut conn);
+                        drop(conn);
+                        return Err(MwError::ConnLimit { limit });
+                    }
+                }
+                Ok(Some(conn))
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Accepts one connection within `deadline` (cap ignored; the stream
+    /// is returned in blocking mode). See [`accept_polled`].
+    ///
+    /// # Errors
+    /// [`MwError::Timeout`] when the deadline expires, [`MwError::Io`] on
+    /// socket failure.
+    pub fn accept_within(&self, deadline: Duration) -> Result<TcpStream, MwError> {
+        accept_polled(&self.listener, deadline)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +288,64 @@ mod tests {
         let _a = reg.bind("tcp://a:1").unwrap();
         let _b = reg.bind("tcp://b:1").unwrap();
         assert_ne!(reg.resolve("tcp://a:1").unwrap(), reg.resolve("tcp://b:1").unwrap());
+    }
+
+    #[test]
+    fn try_accept_returns_none_when_nothing_pending() {
+        let reg = EndpointRegistry::new();
+        let acceptor = Acceptor::new(reg.bind("tcp://idle:1").unwrap()).unwrap();
+        assert!(acceptor.try_accept(0, |_| {}).unwrap().is_none());
+    }
+
+    #[test]
+    fn accept_within_is_deadline_bounded() {
+        let reg = EndpointRegistry::new();
+        let acceptor = Acceptor::new(reg.bind("tcp://quiet:1").unwrap()).unwrap();
+        let deadline = Duration::from_millis(20);
+        let start = Instant::now();
+        let err = acceptor.accept_within(deadline).unwrap_err();
+        assert!(matches!(err, MwError::Timeout { what: "accept", .. }));
+        // Bounded: the poll returns promptly once the deadline passes.
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn connection_cap_refuses_with_typed_error() {
+        let reg = EndpointRegistry::new();
+        let acceptor = Acceptor::with_limit(reg.bind("tcp://capped:1").unwrap(), 1).unwrap();
+        let addr = acceptor.local_addr().unwrap();
+
+        let first = TcpStream::connect(addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let accepted = loop {
+            if let Some(c) = acceptor.try_accept(0, |_| {}).unwrap() {
+                break c;
+            }
+            assert!(Instant::now() < deadline, "accept never fired");
+            std::thread::sleep(Duration::from_millis(1));
+        };
+
+        // A second connection while one is open hits the cap: the typed
+        // refusal names the limit and the socket is closed under the peer.
+        let mut second = TcpStream::connect(addr).unwrap();
+        let refused = loop {
+            match acceptor.try_accept(1, |_| {}) {
+                Ok(Some(_)) => panic!("cap ignored"),
+                Ok(None) => {
+                    assert!(Instant::now() < deadline, "refusal never fired");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(refused, MwError::ConnLimit { limit: 1 }));
+        // The refused peer observes EOF (read returns 0) rather than a hang.
+        second.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = [0u8; 1];
+        let n = std::io::Read::read(&mut second, &mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "refused connection was not closed");
+
+        drop(first);
+        drop(accepted);
     }
 }

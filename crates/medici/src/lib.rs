@@ -18,25 +18,28 @@
 //! [`throttle::Throttle`] models link bandwidth and the relay rate.
 //!
 //! * [`framing`] — the EOF length-prefix wire protocol;
-//! * [`endpoint`] — URL parsing and the URL → socket-address registry;
+//! * [`endpoint`] — URL parsing, the URL → socket-address registry, and
+//!   the deadline-bounded [`endpoint::Acceptor`] every accept loop uses;
 //! * [`throttle`] — token-bucket pacing (relay rate / simulated LAN);
 //! * [`pipeline`] — `MifPipeline` mirroring the paper's Fig. 7 API;
 //! * [`client`] — `MwClient::{send, recv}` used by estimators (Fig. 6);
-//! * [`measure`] — the timing harness behind Tables III/IV and Fig. 8;
 //! * [`retry`] — deadlines and deterministic bounded backoff;
 //! * [`faults`] — the seeded fault-injection proxy for chaos testing.
+//!
+//! (The §V-B overhead-measurement harness that used to live here as
+//! `measure` moved to `pgse_bench::overhead` with the rest of the
+//! experiment code.)
 
 pub mod client;
 pub mod endpoint;
 pub mod faults;
 pub mod framing;
-pub mod measure;
 pub mod pipeline;
 pub mod retry;
 pub mod throttle;
 
 pub use client::{Delivery, MwClient};
-pub use endpoint::{EndpointRegistry, EndpointUrl};
+pub use endpoint::{Acceptor, EndpointRegistry, EndpointUrl};
 pub use faults::{FaultKind, FaultPlan, FaultProxy, FaultProxyHandle, FaultStats};
 pub use pipeline::{EndpointProtocol, MifPipeline, PipelineHandle, SeComponent};
 pub use retry::{MwConfig, RetryPolicy};
@@ -51,6 +54,11 @@ pub enum MwError {
     UnknownEndpoint(String),
     /// Underlying socket failure.
     Io(std::io::Error),
+    /// A listener at its connection cap refused the connection.
+    ConnLimit {
+        /// The cap that was hit.
+        limit: usize,
+    },
     /// A blocking operation exceeded its deadline.
     Timeout {
         /// What was being waited on (e.g. `"accept"`, `"read"`).
@@ -87,6 +95,9 @@ impl std::fmt::Display for MwError {
             MwError::BadUrl(u) => write!(f, "malformed endpoint url: {u}"),
             MwError::UnknownEndpoint(u) => write!(f, "unknown endpoint: {u}"),
             MwError::Io(e) => write!(f, "io error: {e}"),
+            MwError::ConnLimit { limit } => {
+                write!(f, "connection refused: listener at its cap of {limit}")
+            }
             MwError::Timeout { what, after } => {
                 write!(f, "{what} exceeded its {after:?} deadline")
             }

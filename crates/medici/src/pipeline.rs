@@ -182,8 +182,7 @@ impl MifPipeline {
                 .out_url
                 .clone()
                 .ok_or_else(|| MwError::BadUrl(format!("{}: no outbound endpoint", comp.name)))?;
-            let listener = registry.bind(&in_url)?;
-            listener.set_nonblocking(true)?;
+            let listener = crate::endpoint::Acceptor::new(registry.bind(&in_url)?)?;
             let registry = registry.clone();
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
@@ -245,9 +244,11 @@ struct RouterConfig {
 
 /// Accept loop of one component: store each inbound frame, forward it to
 /// the outbound endpoint at the relay rate. All socket waits are bounded
-/// by the configured IO deadline.
+/// by the configured IO deadline; the accept itself goes through the
+/// non-blocking [`crate::endpoint::Acceptor`], so shutdown latency is
+/// bounded by one poll interval.
 fn router_loop(
-    listener: std::net::TcpListener,
+    listener: crate::endpoint::Acceptor,
     registry: EndpointRegistry,
     out_url: String,
     cfg: RouterConfig,
@@ -257,8 +258,8 @@ fn router_loop(
 ) {
     let retry_key = stable_key(&out_url);
     while !stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((mut conn, _)) => {
+        match listener.try_accept(0, |_| {}) {
+            Ok(Some(mut conn)) => {
                 if conn.set_nonblocking(false).is_err()
                     || conn.set_read_timeout(Some(cfg.io_deadline)).is_err()
                 {
@@ -298,7 +299,7 @@ fn router_loop(
                     }
                 }
             }
-            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            Ok(None) => {
                 std::thread::sleep(Duration::from_millis(1));
             }
             Err(_) => break,

@@ -1,0 +1,38 @@
+//! # pgse-serve
+//!
+//! The network-facing snapshot read path — ROADMAP's "serving layer":
+//! fan the lock-free [`pgse_stream::SnapshotStore`]'s epochs out to
+//! thousands of concurrent readers without the solver, the store, or the
+//! encode pipeline ever scaling with the reader count.
+//!
+//! Three layers (DESIGN.md §14):
+//!
+//! * **wire** ([`wire`]) — the `PGSS` v1 binary format: full filtered
+//!   views, *bitwise delta views* against the reader's last-held epoch,
+//!   subscription handshakes with per-area / per-bus-range filters, and
+//!   typed refusals. Decode is total and truncation-fuzzed;
+//!   [`wire::apply_delta`] reconstructs the full view bit-identically.
+//! * **mux** ([`mux`]) — the [`mux::Broadcaster`]: one encode per
+//!   `(filter, full|delta)` class per epoch — O(areas) encode work for N
+//!   subscribers — fanned into bounded per-subscriber queues with
+//!   latest-wins collapse, under the exact accounting identity
+//!   `published == delivered + shed + coalesced` (mirrored in `serve.*`
+//!   obs counters, byte-identical across thread pools).
+//! * **reactor** ([`reactor`]) — a single-thread poll reactor over
+//!   non-blocking sockets (`medici::endpoint::Acceptor`): streamed
+//!   connections for high-rate readers, one-shot push frames to
+//!   registered endpoints for proxied readers, typed connection-cap
+//!   refusals, deadline-bounded shutdown.
+
+pub mod mux;
+pub mod reactor;
+pub mod wire;
+
+pub use mux::{
+    AreaMap, Broadcaster, BufKind, QueuedBuf, ServeReport, SubscriberId, Subscription,
+};
+pub use reactor::{tail_store, ReadError, RemoteReader, ServeConfig, SnapshotServer};
+pub use wire::{
+    apply_delta, decode_msg, encode_msg, ApplyError, DeliveryMode, DeltaView, FullView,
+    RefuseReason, Refusal, ServeMsg, ServeWireError, Subscribe, SubscriptionFilter,
+};

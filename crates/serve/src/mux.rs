@@ -1,0 +1,481 @@
+//! The broadcast multiplexer: one encode per filter class, fanned out to
+//! every subscriber through bounded latest-wins queues.
+//!
+//! The cost model is the whole point: with N subscribers behind A
+//! distinct `(filter, full-or-delta)` classes, a publish performs **at
+//! most 2·A encodes** (full + delta per class) and N queue pushes of
+//! shared [`Arc`] buffers — encode work is O(areas), not O(N). The
+//! encode fan-out runs through `rayon`, and because every buffer is a
+//! pure function of `(base, next, filter)` the result — and every
+//! counter — is identical on 1, 2, or 8-thread pools.
+//!
+//! Every publish *offers* exactly one queue entry to every live
+//! subscriber, and every offered entry reaches exactly one terminal
+//! state, which is the accounting identity the serve tests close:
+//!
+//! ```text
+//! published == delivered + shed + coalesced
+//! ```
+//!
+//! * **delivered** — popped by the reader (reactor write completed, or an
+//!   in-process subscription consumed it);
+//! * **coalesced** — superseded while still queued: a slow reader's full
+//!   queue is collapsed to the newest epoch (latest-wins). The collapse
+//!   replaces the whole backlog with one *full* view — dropping an
+//!   individual delta would break the reader's delta chain;
+//! * **shed** — pending (or mid-write) when the subscriber died,
+//!   disconnected, or the server shut down.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pgse_obs::Recorder;
+use pgse_stream::SystemSnapshot;
+use rayon::prelude::*;
+
+use crate::wire::{self, DeliveryMode, SubscriptionFilter};
+
+/// One distinct encode per publish: `(filter, delta?)`.
+type EncodeClass = (SubscriptionFilter, bool);
+
+/// Global bus ids per decomposition area — how the multiplexer resolves
+/// [`SubscriptionFilter::Area`] without depending on the solver's
+/// decomposition types.
+#[derive(Debug, Clone)]
+pub struct AreaMap {
+    areas: Vec<Vec<u32>>,
+    n_buses: u32,
+}
+
+impl AreaMap {
+    /// Builds the map from per-area global bus-id lists (sorted
+    /// internally). Every id must be `< n_buses`.
+    ///
+    /// # Panics
+    /// When an id is out of range — a construction-site bug.
+    pub fn new(mut areas: Vec<Vec<u32>>, n_buses: u32) -> Self {
+        for ids in &mut areas {
+            ids.sort_unstable();
+            ids.dedup();
+            if let Some(&last) = ids.last() {
+                assert!(last < n_buses, "area bus id {last} out of range {n_buses}");
+            }
+        }
+        AreaMap { areas, n_buses }
+    }
+
+    /// `n_areas` contiguous stripes over `n_buses` buses (benches, tests).
+    pub fn uniform(n_buses: u32, n_areas: u32) -> Self {
+        let n_areas = n_areas.max(1);
+        let per = n_buses.div_ceil(n_areas);
+        let areas = (0..n_areas)
+            .map(|a| (a * per..((a + 1) * per).min(n_buses)).collect())
+            .collect();
+        AreaMap { areas, n_buses }
+    }
+
+    /// Number of areas.
+    pub fn n_areas(&self) -> usize {
+        self.areas.len()
+    }
+
+    /// Number of buses.
+    pub fn n_buses(&self) -> u32 {
+        self.n_buses
+    }
+
+    /// The strictly increasing global bus ids `filter` selects, or `None`
+    /// when the filter names an area / range outside the system.
+    pub fn resolve(&self, filter: SubscriptionFilter) -> Option<Vec<u32>> {
+        match filter {
+            SubscriptionFilter::All => Some((0..self.n_buses).collect()),
+            SubscriptionFilter::Area(a) => self.areas.get(a as usize).cloned(),
+            SubscriptionFilter::BusRange { start, len } => {
+                let end = start.checked_add(len)?;
+                (len > 0 && end <= self.n_buses).then(|| (start..end).collect())
+            }
+        }
+    }
+}
+
+/// Identifies one subscriber for pop/mark/unsubscribe calls.
+pub type SubscriberId = u64;
+
+/// Whether a queued buffer is a full view or a delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufKind {
+    /// Complete filtered view.
+    Full,
+    /// Delta against the subscriber's previous entry.
+    Delta,
+}
+
+/// One encoded buffer queued for (or popped by) a subscriber.
+#[derive(Debug, Clone)]
+pub struct QueuedBuf {
+    /// Epoch the buffer advances the reader to.
+    pub epoch: u64,
+    /// Full or delta.
+    pub kind: BufKind,
+    /// The encoded PGSS message, shared across subscribers of the class.
+    pub bytes: Arc<Vec<u8>>,
+}
+
+struct Sub {
+    filter: SubscriptionFilter,
+    mode: DeliveryMode,
+    ids: Arc<Vec<u32>>,
+    queue: VecDeque<QueuedBuf>,
+    /// Epoch of the last entry enqueued — the base the next delta chains
+    /// onto. `None` until the first offer.
+    next_base: Option<u64>,
+}
+
+#[derive(Default)]
+struct Totals {
+    published: u64,
+    delivered: u64,
+    shed: u64,
+    coalesced: u64,
+    refused: u64,
+    encodes_full: u64,
+    encodes_delta: u64,
+    bytes_encoded: u64,
+    bytes_delivered: u64,
+    epochs: u64,
+}
+
+struct Inner {
+    subs: HashMap<SubscriberId, Sub>,
+    next_id: SubscriberId,
+    prev: Option<Arc<SystemSnapshot>>,
+    totals: Totals,
+}
+
+/// Final accounting of a serving session; every field also exists as a
+/// `serve.*` obs counter, and [`ServeReport::unaccounted`] closes the
+/// identity from either source.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Queue entries offered: one per (publish × live subscriber), plus
+    /// one per catch-up view handed to a late subscriber.
+    pub published: u64,
+    /// Entries consumed by their reader.
+    pub delivered: u64,
+    /// Entries pending (or mid-write) at disconnect/kill/shutdown.
+    pub shed: u64,
+    /// Entries superseded in-queue by a latest-wins collapse.
+    pub coalesced: u64,
+    /// Connections turned away (cap, bad handshake, bad filter).
+    pub refused: u64,
+    /// Distinct full-view encodes performed.
+    pub encodes_full: u64,
+    /// Distinct delta encodes performed.
+    pub encodes_delta: u64,
+    /// Bytes produced by encodes (per class, *not* per subscriber).
+    pub bytes_encoded: u64,
+    /// Bytes handed to readers (per subscriber).
+    pub bytes_delivered: u64,
+    /// Epochs offered to the subscriber set.
+    pub epochs: u64,
+    /// Subscribers still registered when the report was taken.
+    pub subscribers: usize,
+}
+
+impl ServeReport {
+    /// `published - delivered - shed - coalesced`; zero iff the
+    /// accounting identity holds exactly.
+    pub fn unaccounted(&self) -> i64 {
+        self.published as i64
+            - self.delivered as i64
+            - self.shed as i64
+            - self.coalesced as i64
+    }
+}
+
+/// The subscription multiplexer over one snapshot stream (module docs for
+/// the cost model and accounting).
+pub struct Broadcaster {
+    map: AreaMap,
+    queue_cap: usize,
+    inner: Mutex<Inner>,
+    rec: Recorder,
+}
+
+impl Broadcaster {
+    /// A broadcaster over `map` whose per-subscriber queues hold at most
+    /// `queue_cap` (≥ 1) pending buffers before latest-wins collapse.
+    pub fn new(map: AreaMap, queue_cap: usize) -> Self {
+        Broadcaster {
+            map,
+            queue_cap: queue_cap.max(1),
+            inner: Mutex::new(Inner {
+                subs: HashMap::new(),
+                next_id: 0,
+                prev: None,
+                totals: Totals::default(),
+            }),
+            rec: Recorder::new("serve"),
+        }
+    }
+
+    /// The area map filters resolve against.
+    pub fn area_map(&self) -> &AreaMap {
+        &self.map
+    }
+
+    /// Registers a subscriber. When a snapshot is already published the
+    /// subscriber is immediately offered a full catch-up view (counted as
+    /// published like any other offer). Returns `None` when the filter
+    /// does not resolve against the system — the caller turns that into a
+    /// typed [`crate::wire::RefuseReason::BadFilter`].
+    pub fn subscribe(
+        &self,
+        filter: SubscriptionFilter,
+        mode: DeliveryMode,
+    ) -> Option<SubscriberId> {
+        let ids = Arc::new(self.map.resolve(filter)?);
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let mut sub = Sub { filter, mode, ids, queue: VecDeque::new(), next_base: None };
+        if let Some(prev) = inner.prev.clone() {
+            let bytes = Arc::new(wire::encode_full(&prev, filter, &sub.ids));
+            inner.totals.encodes_full += 1;
+            inner.totals.bytes_encoded += bytes.len() as u64;
+            inner.totals.published += 1;
+            self.rec.counter_add("serve.encode.full", 1);
+            self.rec.counter_add("serve.bytes.encoded", bytes.len() as u64);
+            self.rec.counter_add("serve.published", 1);
+            sub.queue.push_back(QueuedBuf { epoch: prev.epoch, kind: BufKind::Full, bytes });
+            sub.next_base = Some(prev.epoch);
+        }
+        inner.subs.insert(id, sub);
+        Some(id)
+    }
+
+    /// Offers `snap` to every live subscriber: encodes each needed
+    /// `(filter, kind)` class exactly once (in parallel), then enqueues
+    /// the shared buffers.
+    ///
+    /// # Panics
+    /// When `snap` does not advance the previously published epoch — the
+    /// `EpochStore` upstream already guarantees monotonicity.
+    pub fn publish(&self, snap: &Arc<SystemSnapshot>) {
+        let mut inner = self.inner.lock();
+        let prev = inner.prev.clone();
+        if let Some(p) = &prev {
+            assert!(p.epoch < snap.epoch, "broadcaster fed a non-advancing epoch");
+        }
+        let _sp = self.rec.span_at("serve.publish", snap.epoch);
+
+        // Decide per subscriber what it needs; collect the distinct
+        // encode classes. A delta only chains when the subscriber's last
+        // enqueued epoch is the broadcast base *and* its queue has room —
+        // a full queue is about to be collapsed, which resets the chain,
+        // so it must receive a full view.
+        let mut needed: BTreeMap<EncodeClass, Arc<Vec<u32>>> = BTreeMap::new();
+        let mut wants: Vec<(SubscriberId, bool)> = Vec::with_capacity(inner.subs.len());
+        for (&id, sub) in &inner.subs {
+            let delta_ok = sub.mode == DeliveryMode::Delta
+                && prev.as_ref().is_some_and(|p| sub.next_base == Some(p.epoch))
+                && sub.queue.len() < self.queue_cap;
+            needed.entry((sub.filter, delta_ok)).or_insert_with(|| Arc::clone(&sub.ids));
+            wants.push((id, delta_ok));
+        }
+
+        // One encode per class, fanned over the rayon pool. Buffers are a
+        // pure function of (prev, snap, filter), so pool size cannot
+        // change a byte of them.
+        let classes: Vec<(&EncodeClass, &Arc<Vec<u32>>)> =
+            needed.iter().collect();
+        let encoded: Vec<Arc<Vec<u8>>> = classes
+            .par_iter()
+            .map(|((filter, delta_ok), ids)| {
+                let bytes = if *delta_ok {
+                    wire::encode_delta(prev.as_deref().unwrap(), snap, *filter, ids)
+                } else {
+                    wire::encode_full(snap, *filter, ids)
+                };
+                Arc::new(bytes)
+            })
+            .collect();
+        let by_class: BTreeMap<EncodeClass, Arc<Vec<u8>>> = classes
+            .iter()
+            .map(|(k, _)| **k)
+            .zip(encoded)
+            .collect();
+        for ((_, delta_ok), bytes) in &by_class {
+            if *delta_ok {
+                inner.totals.encodes_delta += 1;
+                self.rec.counter_add("serve.encode.delta", 1);
+            } else {
+                inner.totals.encodes_full += 1;
+                self.rec.counter_add("serve.encode.full", 1);
+            }
+            inner.totals.bytes_encoded += bytes.len() as u64;
+            self.rec.counter_add("serve.bytes.encoded", bytes.len() as u64);
+        }
+
+        // Fan out: every live subscriber is offered exactly one entry.
+        let mut offered = 0u64;
+        let mut coalesced = 0u64;
+        for (id, delta_ok) in wants {
+            let sub = inner.subs.get_mut(&id).expect("subscriber existed under the lock");
+            let bytes = Arc::clone(&by_class[&(sub.filter, delta_ok)]);
+            let kind = if delta_ok { BufKind::Delta } else { BufKind::Full };
+            if sub.queue.len() >= self.queue_cap {
+                // Latest-wins collapse: the backlog is superseded by this
+                // epoch's full view (kind is Full here by construction).
+                coalesced += sub.queue.len() as u64;
+                sub.queue.clear();
+            }
+            sub.queue.push_back(QueuedBuf { epoch: snap.epoch, kind, bytes });
+            sub.next_base = Some(snap.epoch);
+            offered += 1;
+        }
+        inner.totals.published += offered;
+        inner.totals.coalesced += coalesced;
+        inner.totals.epochs += 1;
+        self.rec.counter_add("serve.published", offered);
+        self.rec.counter_add("serve.coalesced", coalesced);
+        self.rec.counter_add("serve.epochs", 1);
+        inner.prev = Some(Arc::clone(snap));
+    }
+
+    /// Pops the subscriber's next pending buffer *without* marking it: the
+    /// caller owes the broadcaster a [`Broadcaster::mark_delivered`] or
+    /// [`Broadcaster::mark_shed`] for it, or the accounting identity
+    /// breaks. (In-process readers should use [`Subscription::recv`],
+    /// which settles the entry atomically.)
+    pub fn pop(&self, id: SubscriberId) -> Option<QueuedBuf> {
+        self.inner.lock().subs.get_mut(&id)?.queue.pop_front()
+    }
+
+    /// Settles a popped buffer as delivered.
+    pub fn mark_delivered(&self, buf: &QueuedBuf) {
+        let mut inner = self.inner.lock();
+        inner.totals.delivered += 1;
+        inner.totals.bytes_delivered += buf.bytes.len() as u64;
+        self.rec.counter_add("serve.delivered", 1);
+        self.rec.counter_add("serve.bytes.delivered", buf.bytes.len() as u64);
+    }
+
+    /// Settles `n` popped buffers as shed (write failed, reader died
+    /// mid-flight).
+    pub fn mark_shed(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.inner.lock().totals.shed += n;
+        self.rec.counter_add("serve.shed", n);
+    }
+
+    /// Counts a refused connection.
+    pub fn count_refused(&self) {
+        self.inner.lock().totals.refused += 1;
+        self.rec.counter_add("serve.refused", 1);
+    }
+
+    /// Removes a subscriber; its pending entries are shed. Returns how
+    /// many were shed (idempotent: unknown ids shed nothing).
+    pub fn unsubscribe(&self, id: SubscriberId) -> u64 {
+        let mut inner = self.inner.lock();
+        let Some(sub) = inner.subs.remove(&id) else { return 0 };
+        let shed = sub.queue.len() as u64;
+        inner.totals.shed += shed;
+        self.rec.counter_add("serve.shed", shed);
+        shed
+    }
+
+    /// Sheds every subscriber's backlog and removes them all — the
+    /// shutdown path. Returns total entries shed.
+    pub fn shutdown_drain(&self) -> u64 {
+        let ids: Vec<SubscriberId> = self.inner.lock().subs.keys().copied().collect();
+        ids.into_iter().map(|id| self.unsubscribe(id)).sum()
+    }
+
+    /// Live subscriber count.
+    pub fn n_subscribers(&self) -> usize {
+        self.inner.lock().subs.len()
+    }
+
+    /// Current accounting snapshot.
+    pub fn report(&self) -> ServeReport {
+        let inner = self.inner.lock();
+        let t = &inner.totals;
+        ServeReport {
+            published: t.published,
+            delivered: t.delivered,
+            shed: t.shed,
+            coalesced: t.coalesced,
+            refused: t.refused,
+            encodes_full: t.encodes_full,
+            encodes_delta: t.encodes_delta,
+            bytes_encoded: t.bytes_encoded,
+            bytes_delivered: t.bytes_delivered,
+            epochs: t.epochs,
+            subscribers: inner.subs.len(),
+        }
+    }
+
+    /// Snapshot of the `serve` obs scope (counters mirror the report).
+    pub fn obs_scope(&self) -> pgse_obs::ScopeReport {
+        self.rec.snapshot()
+    }
+}
+
+impl std::fmt::Debug for Broadcaster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Broadcaster")
+            .field("areas", &self.map.n_areas())
+            .field("queue_cap", &self.queue_cap)
+            .field("subscribers", &self.n_subscribers())
+            .finish()
+    }
+}
+
+/// An in-process subscription handle: pops settle atomically as
+/// delivered, and dropping the handle without [`Subscription::close`]
+/// still leaves the accounting closed (the broadcaster sheds the backlog
+/// at shutdown).
+pub struct Subscription {
+    id: SubscriberId,
+    bc: Arc<Broadcaster>,
+}
+
+impl Subscription {
+    /// Subscribes against `bc`; `None` when the filter does not resolve.
+    pub fn open(
+        bc: &Arc<Broadcaster>,
+        filter: SubscriptionFilter,
+        mode: DeliveryMode,
+    ) -> Option<Subscription> {
+        let id = bc.subscribe(filter, mode)?;
+        Some(Subscription { id, bc: Arc::clone(bc) })
+    }
+
+    /// The subscriber id (for seeded chaos schedules).
+    pub fn id(&self) -> SubscriberId {
+        self.id
+    }
+
+    /// Pops and settles the next pending buffer as delivered.
+    pub fn recv(&self) -> Option<QueuedBuf> {
+        let buf = self.bc.pop(self.id)?;
+        self.bc.mark_delivered(&buf);
+        Some(buf)
+    }
+
+    /// Unsubscribes; pending entries are shed.
+    pub fn close(self) -> u64 {
+        self.bc.unsubscribe(self.id)
+    }
+}
+
+impl std::fmt::Debug for Subscription {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscription").field("id", &self.id).finish()
+    }
+}

@@ -20,7 +20,10 @@
 //! * **serve** ([`snapshot`]) — each solved frame is published into a
 //!   lock-free, epoch-stamped [`snapshot::SnapshotStore`]; concurrent
 //!   readers never block the writer and never observe a torn or
-//!   regressing state.
+//!   regressing state. The network-facing read path over this store —
+//!   the `PGSS` wire format, delta encoding, and the O(areas)
+//!   subscription multiplexer — lives in the `pgse-serve` crate
+//!   (DESIGN.md §14), which tails the store via `pgse_serve::tail_store`.
 //!
 //! Sequencing is enforced at both ends: the ingest queues shed
 //! out-of-order and duplicate frames as stale, and the snapshot store

@@ -6,7 +6,7 @@
 //! cargo run --release --example middleware_pipeline
 //! ```
 
-use pgse::medici::measure::OverheadProbe;
+use pgse_bench::overhead::OverheadProbe;
 use pgse::medici::throttle::PAPER_RELAY_RATE;
 use pgse::medici::{EndpointProtocol, EndpointRegistry, MifPipeline, MwClient, SeComponent};
 

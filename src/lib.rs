@@ -21,6 +21,7 @@
 //! | observability | [`obs`] | deterministic tracing + mergeable metrics, [`obs::ObsReport`] JSON |
 //! | prototype | [`core`] | the per-time-frame system architecture (Fig. 1) |
 //! | streaming | [`stream`] | continuous SE service: sequenced ingest, warm solves, snapshot store |
+//! | serving | [`serve`] | PGSS delta wire format, subscription multiplexer, poll-reactor fan-out |
 //!
 //! ## Quickstart
 //!
@@ -49,5 +50,6 @@ pub use pgse_mpilite as mpilite;
 pub use pgse_obs as obs;
 pub use pgse_partition as partition;
 pub use pgse_powerflow as powerflow;
+pub use pgse_serve as serve;
 pub use pgse_sparsela as sparsela;
 pub use pgse_stream as stream;

@@ -1,0 +1,149 @@
+//! Reader/writer race coverage for the lock-free [`EpochStore`]
+//! (ISSUE 8, satellite 3): the exact interleavings the serving layer
+//! leans on — subscribing while the writer is mid-publish, holding a
+//! delta base whose slot the writer has long since recycled, and
+//! observing sequence-regression refusals from a concurrent reader.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use pgse::stream::{PublishRejected, SnapshotStore, SystemSnapshot};
+
+fn snap(frame_seq: u64, n: usize) -> SystemSnapshot {
+    SystemSnapshot {
+        epoch: 0,
+        frame_seq,
+        dt_seconds: frame_seq as f64 * 0.1,
+        vm: (0..n).map(|i| 1.0 + 1e-3 * i as f64 + 1e-6 * frame_seq as f64).collect(),
+        va: (0..n).map(|i| -1e-2 * i as f64 - 1e-7 * frame_seq as f64).collect(),
+        degraded_areas: vec![],
+    }
+}
+
+/// Readers that subscribe while the writer is actively publishing must
+/// land on a live epoch at or past the one current when they arrived —
+/// never an empty store, never an older epoch.
+#[test]
+fn subscribe_during_publish_sees_at_least_the_floor_epoch() {
+    let store = Arc::new(SnapshotStore::new());
+    store.publish(snap(1, 16)).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut seq = 2u64;
+            while !stop.load(Ordering::Relaxed) {
+                store.publish(snap(seq, 16)).unwrap();
+                seq += 1;
+            }
+            seq - 1
+        })
+    };
+
+    let mut readers = Vec::new();
+    for _ in 0..8 {
+        // The floor is sampled on this thread *before* the reader exists,
+        // so its first load must be >= floor regardless of interleaving.
+        let floor = store.current_epoch().expect("store is non-empty");
+        let store = Arc::clone(&store);
+        readers.push(std::thread::spawn(move || {
+            let first = store.load().expect("subscribed after first publish");
+            (floor, first.epoch)
+        }));
+        std::thread::yield_now();
+    }
+    for r in readers {
+        let (floor, first) = r.join().unwrap();
+        assert!(
+            first >= floor,
+            "reader subscribed at epoch floor {floor} but first observed {first}"
+        );
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let last_seq = writer.join().unwrap();
+    assert!(last_seq > 2, "writer should have published under contention");
+}
+
+/// A reader holding an `Arc` to an old epoch (a delta base, in serve
+/// terms) must see it bit-intact even after the writer has recycled
+/// every slot many times over.
+#[test]
+fn held_delta_base_survives_slot_recycling_bit_intact() {
+    let store = SnapshotStore::new();
+    let base_epoch = store.publish(snap(1, 32)).unwrap();
+    let held = store.load().unwrap();
+    let vm_bits: Vec<u64> = held.vm.iter().map(|v| v.to_bits()).collect();
+    let va_bits: Vec<u64> = held.va.iter().map(|v| v.to_bits()).collect();
+
+    // Only 4 slots exist: 200 publishes recycle each slot ~50 times while
+    // the base is held.
+    for seq in 2..=200 {
+        store.publish(snap(seq, 32)).unwrap();
+    }
+
+    assert_eq!(held.epoch, base_epoch, "held Arc must still be the original epoch");
+    assert_eq!(held.frame_seq, 1);
+    let vm_now: Vec<u64> = held.vm.iter().map(|v| v.to_bits()).collect();
+    let va_now: Vec<u64> = held.va.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(vm_bits, vm_now, "vm bits mutated under slot recycling");
+    assert_eq!(va_bits, va_now, "va bits mutated under slot recycling");
+    assert!(store.current_epoch().unwrap() > held.epoch);
+}
+
+/// A publish that would regress the frame sequence is refused with the
+/// typed error, and a concurrent reader loop never observes the epoch
+/// move backwards — before, during, or after the refused attempt.
+#[test]
+fn regression_refusal_is_invisible_to_concurrent_readers() {
+    let store = Arc::new(SnapshotStore::new());
+    store.publish(snap(10, 8)).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let reader = {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut last = 0u64;
+            let mut observed = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let s = store.load().expect("store stays non-empty");
+                assert!(
+                    s.epoch >= last,
+                    "epoch regressed under reader: {} after {}",
+                    s.epoch,
+                    last
+                );
+                last = s.epoch;
+                observed += 1;
+            }
+            (last, observed)
+        })
+    };
+
+    let mut refused = 0usize;
+    for round in 0..50u64 {
+        let good = 11 + round * 2;
+        store.publish(snap(good, 8)).unwrap();
+        // Every accepted publish is chased by a stale frame that must be
+        // refused while the reader loop is live.
+        let err = store.publish(snap(good - 1, 8)).unwrap_err();
+        assert_eq!(
+            err,
+            PublishRejected { frame_seq: good - 1, current_frame_seq: good },
+            "refusal must carry both sequences"
+        );
+        refused += 1;
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let (_last, observed) = reader.join().unwrap();
+    assert_eq!(refused, 50);
+    // The monotonicity assertion lives inside the reader loop; here we
+    // only require that it actually sampled under the refusal storm.
+    assert!(observed > 0, "reader loop must have sampled the store");
+    // Refusals left no trace: the store sits exactly at the last good frame.
+    assert_eq!(store.current_frame_seq(), Some(11 + 49 * 2));
+}
