@@ -1,0 +1,69 @@
+//! Benchmark trend index → `target/obs/BENCH_index.json`.
+//!
+//! Merges every `target/obs/BENCH_*.json` report that the benchmark bins
+//! emit into one index document, keyed by report name. CI runs this as
+//! its `bench-trend` step after the benches so a single artifact carries
+//! the whole run's numbers — one file to download, diff against the
+//! previous run, or feed into a dashboard.
+//!
+//! Each entry embeds the source report verbatim as a schema-free
+//! [`Content`] tree (the reports already round-trip through
+//! `serde_json` before they are written, so a parse failure here means
+//! the file was corrupted after the fact — that is an error, not a
+//! skip).
+//!
+//! ```text
+//! cargo run --release -p pgse-bench --bin bench_index
+//! ```
+
+use std::path::Path;
+
+use serde::Content;
+
+fn main() {
+    let dir = Path::new("target/obs");
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("nothing to index: cannot read {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    let mut names: Vec<String> = Vec::new();
+    for entry in entries {
+        let path = entry.expect("readable directory entry").path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") || name == "BENCH_index.json"
+        {
+            continue;
+        }
+        names.push(name.to_string());
+    }
+    names.sort();
+    if names.is_empty() {
+        eprintln!("nothing to index: no BENCH_*.json under {}", dir.display());
+        std::process::exit(1);
+    }
+
+    let mut reports: Vec<(String, Content)> = Vec::new();
+    for name in &names {
+        let path = dir.join(name);
+        let body = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let value: Content = serde_json::from_str(&body)
+            .unwrap_or_else(|e| panic!("{} is not valid JSON: {e}", path.display()));
+        let key =
+            name.trim_start_matches("BENCH_").trim_end_matches(".json").to_string();
+        reports.push((key, value));
+    }
+
+    let keys: Vec<String> = reports.iter().map(|(k, _)| k.clone()).collect();
+    let index = Content::Map(vec![
+        ("schema".to_string(), Content::Str("pgse-bench-index/1".to_string())),
+        ("reports".to_string(), Content::Map(reports)),
+    ]);
+    let body = serde_json::to_string_pretty(&index).expect("serializable index");
+    let out = dir.join("BENCH_index.json");
+    std::fs::write(&out, &body).unwrap_or_else(|e| panic!("write {}: {e}", out.display()));
+    println!("merged {} report(s) into {}: {}", keys.len(), out.display(), keys.join(", "));
+}

@@ -38,4 +38,7 @@ pub use measurement::{Measurement, MeasurementKind, MeasurementSet};
 // `telemetry` types are deliberately not re-exported at the crate root:
 // synthetic-telemetry generation is a test/benchmark concern, and callers
 // name it explicitly (`pgse_estimation::telemetry::TelemetryPlan`).
-pub use wls::{GainSolver, SolveCache, StateEstimate, WlsError, WlsEstimator, WlsOptions};
+pub use wls::{
+    GainSolver, GnWave, SolveCache, StateEstimate, StructureDescriptor, WlsError, WlsEstimator,
+    WlsOptions,
+};

@@ -7,7 +7,9 @@
 
 use pgse_grid::{Network, Ybus};
 use pgse_sparsela::pcg::{pcg, CgOptions, Preconditioner};
-use pgse_sparsela::{AtaSymbolic, Csr, EnvelopeCholesky, LaError, SparseCholesky};
+use pgse_sparsela::{
+    AtaSymbolic, BoundaryCondenser, Csr, EnvelopeCholesky, LaError, SparseCholesky,
+};
 
 use crate::jacobian::{assemble_jacobian, evaluate_h, JacobianPattern, StateSpace};
 use crate::measurement::MeasurementSet;
@@ -178,6 +180,12 @@ pub struct SolveCache {
     /// unchanged gain pattern refresh its numeric values only
     /// ([`GainSolver::Direct`]).
     chol: Option<SparseCholesky>,
+    /// State indices forming the boundary block of a Schur-condensed
+    /// direct solve ([`SolveCache::set_condense_targets`]); `None` keeps
+    /// the plain factorization.
+    condense_boundary: Option<Vec<usize>>,
+    /// Cached condensation; warm frames refresh it numerically.
+    condenser: Option<BoundaryCondenser>,
     warm: Option<(Vec<f64>, Vec<f64>)>,
     /// Symbolic structures built from scratch (topology/plan changes).
     pub symbolic_builds: u64,
@@ -193,6 +201,9 @@ pub struct SolveCache {
     /// Direct gain solves that factored from scratch (first frame, or the
     /// gain pattern changed).
     pub refactor_full: u64,
+    /// Direct gain solves routed through the Schur-condensed path
+    /// (each also counts in `refactor_reuse`/`refactor_full`).
+    pub condensed_solves: u64,
 }
 
 impl SolveCache {
@@ -207,14 +218,55 @@ impl SolveCache {
     }
 
     /// Drops cached structures and the warm state (e.g. after a topology
-    /// change the caller knows about).
+    /// change the caller knows about). Condensation targets survive — they
+    /// derive from the state-space layout, not the frame.
     pub fn clear(&mut self) {
         self.pattern = None;
         self.jac_buf = None;
         self.gain_sym = None;
         self.gain_buf = None;
         self.chol = None;
+        self.condenser = None;
         self.warm = None;
+    }
+
+    /// Routes [`GainSolver::Direct`] cached solves through a
+    /// [`BoundaryCondenser`]: the given state indices become the boundary
+    /// block and everything else (internal + foreign buses in an extended
+    /// model) is condensed out through the Schur complement. Ignored when
+    /// the split would be degenerate (no internal or no boundary block) —
+    /// the plain factorization runs instead. Condensed solutions agree
+    /// with the uncondensed ones to solver tolerance, not bitwise.
+    pub fn set_condense_targets(&mut self, boundary_states: Vec<usize>) {
+        self.condense_boundary =
+            if boundary_states.is_empty() { None } else { Some(boundary_states) };
+        self.condenser = None;
+    }
+
+    /// The configured condensation boundary, if any.
+    pub fn condense_targets(&self) -> Option<&[usize]> {
+        self.condense_boundary.as_deref()
+    }
+
+    /// Prepares the cache for a restarted worker whose topology was
+    /// verified unchanged (the checkpoint's [`StructureDescriptor`]
+    /// matches): the symbolic structures are kept — saving the re-analysis
+    /// the restart would otherwise pay — while all per-run numeric state
+    /// (cached factor, condenser, warm start) is dropped and the counters
+    /// are zeroed, since the supervisor has already absorbed them into its
+    /// retired totals. Results are unaffected either way: structures
+    /// rebuild deterministically from the first frame.
+    pub fn retain_structures_for_restart(&mut self) {
+        self.chol = None;
+        self.condenser = None;
+        self.warm = None;
+        self.symbolic_builds = 0;
+        self.symbolic_reuses = 0;
+        self.warm_solves = 0;
+        self.cold_solves = 0;
+        self.refactor_reuse = 0;
+        self.refactor_full = 0;
+        self.condensed_solves = 0;
     }
 
     /// Whether symbolic structures are currently cached.
@@ -275,6 +327,25 @@ struct DirectCtx<'a> {
     slot: &'a mut Option<SparseCholesky>,
     reuse: &'a mut u64,
     full: &'a mut u64,
+    condense: Option<CondenseCtx<'a>>,
+}
+
+/// The Schur-condensation half of a [`DirectCtx`], present when the cache
+/// carries condensation targets.
+struct CondenseCtx<'a> {
+    boundary: &'a [usize],
+    slot: &'a mut Option<BoundaryCondenser>,
+    solves: &'a mut u64,
+}
+
+/// Maps an SPD failure to the estimator-level "not observable" diagnosis,
+/// anything else to a solver error — the shared mapping of every direct
+/// gain-solve path (scalar, condensed, and the round-batched waves).
+fn spd_err(e: LaError) -> WlsError {
+    match e {
+        LaError::NotPositiveDefinite { .. } => WlsError::NotObservable(e.to_string()),
+        other => WlsError::Solver(other),
+    }
 }
 
 /// A WLS estimator bound to one (sub)network and state-space convention.
@@ -436,42 +507,7 @@ impl WlsEstimator {
             )));
         }
 
-        // (Re)build the symbolic structures when the set's shape or the
-        // network topology (Ybus pattern) changed. The Ybus check is what
-        // keeps a cached direct factor from being numerically refreshed
-        // against a stale structure after a topology change.
-        let rebuild = match &cache.pattern {
-            Some(p) => !p.matches(set, &self.ybus),
-            None => true,
-        };
-        if rebuild {
-            let _sp = pgse_obs::span("wls.symbolic");
-            let pattern = JacobianPattern::new(&self.net, &self.ybus, set, &self.space);
-            let jac = pattern.template();
-            // Structural observability on the cached pattern: it is a
-            // superset of any numeric Jacobian's pattern, so a hole here is
-            // a hole in every frame.
-            let mut touched = vec![false; self.space.dim()];
-            for &c in jac.col_idx() {
-                touched[c] = true;
-            }
-            if let Some(hole) = touched.iter().position(|&t| !t) {
-                return Err(WlsError::NotObservable(format!(
-                    "state variable {hole} has no incident measurement"
-                )));
-            }
-            let sym = AtaSymbolic::new(&jac);
-            cache.gain_buf = Some(sym.g_template());
-            cache.jac_buf = Some(jac);
-            cache.gain_sym = Some(sym);
-            cache.pattern = Some(pattern);
-            cache.chol = None;
-            cache.symbolic_builds += 1;
-            pgse_obs::counter_add("wls.symbolic.build", 1);
-        } else {
-            cache.symbolic_reuses += 1;
-            pgse_obs::counter_add("wls.symbolic.reuse", 1);
-        }
+        self.prepare_structures(set, cache)?;
 
         let warm_used = warm.is_some() || cache.warm.is_some();
         let (mut vm, mut va) = match (warm, &cache.warm) {
@@ -499,9 +535,12 @@ impl WlsEstimator {
             jac_buf,
             gain_buf,
             chol,
+            condense_boundary,
+            condenser,
             warm: warm_slot,
             refactor_reuse,
             refactor_full,
+            condensed_solves,
             ..
         } = cache;
         let pattern = pattern.as_ref().expect("built above");
@@ -534,6 +573,11 @@ impl WlsEstimator {
                     slot: &mut *chol,
                     reuse: &mut *refactor_reuse,
                     full: &mut *refactor_full,
+                    condense: condense_boundary.as_ref().map(|b| CondenseCtx {
+                        boundary: b.as_slice(),
+                        slot: &mut *condenser,
+                        solves: &mut *condensed_solves,
+                    }),
                 }),
             )?;
             drop(solve_span);
@@ -566,6 +610,112 @@ impl WlsEstimator {
         Err(WlsError::DidNotConverge { iterations: self.opts.max_iter, last_step })
     }
 
+    /// (Re)builds the cache's symbolic structures when the set's shape or
+    /// the network topology (Ybus pattern) changed. The Ybus check is what
+    /// keeps a cached direct factor from being numerically refreshed
+    /// against a stale structure after a topology change.
+    fn prepare_structures(
+        &self,
+        set: &MeasurementSet,
+        cache: &mut SolveCache,
+    ) -> Result<(), WlsError> {
+        let rebuild = match &cache.pattern {
+            Some(p) => !p.matches(set, &self.ybus),
+            None => true,
+        };
+        if rebuild {
+            let _sp = pgse_obs::span("wls.symbolic");
+            let pattern = JacobianPattern::new(&self.net, &self.ybus, set, &self.space);
+            let jac = pattern.template();
+            // Structural observability on the cached pattern: it is a
+            // superset of any numeric Jacobian's pattern, so a hole here is
+            // a hole in every frame.
+            let mut touched = vec![false; self.space.dim()];
+            for &c in jac.col_idx() {
+                touched[c] = true;
+            }
+            if let Some(hole) = touched.iter().position(|&t| !t) {
+                return Err(WlsError::NotObservable(format!(
+                    "state variable {hole} has no incident measurement"
+                )));
+            }
+            let sym = AtaSymbolic::new(&jac);
+            cache.gain_buf = Some(sym.g_template());
+            cache.jac_buf = Some(jac);
+            cache.gain_sym = Some(sym);
+            cache.pattern = Some(pattern);
+            cache.chol = None;
+            cache.condenser = None;
+            cache.symbolic_builds += 1;
+            pgse_obs::counter_add("wls.symbolic.build", 1);
+        } else {
+            cache.symbolic_reuses += 1;
+            pgse_obs::counter_add("wls.symbolic.reuse", 1);
+        }
+        Ok(())
+    }
+
+    /// Opens a resumable Gauss–Newton solve whose gain systems are solved
+    /// *externally* — the round-batching hook: a scheduler collects the
+    /// `(gain, rhs)` systems of many concurrent waves, solves them through
+    /// one pattern-grouped batched call (`sparsela::BatchPlan`), and feeds
+    /// each step back with [`GnWave::note_solved`] + [`GnWave::apply_step`].
+    ///
+    /// The wave performs exactly the per-iteration floating-point sequence
+    /// of [`WlsEstimator::estimate_cached`] with [`GainSolver::Direct`], so
+    /// driving an area through a wave (with a bitwise-identical external
+    /// solver) yields bitwise-identical states. Cache bookkeeping
+    /// (symbolic build/reuse, warm/cold, refactor counters) matches the
+    /// cached path tick for tick.
+    ///
+    /// On return the first iteration is already assembled: `gain()`/`rhs()`
+    /// hold the first system.
+    ///
+    /// # Errors
+    /// See [`WlsError`] — the same preamble rejections as the cached path.
+    pub fn wave_begin<'a>(
+        &'a self,
+        set: &'a MeasurementSet,
+        warm: Option<(&[f64], &[f64])>,
+        cache: &'a mut SolveCache,
+    ) -> Result<GnWave<'a>, WlsError> {
+        let n = self.net.n_buses();
+        if set.len() < self.space.dim() {
+            return Err(WlsError::NotObservable(format!(
+                "{} measurements for {} state variables",
+                set.len(),
+                self.space.dim()
+            )));
+        }
+        self.prepare_structures(set, cache)?;
+        let warm_used = warm.is_some() || cache.warm.is_some();
+        let (vm, va) = match (warm, &cache.warm) {
+            (Some((wm, wa)), _) => (wm.to_vec(), wa.to_vec()),
+            (None, Some((wm, wa))) => (wm.clone(), wa.clone()),
+            (None, None) => (vec![1.0; n], vec![0.0; n]),
+        };
+        if warm_used {
+            cache.warm_solves += 1;
+            pgse_obs::counter_add("wls.warm_starts", 1);
+        } else {
+            cache.cold_solves += 1;
+        }
+        let mut wave = GnWave {
+            est: self,
+            set,
+            cache,
+            vm,
+            va,
+            rhs: Vec::new(),
+            solver_iterations: Vec::new(),
+            iter: 0,
+            last_step: f64::INFINITY,
+            converged: false,
+        };
+        wave.assemble();
+        Ok(wave)
+    }
+
     /// Solves one gain system `G·Δx = rhs` with the configured solver,
     /// returning the step and the inner-solver iteration count. `direct`
     /// carries the cached-factor slot and refactorization counters of the
@@ -577,12 +727,6 @@ impl WlsEstimator {
         rhs: &[f64],
         direct: Option<DirectCtx<'_>>,
     ) -> Result<(Vec<f64>, usize), WlsError> {
-        fn spd_err(e: LaError) -> WlsError {
-            match e {
-                LaError::NotPositiveDefinite { .. } => WlsError::NotObservable(e.to_string()),
-                other => WlsError::Solver(other),
-            }
-        }
         match self.opts.solver {
             GainSolver::Cholesky => {
                 let chol = EnvelopeCholesky::factor(gain).map_err(spd_err)?;
@@ -594,6 +738,36 @@ impl WlsEstimator {
                     pgse_obs::counter_add("wls.refactor.full", 1);
                     return Ok((chol.solve(rhs), 0usize));
                 };
+                if let Some(c) = ctx.condense {
+                    // Schur-condensed path: solve through the boundary
+                    // block, refreshing the cached condensation numerically
+                    // on warm frames. A failed refresh or build falls back
+                    // to the plain factorization below — the condensation
+                    // is an accelerator, never a new failure mode.
+                    let mut reused = false;
+                    if let Some(cond) = c.slot.as_mut() {
+                        if cond.refresh(gain).is_ok() {
+                            reused = true;
+                        } else {
+                            *c.slot = None;
+                        }
+                    }
+                    if !reused {
+                        *c.slot = BoundaryCondenser::new(gain, c.boundary).ok();
+                    }
+                    if let Some(cond) = c.slot.as_ref() {
+                        if reused {
+                            *ctx.reuse += 1;
+                            pgse_obs::counter_add("wls.refactor.reuse", 1);
+                        } else {
+                            *ctx.full += 1;
+                            pgse_obs::counter_add("wls.refactor.full", 1);
+                        }
+                        *c.solves += 1;
+                        pgse_obs::counter_add("wls.condensed", 1);
+                        return Ok((cond.solve(rhs), 0usize));
+                    }
+                }
                 let reusable =
                     ctx.slot.as_ref().map(|c| c.pattern_matches(gain)).unwrap_or(false);
                 if reusable {
@@ -630,6 +804,146 @@ impl WlsEstimator {
                 Ok((out.x, out.iterations))
             }
         }
+    }
+}
+
+/// One area's in-flight Gauss–Newton solve with the linear solves
+/// externalized, created by [`WlsEstimator::wave_begin`]. The driver loop
+/// is:
+///
+/// 1. read [`GnWave::gain`] / [`GnWave::rhs`] (collect across waves),
+/// 2. solve externally (e.g. one batched round across all areas),
+/// 3. [`GnWave::note_solved`] + [`GnWave::apply_step`] — which assembles
+///    the next iteration unless the wave is [`GnWave::done`],
+/// 4. when done, [`GnWave::finish`] closes the solve exactly as
+///    `estimate_cached` would (residuals, objective, warm-state update,
+///    `wls.gn_iterations`).
+pub struct GnWave<'a> {
+    est: &'a WlsEstimator,
+    set: &'a MeasurementSet,
+    cache: &'a mut SolveCache,
+    vm: Vec<f64>,
+    va: Vec<f64>,
+    rhs: Vec<f64>,
+    solver_iterations: Vec<usize>,
+    iter: usize,
+    last_step: f64,
+    converged: bool,
+}
+
+impl<'a> GnWave<'a> {
+    /// Assembles the next iteration's Jacobian, right-hand side, and gain
+    /// matrix into the cache buffers.
+    fn assemble(&mut self) {
+        self.iter += 1;
+        let est = self.est;
+        let pattern = self.cache.pattern.as_ref().expect("prepared by wave_begin");
+        let gain_sym = self.cache.gain_sym.as_ref().expect("prepared by wave_begin");
+        let jac = self.cache.jac_buf.as_mut().expect("prepared by wave_begin");
+        let gain = self.cache.gain_buf.as_mut().expect("prepared by wave_begin");
+        let h = {
+            let _sp = pgse_obs::span("wls.jacobian");
+            let h = evaluate_h(&est.net, &est.ybus, self.set, &self.vm, &self.va);
+            pattern.assemble_into(&est.net, &est.ybus, self.set, &est.space, &self.vm, &self.va, jac);
+            h
+        };
+        let z = self.set.values();
+        let w = self.set.weights();
+        let wr: Vec<f64> =
+            z.iter().zip(&h).zip(&w).map(|((zi, hi), wi)| (zi - hi) * wi).collect();
+        self.rhs = vec![0.0; est.space.dim()];
+        jac.spmv_transpose(&wr, &mut self.rhs);
+        {
+            let _sp = pgse_obs::span("wls.gain");
+            gain_sym.compute_into(jac, &w, gain);
+        }
+    }
+
+    /// The current iteration's gain matrix `G = HᵀWH`.
+    pub fn gain(&self) -> &Csr {
+        self.cache.gain_buf.as_ref().expect("assembled")
+    }
+
+    /// The current iteration's right-hand side `HᵀWr`.
+    pub fn rhs(&self) -> &[f64] {
+        &self.rhs
+    }
+
+    /// Records how the external solver handled this iteration's system —
+    /// `symbolic_reused: true` for a numeric pass over a cached symbolic
+    /// analysis (the batched analogue of a factor refresh), `false` for a
+    /// full analysis — keeping the cache's
+    /// `refactor_reuse + refactor_full == gn_iterations` identity exact.
+    pub fn note_solved(&mut self, symbolic_reused: bool) {
+        if symbolic_reused {
+            self.cache.refactor_reuse += 1;
+            pgse_obs::counter_add("wls.refactor.reuse", 1);
+        } else {
+            self.cache.refactor_full += 1;
+            pgse_obs::counter_add("wls.refactor.full", 1);
+        }
+    }
+
+    /// Applies the externally solved step `Δx`, then assembles the next
+    /// iteration unless converged or out of iterations. Returns
+    /// [`GnWave::done`].
+    pub fn apply_step(&mut self, dx: &[f64]) -> bool {
+        self.solver_iterations.push(0);
+        self.est.space.apply_update(dx, &mut self.vm, &mut self.va);
+        self.last_step = dx.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        self.converged = self.last_step <= self.est.opts.tol;
+        if !self.done() {
+            self.assemble();
+        }
+        self.done()
+    }
+
+    /// Whether the wave needs no further solves (converged or exhausted).
+    pub fn done(&self) -> bool {
+        self.converged || self.iter >= self.est.opts.max_iter
+    }
+
+    /// Gauss–Newton iterations assembled so far.
+    pub fn iterations(&self) -> usize {
+        self.iter
+    }
+
+    /// Maps an external solver failure for this wave's system to the
+    /// estimator-level error the scalar path would report.
+    pub fn solver_error(e: LaError) -> WlsError {
+        spd_err(e)
+    }
+
+    /// Closes the solve: on convergence computes residuals and objective,
+    /// stores the warm state in the cache, and returns the estimate —
+    /// exactly what `estimate_cached` does. Ticks `wls.gn_iterations`
+    /// either way.
+    ///
+    /// # Errors
+    /// [`WlsError::DidNotConverge`] when the iteration budget ran out.
+    pub fn finish(self) -> Result<StateEstimate, WlsError> {
+        pgse_obs::counter_add("wls.gn_iterations", self.iter as u64);
+        if !self.converged {
+            return Err(WlsError::DidNotConverge {
+                iterations: self.iter,
+                last_step: self.last_step,
+            });
+        }
+        let est = self.est;
+        let z = self.set.values();
+        let w = self.set.weights();
+        let h = evaluate_h(&est.net, &est.ybus, self.set, &self.vm, &self.va);
+        let residuals: Vec<f64> = z.iter().zip(&h).map(|(zi, hi)| zi - hi).collect();
+        let objective = residuals.iter().zip(&w).map(|(ri, wi)| ri * ri * wi).sum();
+        self.cache.warm = Some((self.vm.clone(), self.va.clone()));
+        Ok(StateEstimate {
+            vm: self.vm,
+            va: self.va,
+            iterations: self.iter,
+            objective,
+            residuals,
+            solver_iterations: self.solver_iterations,
+        })
     }
 }
 
@@ -971,6 +1285,102 @@ mod tests {
             assert!((out.vm[i] - fresh.vm[i]).abs() < 1e-7);
             assert!((out.va[i] - fresh.va[i]).abs() < 1e-7);
         }
+    }
+
+    #[test]
+    fn wave_driven_solve_matches_cached_direct_bitwise() {
+        let net = ieee14();
+        let set = exact_set(&net, &[0]);
+        let est = WlsEstimator::new(net, StateSpace::with_reference(14, 0), WlsOptions::direct());
+
+        let mut cache_scalar = SolveCache::new();
+        let scalar: Vec<StateEstimate> = (0..2)
+            .map(|_| est.estimate_cached(&set, None, &mut cache_scalar).unwrap())
+            .collect();
+
+        let mut cache_wave = SolveCache::new();
+        let mut plan = pgse_sparsela::BatchPlan::new();
+        let mut waved: Vec<StateEstimate> = Vec::new();
+        for _ in 0..2 {
+            let mut wave = est.wave_begin(&set, None, &mut cache_wave).unwrap();
+            loop {
+                let out = plan.solve_round(&[(wave.gain(), wave.rhs())]);
+                wave.note_solved(out.sym_reused[0]);
+                let x = out.results.into_iter().next().unwrap().unwrap();
+                if wave.apply_step(&x) {
+                    break;
+                }
+            }
+            waved.push(wave.finish().unwrap());
+        }
+
+        for (s, w) in scalar.iter().zip(&waved) {
+            assert_eq!(s.iterations, w.iterations);
+            for i in 0..14 {
+                assert_eq!(s.vm[i].to_bits(), w.vm[i].to_bits(), "vm[{i}]");
+                assert_eq!(s.va[i].to_bits(), w.va[i].to_bits(), "va[{i}]");
+            }
+        }
+        // Cache bookkeeping matches the scalar path tick for tick.
+        assert_eq!(cache_wave.symbolic_builds, cache_scalar.symbolic_builds);
+        assert_eq!(cache_wave.symbolic_reuses, cache_scalar.symbolic_reuses);
+        assert_eq!(cache_wave.warm_solves, cache_scalar.warm_solves);
+        assert_eq!(cache_wave.cold_solves, cache_scalar.cold_solves);
+        assert_eq!(cache_wave.refactor_full, cache_scalar.refactor_full);
+        assert_eq!(cache_wave.refactor_reuse, cache_scalar.refactor_reuse);
+        assert_eq!(
+            cache_wave.refactor_reuse + cache_wave.refactor_full,
+            (waved[0].iterations + waved[1].iterations) as u64
+        );
+        assert!(cache_wave.warm_state().is_some());
+    }
+
+    #[test]
+    fn condensed_direct_solve_matches_plain_and_counts() {
+        let net = ieee14();
+        let set = exact_set(&net, &[0]);
+        let est = WlsEstimator::new(net, StateSpace::with_reference(14, 0), WlsOptions::direct());
+
+        let mut plain_cache = SolveCache::new();
+        let plain = est.estimate_cached(&set, None, &mut plain_cache).unwrap();
+
+        // Condense everything except the first six state variables.
+        let mut cond_cache = SolveCache::new();
+        cond_cache.set_condense_targets((0..6).collect());
+        assert_eq!(cond_cache.condense_targets(), Some(&(0..6).collect::<Vec<_>>()[..]));
+        let first = est.estimate_cached(&set, None, &mut cond_cache).unwrap();
+        let second = est.estimate_cached(&set, None, &mut cond_cache).unwrap();
+        for i in 0..14 {
+            assert!((plain.vm[i] - first.vm[i]).abs() < 1e-7, "vm[{i}]");
+            assert!((plain.va[i] - first.va[i]).abs() < 1e-7, "va[{i}]");
+        }
+        // Every gain solve went through the condenser, and each still
+        // ticked exactly one refactor counter.
+        let total = (first.iterations + second.iterations) as u64;
+        assert_eq!(cond_cache.condensed_solves, total);
+        assert_eq!(cond_cache.refactor_reuse + cond_cache.refactor_full, total);
+        assert_eq!(cond_cache.refactor_full, 1, "one build, then numeric refreshes");
+    }
+
+    #[test]
+    fn restart_retention_keeps_structures_and_zeroes_counters() {
+        let net = ieee14();
+        let set = exact_set(&net, &[0]);
+        let est = WlsEstimator::new(net, StateSpace::with_reference(14, 0), WlsOptions::direct());
+        let mut cache = SolveCache::new();
+        est.estimate_cached(&set, None, &mut cache).unwrap();
+        let desc = cache.structure_descriptor().unwrap();
+        cache.retain_structures_for_restart();
+        assert!(cache.has_structures());
+        assert_eq!(cache.structure_descriptor(), Some(desc));
+        assert!(cache.warm_state().is_none());
+        assert_eq!(cache.symbolic_builds, 0);
+        assert_eq!(cache.refactor_reuse + cache.refactor_full, 0);
+        // The next solve reuses the kept analysis instead of rebuilding.
+        est.estimate_cached(&set, None, &mut cache).unwrap();
+        assert_eq!(cache.symbolic_builds, 0);
+        assert_eq!(cache.symbolic_reuses, 1);
+        assert_eq!(cache.cold_solves, 1, "warm state does not survive a restart");
     }
 
     #[test]

@@ -32,7 +32,7 @@ use std::sync::Arc;
 
 use crate::csr::Csr;
 use crate::scholesky::{CholSymbolic, SparseCholesky};
-use crate::vecops::{lanes_div, lanes_mul_sub};
+use crate::vecops::{lanes_div, lanes_gather, lanes_gather_at, lanes_mul_sub};
 use crate::{tuning, Coo, LaError, LaResult};
 
 /// Groups systems by exact sparsity pattern (dimensions + `row_ptr` +
@@ -88,18 +88,36 @@ fn factor_values_batched(sym: &CholSymbolic, lanes: &[&Csr]) -> LaResult<Vec<f64
     let mut x = vec![0.0f64; n * nl];
     let mut d = vec![0.0f64; nl];
     let mut lki = vec![0.0f64; nl];
+    // Hoist the per-lane value slices once: the scatter phase below is the
+    // profiling-dominant loop of the whole batched pass, and re-deriving
+    // `a.values()` per entry keeps the compiler from vectorizing it.
+    let lane_vals: Vec<&[f64]> = lanes.iter().map(|a| a.values()).collect();
+    let widened = nl >= tuning::scatter_lanes_min();
     for k in 0..n {
-        // Scatter the lower row A(k, 0..=k) of every lane.
+        // Scatter the lower row A(k, 0..=k) of every lane. The widened
+        // form runs the LANE_WIDTH-chunked gather kernels; both forms are
+        // pure copies, so the threshold only selects a loop shape.
         d.fill(0.0);
-        for p in app[k]..app[k + 1] {
-            let c = apc[p];
-            if c < k {
-                for (l, a) in lanes.iter().enumerate() {
-                    x[c * nl + l] = a.values()[apv[p]];
+        if widened {
+            for p in app[k]..app[k + 1] {
+                let c = apc[p];
+                if c < k {
+                    lanes_gather_at(&mut x, c * nl, &lane_vals, apv[p]);
+                } else if c == k {
+                    lanes_gather(&mut d, &lane_vals, apv[p]);
                 }
-            } else if c == k {
-                for (l, a) in lanes.iter().enumerate() {
-                    d[l] = a.values()[apv[p]];
+            }
+        } else {
+            for p in app[k]..app[k + 1] {
+                let c = apc[p];
+                if c < k {
+                    for (l, v) in lane_vals.iter().enumerate() {
+                        x[c * nl + l] = v[apv[p]];
+                    }
+                } else if c == k {
+                    for (l, v) in lane_vals.iter().enumerate() {
+                        d[l] = v[apv[p]];
+                    }
                 }
             }
         }
@@ -360,6 +378,171 @@ pub fn solve_systems(systems: &[(&Csr, &[f64])]) -> LaResult<Vec<Vec<f64>>> {
     Ok(out)
 }
 
+/// Per-round dispatch statistics and results of one [`BatchPlan::solve_round`].
+#[derive(Debug)]
+pub struct RoundOutcome {
+    /// Per-system solutions (or per-system errors), in input order.
+    pub results: Vec<LaResult<Vec<f64>>>,
+    /// Per-system flag: `true` when the system's symbolic analysis was
+    /// already cached from an earlier round (a numeric-only pass — the
+    /// batched analogue of [`SparseCholesky::refactor`]), `false` when
+    /// this round had to run the full symbolic analysis.
+    pub sym_reused: Vec<bool>,
+    /// Pattern groups dispatched through the lane-interleaved batched
+    /// factorization this round.
+    pub batch_groups: u64,
+    /// Systems solved as lanes of a batched factorization.
+    pub batched_lanes: u64,
+    /// Systems solved through the scalar path: group below
+    /// [`tuning::batch_lanes_min`], invalid shape, or recovery after a
+    /// batched group failed on one lane. The accounting identity
+    /// `batched_lanes + scalar_fallbacks == systems dispatched` holds by
+    /// construction — every system lands in exactly one bucket.
+    pub scalar_fallbacks: u64,
+}
+
+/// Round-level batched solving across areas: groups the gain systems of
+/// one streaming round by sparsity pattern and solves same-pattern groups
+/// through one lane-interleaved [`BatchCholesky`], caching the symbolic
+/// analyses (`CholSymbolic`) **across rounds** so warm rounds run
+/// numeric-only passes. Odd-pattern areas fall back to scalar solves that
+/// still reuse a cached symbolic when one matches, so the fallback costs
+/// no more than today's per-area path.
+///
+/// Shared symbolic analyses use the same fill-reducing ordering a scalar
+/// [`SparseCholesky::factor`] would pick for the pattern, and the batched
+/// numeric kernels are bitwise identical per lane to scalar passes, so
+/// routing a round through a `BatchPlan` never changes a result bit — the
+/// determinism pins (1|2|8-thread pools, same-seed exports) survive.
+#[derive(Debug, Default)]
+pub struct BatchPlan {
+    /// Cached symbolic analyses, fingerprint-keyed for lookup and verified
+    /// structurally with [`CholSymbolic::matches`] before reuse.
+    syms: Vec<(u64, Arc<CholSymbolic>)>,
+}
+
+/// FNV-1a over the full sparsity pattern (dims + `row_ptr` + `col_idx`).
+/// Lookup key only — reuse is always confirmed with the exact comparison
+/// in [`CholSymbolic::matches`], so a collision costs a miss, never a
+/// wrong factorization.
+fn pattern_fingerprint(a: &Csr) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    eat(a.nrows() as u64);
+    eat(a.ncols() as u64);
+    for &p in a.row_ptr() {
+        eat(p as u64);
+    }
+    for &c in a.col_idx() {
+        eat(c as u64);
+    }
+    h
+}
+
+impl BatchPlan {
+    /// An empty plan with no cached symbolic analyses.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of symbolic analyses currently cached.
+    pub fn cached_symbolics(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// Drops all cached symbolic analyses (e.g. after a topology change
+    /// invalidates every pattern).
+    pub fn clear(&mut self) {
+        self.syms.clear();
+    }
+
+    fn symbolic_for(&mut self, a: &Csr) -> (Arc<CholSymbolic>, bool) {
+        let fp = pattern_fingerprint(a);
+        if let Some((_, sym)) = self.syms.iter().find(|(f, s)| *f == fp && s.matches(a)) {
+            return (Arc::clone(sym), true);
+        }
+        let sym = Arc::new(CholSymbolic::analyze(a));
+        self.syms.push((fp, Arc::clone(&sym)));
+        (sym, false)
+    }
+
+    /// Solves one round's worth of independent SPD systems, batching
+    /// same-pattern groups of at least [`tuning::batch_lanes_min`] lanes
+    /// and reusing cached symbolic analyses from earlier rounds. Errors
+    /// are per-system: one indefinite area cannot fail the round.
+    pub fn solve_round(&mut self, systems: &[(&Csr, &[f64])]) -> RoundOutcome {
+        let n = systems.len();
+        let mut results: Vec<LaResult<Vec<f64>>> =
+            (0..n).map(|_| Err(LaError::DimensionMismatch { expected: 0, found: 0 })).collect();
+        let mut sym_reused = vec![false; n];
+        let mut out = RoundOutcome {
+            results: Vec::new(),
+            sym_reused: Vec::new(),
+            batch_groups: 0,
+            batched_lanes: 0,
+            scalar_fallbacks: 0,
+        };
+        let mut valid: Vec<usize> = Vec::with_capacity(n);
+        for (i, (a, b)) in systems.iter().enumerate() {
+            if a.nrows() != a.ncols() || b.len() != a.nrows() {
+                results[i] = Err(LaError::DimensionMismatch {
+                    expected: a.nrows(),
+                    found: if a.nrows() != a.ncols() { a.ncols() } else { b.len() },
+                });
+                out.scalar_fallbacks += 1;
+            } else {
+                valid.push(i);
+            }
+        }
+        let mats: Vec<&Csr> = valid.iter().map(|&i| systems[i].0).collect();
+        for group in group_by_pattern(&mats) {
+            // Map group positions back to input positions.
+            let idx: Vec<usize> = group.iter().map(|&g| valid[g]).collect();
+            let (sym, hit) = self.symbolic_for(systems[idx[0]].0);
+            for &i in &idx {
+                sym_reused[i] = hit;
+            }
+            let lanes: Vec<&Csr> = idx.iter().map(|&i| systems[i].0).collect();
+            let mut batched_ok = false;
+            if lanes.len() >= tuning::batch_lanes_min() {
+                match BatchCholesky::factor_with_symbolic(Arc::clone(&sym), &lanes) {
+                    Ok(batch) => {
+                        let rhs: Vec<&[f64]> = idx.iter().map(|&i| systems[i].1).collect();
+                        for (&i, x) in idx.iter().zip(batch.solve_all(&rhs)) {
+                            results[i] = Ok(x);
+                        }
+                        out.batch_groups += 1;
+                        out.batched_lanes += idx.len() as u64;
+                        batched_ok = true;
+                    }
+                    Err(_) => {
+                        // One lane spoiled the batch (e.g. not SPD); recover
+                        // scalar per lane so only the bad system errors.
+                    }
+                }
+            }
+            if !batched_ok {
+                for &i in &idx {
+                    results[i] = SparseCholesky::factor_with_symbolic(
+                        Arc::clone(&sym),
+                        systems[i].0,
+                    )
+                    .map(|chol| chol.solve(systems[i].1));
+                    out.scalar_fallbacks += 1;
+                }
+            }
+        }
+        out.results = results;
+        out.sym_reused = sym_reused;
+        out
+    }
+}
+
 /// Boundary condensation of one SPD system: splits the variables into an
 /// internal block `I` and a boundary block `B`, factors the internal block
 /// alone, and eliminates the boundary through the Schur complement
@@ -439,6 +622,57 @@ impl BoundaryCondenser {
         }
         let chol_s = SparseCholesky::factor_natural(&coo.to_csr())?;
         Ok(BoundaryCondenser { n, internal, boundary, chol_ii, a_bi, chol_s })
+    }
+
+    /// Numeric refresh for new values of a matrix with the **same**
+    /// dimension, pattern, and boundary split (the warm-frame path): the
+    /// cached index sets re-extract the blocks, the internal factor and
+    /// the Schur factor refresh through [`SparseCholesky::refactor`], and
+    /// only the dense Schur assembly is recomputed. Falls back to a full
+    /// re-factorization of a block when its extracted pattern drifted
+    /// (values structurally dropping to zero can do that).
+    ///
+    /// # Errors
+    /// [`LaError::DimensionMismatch`] on a size change — rebuild with
+    /// [`BoundaryCondenser::new`] instead; [`LaError::NotPositiveDefinite`]
+    /// when the new internal block or Schur complement is not SPD (the
+    /// condenser is left in a mixed state — discard it).
+    pub fn refresh(&mut self, a: &Csr) -> LaResult<()> {
+        if a.nrows() != self.n || a.ncols() != self.n {
+            return Err(LaError::DimensionMismatch { expected: self.n, found: a.nrows() });
+        }
+        let a_ii = a.submatrix(&self.internal, &self.internal);
+        self.a_bi = a.submatrix(&self.boundary, &self.internal);
+        let a_bb = a.submatrix(&self.boundary, &self.boundary);
+        if self.chol_ii.refactor(&a_ii).is_err() {
+            self.chol_ii = SparseCholesky::factor(&a_ii)?;
+        }
+        let (ni, nb) = (self.internal.len(), self.boundary.len());
+        let mut coo = Coo::new(nb, nb);
+        let mut col = vec![0.0f64; ni];
+        for j in 0..nb {
+            col.fill(0.0);
+            let (cols, vals) = self.a_bi.row(j);
+            for (c, v) in cols.iter().zip(vals) {
+                col[*c] = *v;
+            }
+            let t = self.chol_ii.solve(&col);
+            let down = self.a_bi.mul_vec(&t);
+            let mut s_col = vec![0.0f64; nb];
+            let (bcols, bvals) = a_bb.row(j);
+            for (c, v) in bcols.iter().zip(bvals) {
+                s_col[*c] = *v;
+            }
+            for (i, s) in s_col.iter_mut().enumerate() {
+                *s -= down[i];
+                coo.push(i, j, *s);
+            }
+        }
+        let s_csr = coo.to_csr();
+        if self.chol_s.refactor(&s_csr).is_err() {
+            self.chol_s = SparseCholesky::factor_natural(&s_csr)?;
+        }
+        Ok(())
     }
 
     /// Number of boundary variables after deduplication.
@@ -715,6 +949,145 @@ mod tests {
             }
             other => panic!("expected lane-2 SPD failure, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn widened_scatter_is_bitwise_identical_to_scalar_scatter() {
+        let base = laplacian2d(6);
+        let lanes: Vec<Csr> = (0..6).map(|s| lane_variant(&base, s)).collect();
+        let refs: Vec<&Csr> = lanes.iter().collect();
+        let saved = crate::tuning::scatter_lanes_min();
+        crate::tuning::set_scatter_lanes_min(1); // force the widened kernels
+        let wide = BatchCholesky::factor(&refs).unwrap();
+        crate::tuning::set_scatter_lanes_min(usize::MAX); // force the plain loop
+        let plain = BatchCholesky::factor(&refs).unwrap();
+        crate::tuning::set_scatter_lanes_min(saved);
+        let b = rhs_for(base.nrows(), 7);
+        for l in 0..lanes.len() {
+            let xw = wide.solve_lane(l, &b);
+            let xp = plain.solve_lane(l, &b);
+            for (p, q) in xw.iter().zip(&xp) {
+                assert_eq!(p.to_bits(), q.to_bits(), "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_plan_round_matches_scalar_and_accounts_exactly() {
+        let base_a = laplacian2d(5);
+        let base_b = laplacian2d(4);
+        // Three systems on pattern A (batched), one lone system on
+        // pattern B (scalar fallback).
+        let mats: Vec<Csr> = vec![
+            lane_variant(&base_a, 0),
+            lane_variant(&base_b, 1),
+            lane_variant(&base_a, 2),
+            lane_variant(&base_a, 3),
+        ];
+        let rhs: Vec<Vec<f64>> =
+            mats.iter().enumerate().map(|(i, m)| rhs_for(m.nrows(), i as u64)).collect();
+        let systems: Vec<(&Csr, &[f64])> =
+            mats.iter().zip(&rhs).map(|(m, b)| (m, b.as_slice())).collect();
+
+        let mut plan = BatchPlan::new();
+        let round1 = plan.solve_round(&systems);
+        assert_eq!(round1.batch_groups, 1);
+        assert_eq!(round1.batched_lanes, 3);
+        assert_eq!(round1.scalar_fallbacks, 1);
+        assert_eq!(
+            round1.batched_lanes + round1.scalar_fallbacks,
+            systems.len() as u64,
+            "every dispatched system lands in exactly one bucket"
+        );
+        assert!(round1.sym_reused.iter().all(|&r| !r), "round 1 analyzes fresh");
+        assert_eq!(plan.cached_symbolics(), 2);
+        for (i, (m, b)) in systems.iter().enumerate() {
+            let scalar = SparseCholesky::factor(m).unwrap().solve(b);
+            let x = round1.results[i].as_ref().unwrap();
+            for (p, q) in x.iter().zip(&scalar) {
+                assert_eq!(p.to_bits(), q.to_bits(), "system {i}");
+            }
+        }
+
+        // Warm round: new values, same patterns — symbolic analyses reuse.
+        let mats2: Vec<Csr> = vec![
+            lane_variant(&base_a, 10),
+            lane_variant(&base_b, 11),
+            lane_variant(&base_a, 12),
+            lane_variant(&base_a, 13),
+        ];
+        let systems2: Vec<(&Csr, &[f64])> =
+            mats2.iter().zip(&rhs).map(|(m, b)| (m, b.as_slice())).collect();
+        let round2 = plan.solve_round(&systems2);
+        assert!(round2.sym_reused.iter().all(|&r| r), "round 2 reuses every analysis");
+        assert_eq!(plan.cached_symbolics(), 2, "no duplicate analyses cached");
+        for (i, (m, b)) in systems2.iter().enumerate() {
+            let scalar = SparseCholesky::factor(m).unwrap().solve(b);
+            let x = round2.results[i].as_ref().unwrap();
+            for (p, q) in x.iter().zip(&scalar) {
+                assert_eq!(p.to_bits(), q.to_bits(), "warm system {i}");
+            }
+        }
+        plan.clear();
+        assert_eq!(plan.cached_symbolics(), 0);
+    }
+
+    #[test]
+    fn batch_plan_isolates_per_system_errors() {
+        let base = laplacian2d(4);
+        let good0 = lane_variant(&base, 0);
+        let good1 = lane_variant(&base, 1);
+        let mut indef = base.clone();
+        for v in indef.values_mut() {
+            *v = -*v;
+        }
+        let b = rhs_for(base.nrows(), 2);
+        // The indefinite system shares the batch's pattern, so the batched
+        // factor fails and the group recovers scalar per lane.
+        let systems: Vec<(&Csr, &[f64])> = vec![(&good0, &b), (&indef, &b), (&good1, &b)];
+        let mut plan = BatchPlan::new();
+        let round = plan.solve_round(&systems);
+        assert_eq!(round.batched_lanes, 0);
+        assert_eq!(round.scalar_fallbacks, 3);
+        assert!(matches!(round.results[1], Err(LaError::NotPositiveDefinite { .. })));
+        for i in [0usize, 2] {
+            let scalar =
+                SparseCholesky::factor(systems[i].0).unwrap().solve(systems[i].1);
+            let x = round.results[i].as_ref().unwrap();
+            for (p, q) in x.iter().zip(&scalar) {
+                assert_eq!(p.to_bits(), q.to_bits(), "system {i}");
+            }
+        }
+        // A malformed rhs is rejected per-system, not per-round.
+        let short = vec![1.0; 3];
+        let systems2: Vec<(&Csr, &[f64])> = vec![(&good0, &b), (&good0, &short)];
+        let round2 = plan.solve_round(&systems2);
+        assert!(round2.results[0].is_ok());
+        assert!(matches!(round2.results[1], Err(LaError::DimensionMismatch { .. })));
+        assert_eq!(round2.batched_lanes + round2.scalar_fallbacks, 2);
+    }
+
+    #[test]
+    fn condenser_refresh_matches_fresh_build() {
+        let a0 = lane_variant(&laplacian2d(6), 1);
+        let n = a0.nrows();
+        let boundary: Vec<usize> = (n - 6..n).collect();
+        let mut cond = BoundaryCondenser::new(&a0, &boundary).unwrap();
+        // New frame: same pattern, new values.
+        let a1 = lane_variant(&laplacian2d(6), 7);
+        cond.refresh(&a1).unwrap();
+        let fresh = BoundaryCondenser::new(&a1, &boundary).unwrap();
+        let b = rhs_for(n, 11);
+        let x_r = cond.solve(&b);
+        let x_f = fresh.solve(&b);
+        let x_d = SparseCholesky::factor(&a1).unwrap().solve(&b);
+        for ((p, q), d) in x_r.iter().zip(&x_f).zip(&x_d) {
+            assert_eq!(p.to_bits(), q.to_bits(), "refresh vs fresh condenser");
+            assert!((p - d).abs() < 1e-8, "refresh vs direct: {p} vs {d}");
+        }
+        // A size change is a structural event, not a refresh.
+        let small = laplacian2d(3);
+        assert!(matches!(cond.refresh(&small), Err(LaError::DimensionMismatch { .. })));
     }
 
     #[test]

@@ -165,7 +165,7 @@ impl Csr {
     pub fn par_spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "par_spmv: x length");
         assert_eq!(y.len(), self.nrows, "par_spmv: y length");
-        if self.nrows < tuning::par_rows_threshold() {
+        if self.nrows < tuning::par_rows_threshold() || !tuning::pool_parallel() {
             return self.spmv(x, y);
         }
         y.par_iter_mut().enumerate().for_each(|(r, yr)| {

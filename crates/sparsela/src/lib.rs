@@ -43,7 +43,9 @@ pub mod tuning;
 pub mod update;
 pub mod vecops;
 
-pub use batch::{group_by_pattern, solve_systems, BatchCholesky, BoundaryCondenser};
+pub use batch::{
+    group_by_pattern, solve_systems, BatchCholesky, BatchPlan, BoundaryCondenser, RoundOutcome,
+};
 pub use cholesky::EnvelopeCholesky;
 pub use complex::Cplx;
 pub use coo::Coo;

@@ -104,7 +104,8 @@ impl Preconditioner {
     pub fn apply_dot(&self, r: &[f64], z: &mut [f64], parallel: bool) -> f64 {
         use rayon::prelude::*;
         let n = r.len();
-        let par = parallel && n >= crate::tuning::par_elems_threshold();
+        let par =
+            parallel && n >= crate::tuning::par_elems_threshold() && crate::tuning::pool_parallel();
         match self {
             Preconditioner::Identity => {
                 z.copy_from_slice(r);

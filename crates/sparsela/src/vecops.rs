@@ -143,6 +143,45 @@ pub fn lanes_div(num: &mut [f64], den: &[f64]) {
     }
 }
 
+/// Cross-lane gather: `dst[l] ← srcs[l][idx]` for every lane `l`. The
+/// scatter-phase kernel of the batched refactorization
+/// ([`crate::batch::BatchCholesky::refactor`]): one shared structural
+/// position `idx` is read from each lane's value array into a contiguous
+/// lane block. `LANE_WIDTH`-chunked so the loop body has a fixed shape the
+/// compiler can keep in registers; pure copies, so trivially bitwise
+/// identical to the naive per-lane loop.
+///
+/// # Panics
+/// Panics if `dst.len() != srcs.len()` or `idx` is out of range for a lane.
+#[inline]
+pub fn lanes_gather(dst: &mut [f64], srcs: &[&[f64]], idx: usize) {
+    assert_eq!(dst.len(), srcs.len(), "lanes_gather: lane count mismatch");
+    let mut chunks = dst.chunks_exact_mut(LANE_WIDTH);
+    let mut cs = srcs.chunks_exact(LANE_WIDTH);
+    for (d4, s4) in (&mut chunks).zip(&mut cs) {
+        d4[0] = s4[0][idx];
+        d4[1] = s4[1][idx];
+        d4[2] = s4[2][idx];
+        d4[3] = s4[3][idx];
+    }
+    for (di, si) in chunks.into_remainder().iter_mut().zip(cs.remainder()) {
+        *di = si[idx];
+    }
+}
+
+/// Strided variant of [`lanes_gather`] for interleaved destinations:
+/// `dst[base + l] ← srcs[l][idx]` where the lane block starts at `base`
+/// inside a larger lane-interleaved buffer. Same chunking, same bitwise
+/// guarantee.
+///
+/// # Panics
+/// Panics if the `base..base + srcs.len()` block is out of range for `dst`
+/// or `idx` is out of range for a lane.
+#[inline]
+pub fn lanes_gather_at(dst: &mut [f64], base: usize, srcs: &[&[f64]], idx: usize) {
+    lanes_gather(&mut dst[base..base + srcs.len()], srcs, idx);
+}
+
 /// Dot product `xᵀy`, deterministic fixed-chunk reduction.
 ///
 /// # Panics
@@ -159,7 +198,7 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 /// back to the sequential form for short vectors.
 pub fn par_dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "par_dot: length mismatch");
-    if x.len() < tuning::par_elems_threshold() {
+    if x.len() < tuning::par_elems_threshold() || !tuning::pool_parallel() {
         return dot(x, y);
     }
     let partials: Vec<f64> = x
@@ -189,7 +228,7 @@ pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
 /// [`axpy`]).
 pub fn par_axpy(a: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "par_axpy: length mismatch");
-    if x.len() < tuning::par_elems_threshold() {
+    if x.len() < tuning::par_elems_threshold() || !tuning::pool_parallel() {
         return axpy(a, x, y);
     }
     y.par_chunks_mut(DET_CHUNK).zip(x.par_chunks(DET_CHUNK)).for_each(|(cy, cx)| {
@@ -219,7 +258,7 @@ pub fn xpby(z: &[f64], beta: f64, p: &mut [f64]) {
 /// Parallel `p ← z + β·p` (elementwise; bitwise identical to [`xpby`]).
 pub fn par_xpby(z: &[f64], beta: f64, p: &mut [f64]) {
     assert_eq!(z.len(), p.len(), "par_xpby: length mismatch");
-    if z.len() < tuning::par_elems_threshold() {
+    if z.len() < tuning::par_elems_threshold() || !tuning::pool_parallel() {
         return xpby(z, beta, p);
     }
     p.par_chunks_mut(DET_CHUNK).zip(z.par_chunks(DET_CHUNK)).for_each(|(cp, cz)| {
@@ -291,7 +330,7 @@ pub fn fused_update_sumsq(
     assert_eq!(p.len(), n, "fused_update: p length");
     assert_eq!(ap.len(), n, "fused_update: ap length");
     assert_eq!(r.len(), n, "fused_update: r length");
-    let partials: Vec<f64> = if parallel && n >= tuning::par_elems_threshold() {
+    let partials: Vec<f64> = if parallel && n >= tuning::par_elems_threshold() && tuning::pool_parallel() {
         x.par_chunks_mut(DET_CHUNK)
             .zip(r.par_chunks_mut(DET_CHUNK))
             .zip(p.par_chunks(DET_CHUNK))
@@ -341,6 +380,32 @@ mod tests {
     #[test]
     fn dot_basic() {
         assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn lanes_gather_matches_naive_loop_bitwise() {
+        // Lane counts straddling LANE_WIDTH multiples, including the
+        // remainder path and a strided destination.
+        for nl in [1usize, 3, 4, 5, 8, 11] {
+            let lanes: Vec<Vec<f64>> = (0..nl)
+                .map(|l| (0..17).map(|i| ((l * 31 + i * 7) % 97) as f64 * 0.137 - 3.0).collect())
+                .collect();
+            let srcs: Vec<&[f64]> = lanes.iter().map(|v| v.as_slice()).collect();
+            for idx in [0usize, 6, 16] {
+                let mut fast = vec![0.0f64; nl];
+                lanes_gather(&mut fast, &srcs, idx);
+                let naive: Vec<f64> = srcs.iter().map(|s| s[idx]).collect();
+                for (f, n) in fast.iter().zip(&naive) {
+                    assert_eq!(f.to_bits(), n.to_bits(), "nl={nl} idx={idx}");
+                }
+                let mut strided = vec![-1.0f64; 2 + nl + 3];
+                lanes_gather_at(&mut strided, 2, &srcs, idx);
+                for (f, n) in strided[2..2 + nl].iter().zip(&naive) {
+                    assert_eq!(f.to_bits(), n.to_bits(), "strided nl={nl} idx={idx}");
+                }
+                assert!(strided[..2].iter().chain(&strided[2 + nl..]).all(|&v| v == -1.0));
+            }
+        }
     }
 
     #[test]

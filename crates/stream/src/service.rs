@@ -55,7 +55,7 @@ use pgse_dse::runner::aggregate;
 use pgse_dse::{AreaEstimator, AreaSolution, Decomposition, DecompositionOptions, PseudoMeasurement};
 use pgse_estimation::measurement::MeasurementSet;
 use pgse_estimation::telemetry::NoiseProcess;
-use pgse_estimation::wls::{SolveCache, WlsOptions};
+use pgse_estimation::wls::{GnWave, SolveCache, WlsOptions};
 use pgse_grid::Network;
 use pgse_medici::{
     EndpointRegistry, FaultKind, FaultPlan, FaultProxy, FaultProxyHandle, MwClient, MwError,
@@ -66,6 +66,7 @@ use pgse_partition::{
     partition_kway, repartition_shrink, KwayOptions, Partition, RepartitionOptions, WeightedGraph,
 };
 use pgse_powerflow::{solve as solve_pf, PfError, PfOptions};
+use pgse_sparsela::{BatchPlan, Csr};
 use rayon::prelude::*;
 
 use crate::ingest::{IngestQueue, IngestStats};
@@ -219,6 +220,24 @@ pub struct StreamReport {
     /// Gain solves that factored from scratch (first iteration of a
     /// frame, pattern change, or an uncached/PCG configuration).
     pub refactor_full: u64,
+    /// Step-1 gain systems dispatched through the round-level batch plan
+    /// (warm runs only; cold runs solve inside the estimator and leave
+    /// this — and the three counters below — at zero).
+    pub gain_solves: u64,
+    /// Dispatched gain systems solved inside a pattern-grouped batched
+    /// factorization. `batched_lanes + scalar_fallbacks == gain_solves`.
+    pub batched_lanes: u64,
+    /// Pattern groups batch-factored, summed over all rounds and waves.
+    pub batch_groups: u64,
+    /// Dispatched gain systems that fell back to the scalar solver (odd
+    /// pattern, under-filled group, or a failed batched attempt).
+    pub scalar_fallbacks: u64,
+    /// Step-2 gain solves routed through the Schur boundary condenser.
+    pub condensed_solves: u64,
+    /// Worker revives that kept their symbolic analyses because the
+    /// checkpointed [`pgse_estimation::wls::StructureDescriptor`] matched
+    /// the live cache's.
+    pub restart_symbolic_retained: u64,
     /// Frames requeued by the supervisor after their worker died between
     /// popping and solving (each re-enters the solve/shed accounting).
     pub requeued: u64,
@@ -431,6 +450,10 @@ impl StreamService {
         let mut last_solutions: Vec<Option<AreaSolution>> = vec![None; n_areas];
         let mut report = StreamReport::default();
         let mut latencies_ms: Vec<f64> = Vec::new();
+        // Round-level batch plan: pattern-grouped symbolic analyses shared
+        // by every Step-1 gain solve of the run (warm mode only). Persists
+        // across rounds so same-pattern areas keep hitting one analysis.
+        let mut plan = BatchPlan::new();
 
         // Supervision state: watchdog, checkpoint store, fleet liveness,
         // the live area → cluster mapping, and the kill-schedule flags.
@@ -667,39 +690,48 @@ impl StreamService {
                 // deterministic logical clock regardless of which worker
                 // thread runs it). `catch_unwind` sits *inside* the closure
                 // so the pool never sees a panic — the supervisor does.
-                let step1: Vec<StageOutcome> = self
-                    .estimators
-                    .par_iter()
-                    .enumerate()
-                    .zip(s1_caches.par_iter_mut())
-                    .map(|((a, est), cache)| {
-                        if !fresh[a] {
-                            return StageOutcome::Skipped;
-                        }
-                        let Some(set) = last_sets[a].as_ref() else {
-                            return StageOutcome::Skipped;
-                        };
-                        let rec = &self.area_recs[a];
-                        let inject = panic_now[a];
-                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            if inject {
-                                std::panic::panic_any(INJECTED_PANIC);
+                //
+                // Warm runs drive the round through Gauss–Newton *waves*:
+                // the areas' gain systems are collected per iteration and
+                // dispatched through one pattern-grouped batched solve
+                // instead of each area factoring alone.
+                let step1: Vec<StageOutcome> = if cfg.warm {
+                    self.round_batched_step1(
+                        &fresh,
+                        &last_sets,
+                        &panic_now,
+                        &mut s1_caches,
+                        &mut plan,
+                        &mut report,
+                    )
+                } else {
+                    self.estimators
+                        .par_iter()
+                        .enumerate()
+                        .map(|(a, est)| {
+                            if !fresh[a] {
+                                return StageOutcome::Skipped;
                             }
-                            pgse_obs::with_recorder(rec, || {
-                                if cfg.warm {
-                                    est.step1_cached(set, cache)
-                                } else {
-                                    est.step1(set)
-                                }
-                            })
-                        }));
-                        match out {
-                            Ok(Ok(sol)) => StageOutcome::Solved(sol),
-                            Ok(Err(_)) => StageOutcome::Failed,
-                            Err(_) => StageOutcome::Panicked,
-                        }
-                    })
-                    .collect();
+                            let Some(set) = last_sets[a].as_ref() else {
+                                return StageOutcome::Skipped;
+                            };
+                            let rec = &self.area_recs[a];
+                            let inject = panic_now[a];
+                            let out =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    if inject {
+                                        std::panic::panic_any(INJECTED_PANIC);
+                                    }
+                                    pgse_obs::with_recorder(rec, || est.step1(set))
+                                }));
+                            match out {
+                                Ok(Ok(sol)) => StageOutcome::Solved(sol),
+                                Ok(Err(_)) => StageOutcome::Failed,
+                                Err(_) => StageOutcome::Panicked,
+                            }
+                        })
+                        .collect()
+                };
 
                 // Contain Step-1 casualties: the panicked worker's frame
                 // was never solved, so it is requeued; the worker restarts
@@ -956,6 +988,7 @@ impl StreamService {
         report.warm_solves = sup.retired.warm;
         report.refactor_reuse = sup.retired.refac_reuse;
         report.refactor_full = sup.retired.refac_full;
+        report.condensed_solves = sup.retired.condensed;
         report.heartbeats = sup.watchdog.beats();
         let ck = sup.ckpts.stats();
         report.checkpoints_saved = ck.saves;
@@ -987,6 +1020,11 @@ impl StreamService {
         self.rec.counter_add("stream.worker_panics", report.worker_panics);
         self.rec.counter_add("stream.refactor_reuse", report.refactor_reuse);
         self.rec.counter_add("stream.refactor_full", report.refactor_full);
+        self.rec.counter_add("stream.gain_solves", report.gain_solves);
+        self.rec.counter_add("stream.batched_lanes", report.batched_lanes);
+        self.rec.counter_add("stream.batch_groups", report.batch_groups);
+        self.rec.counter_add("stream.scalar_fallbacks", report.scalar_fallbacks);
+        self.rec.counter_add("stream.condensed_solves", report.condensed_solves);
         self.sup_rec.counter_add("failover.suspected", report.suspected);
         self.sup_rec.counter_add("failover.dead", report.workers_declared_dead);
         self.sup_rec.counter_add("failover.restarts", report.workers_restarted);
@@ -995,12 +1033,147 @@ impl StreamService {
         self.sup_rec.counter_add("failover.bytes", report.failover_bytes);
         self.sup_rec.counter_add("failover.checkpoints", report.checkpoints_saved);
         self.sup_rec.counter_add("failover.restores", report.checkpoints_restored);
+        self.sup_rec
+            .counter_add("failover.symbolic_retained", report.restart_symbolic_retained);
 
         latencies_ms.sort_by(f64::total_cmp);
         report.latency_p50_ms = percentile(&latencies_ms, 0.50);
         report.latency_p99_ms = percentile(&latencies_ms, 0.99);
         report.elapsed = start.elapsed();
         report
+    }
+
+    /// One round of wave-driven, cross-area batched Step-1 solving.
+    ///
+    /// Phase A (parallel): every fresh area assembles its first Jacobian /
+    /// gain system and opens a [`GnWave`] — panic injection and
+    /// containment sit here, exactly like the callback fan-out, so the
+    /// thread pool never sees a panic. Phase B (the round driver): while
+    /// any wave is still iterating, the in-flight gain systems are
+    /// dispatched through **one** pattern-grouped batched solve on the
+    /// shared [`BatchPlan`]; lane solutions scatter back and each wave
+    /// advances one Gauss–Newton step. Areas whose gain patterns coincide
+    /// share a symbolic analysis and a lane-interleaved factorization;
+    /// odd-pattern areas fall back to the scalar path *inside* the plan,
+    /// so every area's result is bitwise identical to solving alone (the
+    /// per-lane FP op sequence is the scalar sequence — see the
+    /// conformance pins in `pgse-sparsela::batch`). Phase C finishes the
+    /// converged waves (residuals, objective, warm-start handoff).
+    #[allow(clippy::too_many_arguments)]
+    fn round_batched_step1(
+        &self,
+        fresh: &[bool],
+        last_sets: &[Option<MeasurementSet>],
+        panic_now: &[bool],
+        s1_caches: &mut [SolveCache],
+        plan: &mut BatchPlan,
+        report: &mut StreamReport,
+    ) -> Vec<StageOutcome> {
+        enum WaveSlot<'w> {
+            Skipped,
+            Failed,
+            Panicked,
+            Wave(GnWave<'w>),
+        }
+
+        // Phase A — open the waves in parallel.
+        let mut waves: Vec<WaveSlot> = self
+            .estimators
+            .par_iter()
+            .enumerate()
+            .zip(s1_caches.par_iter_mut())
+            .map(|((a, est), cache)| {
+                if !fresh[a] {
+                    return WaveSlot::Skipped;
+                }
+                let Some(set) = last_sets[a].as_ref() else {
+                    return WaveSlot::Skipped;
+                };
+                let rec = &self.area_recs[a];
+                let inject = panic_now[a];
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                    if inject {
+                        std::panic::panic_any(INJECTED_PANIC);
+                    }
+                    pgse_obs::with_recorder(rec, move || est.step1_wave(set, cache))
+                }));
+                match out {
+                    Ok(Ok(wave)) => WaveSlot::Wave(wave),
+                    Ok(Err(_)) => WaveSlot::Failed,
+                    Err(_) => WaveSlot::Panicked,
+                }
+            })
+            .collect();
+
+        // Phase B — the round driver: one cross-area solve per GN wave.
+        loop {
+            let mut active: Vec<usize> = Vec::new();
+            let mut systems: Vec<(&Csr, &[f64])> = Vec::new();
+            for (a, slot) in waves.iter().enumerate() {
+                if let WaveSlot::Wave(w) = slot {
+                    if !w.done() {
+                        active.push(a);
+                        systems.push((w.gain(), w.rhs()));
+                    }
+                }
+            }
+            if active.is_empty() {
+                break;
+            }
+            let out = plan.solve_round(&systems);
+            report.gain_solves += active.len() as u64;
+            report.batch_groups += out.batch_groups;
+            report.batched_lanes += out.batched_lanes;
+            report.scalar_fallbacks += out.scalar_fallbacks;
+            for (k, &a) in active.iter().enumerate() {
+                let advanced = {
+                    let WaveSlot::Wave(wave) = &mut waves[a] else { unreachable!() };
+                    let rec = &self.area_recs[a];
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        pgse_obs::with_recorder(rec, || match &out.results[k] {
+                            Ok(dx) => {
+                                wave.note_solved(out.sym_reused[k]);
+                                wave.apply_step(dx);
+                                true
+                            }
+                            Err(_) => false,
+                        })
+                    }))
+                };
+                match advanced {
+                    Ok(true) => {}
+                    Ok(false) => waves[a] = WaveSlot::Failed,
+                    Err(_) => waves[a] = WaveSlot::Panicked,
+                }
+            }
+        }
+
+        // Phase C — close out the waves.
+        waves
+            .into_iter()
+            .enumerate()
+            .map(|(a, slot)| match slot {
+                WaveSlot::Skipped => StageOutcome::Skipped,
+                WaveSlot::Failed => StageOutcome::Failed,
+                WaveSlot::Panicked => StageOutcome::Panicked,
+                WaveSlot::Wave(wave) => {
+                    let rec = &self.area_recs[a];
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        pgse_obs::with_recorder(rec, || wave.finish())
+                    }));
+                    match out {
+                        Ok(Ok(est)) => StageOutcome::Solved(AreaSolution {
+                            vm: est.vm,
+                            va: est.va,
+                            iterations: est.iterations,
+                            objective: est.objective,
+                        }),
+                        Ok(Err(_)) => StageOutcome::Failed,
+                        Err(_) => StageOutcome::Panicked,
+                    }
+                }
+            })
+            .collect()
     }
 }
 
@@ -1028,6 +1201,7 @@ struct CacheTotals {
     warm: u64,
     refac_reuse: u64,
     refac_full: u64,
+    condensed: u64,
 }
 
 impl CacheTotals {
@@ -1037,6 +1211,7 @@ impl CacheTotals {
         self.warm += c.warm_solves;
         self.refac_reuse += c.refactor_reuse;
         self.refac_full += c.refactor_full;
+        self.condensed += c.condensed_solves;
     }
 }
 
@@ -1169,6 +1344,14 @@ impl Supervision<'_> {
     /// totals, installs fresh caches, and restores the latest checkpoint
     /// (warm WLS start + last raw scan) when one exists. Returns whether
     /// the restart was warm.
+    ///
+    /// Structure retention: when the checkpointed
+    /// [`pgse_estimation::wls::StructureDescriptor`] matches what the
+    /// live cache is running with, the topology is
+    /// verified unchanged across the failure, so the symbolic analyses
+    /// (Jacobian pattern, gain `AᵀWA` symbolic) survive the restart
+    /// instead of being rebuilt on the first post-revive frame. Counters
+    /// are zeroed either way — the absorb above already banked them.
     fn revive(
         &mut self,
         a: usize,
@@ -1179,9 +1362,20 @@ impl Supervision<'_> {
     ) -> bool {
         self.retired.absorb(&s1_caches[a]);
         self.retired.absorb(&s2_caches[a]);
-        s1_caches[a] = SolveCache::new();
-        s2_caches[a] = SolveCache::new();
-        let warm = match self.ckpts.restore(a) {
+        let restored = self.ckpts.restore(a);
+        let retained = match (&restored, s1_caches[a].structure_descriptor()) {
+            (Some(ck), Some(live)) => ck.structure == Some(live),
+            _ => false,
+        };
+        if retained {
+            s1_caches[a].retain_structures_for_restart();
+            s2_caches[a].retain_structures_for_restart();
+            report.restart_symbolic_retained += 1;
+        } else {
+            s1_caches[a] = SolveCache::new();
+            s2_caches[a] = SolveCache::new();
+        }
+        let warm = match restored {
             Some(ck) => {
                 let has_warm = ck.warm.is_some();
                 if let Some((vm, va)) = ck.warm {
@@ -1268,11 +1462,30 @@ mod tests {
             "{report:?}"
         );
 
+        // Round batching engaged on every Step-1 gain solve, and the
+        // dispatch accounting closes exactly: every dispatched system was
+        // either batched or fell back to the scalar path, nothing else.
+        assert!(report.gain_solves > 0, "{report:?}");
+        assert_eq!(
+            report.batched_lanes + report.scalar_fallbacks,
+            report.gain_solves,
+            "{report:?}"
+        );
+        // Step-2 solves route through the Schur boundary condenser.
+        assert!(report.condensed_solves > 0, "{report:?}");
+
         // The obs counters tell the same story as the report.
         let obs = service.obs_report();
         assert_eq!(obs.counter("stream", "stream.ingested"), report.ingested);
         assert_eq!(obs.counter("stream", "stream.solved"), report.area_frames_solved);
         assert!(obs.total_counter("wls.gn_iterations") >= report.gn_iterations);
+        assert_eq!(obs.counter("stream", "stream.gain_solves"), report.gain_solves);
+        assert_eq!(
+            obs.counter("stream", "stream.batched_lanes")
+                + obs.counter("stream", "stream.scalar_fallbacks"),
+            obs.counter("stream", "stream.gain_solves")
+        );
+        assert_eq!(obs.total_counter("wls.condensed"), report.condensed_solves);
     }
 
     #[test]
@@ -1341,6 +1554,13 @@ mod tests {
         // per-cache refactorization counters.
         assert_eq!(report.refactor_reuse, 0);
         assert_eq!(report.refactor_full, 0);
+        // Cold solves run inside the estimators: the round-level batch
+        // plan never sees a system, and condensation never engages.
+        assert_eq!(report.gain_solves, 0);
+        assert_eq!(report.batched_lanes, 0);
+        assert_eq!(report.batch_groups, 0);
+        assert_eq!(report.scalar_fallbacks, 0);
+        assert_eq!(report.condensed_solves, 0);
         assert_eq!(report.unaccounted(), 0);
     }
 }

@@ -92,6 +92,22 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// Identity impls: `Content` *is* the data model, so it passes through
+// serialization untouched. This is the shim's analogue of
+// `serde_json::Value` — parse any document into a `Content`, splice
+// trees together, and re-serialize without knowing their schema.
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_content(&self) -> Content {
         Content::Bool(*self)
